@@ -1,0 +1,40 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test race bench examples experiments report clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/newsdelivery -scale 20
+	$(GO) run ./examples/customstrategy
+	$(GO) run ./examples/liveproxy
+	$(GO) run ./examples/federation
+
+# Full-scale regeneration of every paper table/figure (~4 minutes).
+experiments:
+	$(GO) run ./cmd/experiments -run all
+
+# Full-scale reproduction report (EXPERIMENTS.md).
+report:
+	$(GO) run ./cmd/report -out EXPERIMENTS.md
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,122 @@
+package pubsubcd
+
+import (
+	"io"
+	"testing"
+)
+
+// benchScale shrinks the workload for the figure-regeneration benches so
+// `go test -bench=.` stays fast; cmd/experiments regenerates the figures
+// at the paper's full scale (-scale 1).
+const benchScale = 50
+
+// benchExperiment measures regenerating one table/figure end to end:
+// workload generation, β selection and the full simulation matrix.
+func benchExperiment(b *testing.B, name string) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := NewExperimentHarness(ExperimentConfig{Scale: benchScale, Seed: 1, TopologySeed: 7})
+		if err := RunExperiment(h, name, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per table and figure in the paper's evaluation (§5).
+
+func BenchmarkTable1Taxonomy(b *testing.B)       { benchExperiment(b, "table1") }
+func BenchmarkBetaSweep(b *testing.B)            { benchExperiment(b, "beta") }
+func BenchmarkFig3DualFamily(b *testing.B)       { benchExperiment(b, "fig3") }
+func BenchmarkFig4HitRatios(b *testing.B)        { benchExperiment(b, "fig4") }
+func BenchmarkTable2Improvements(b *testing.B)   { benchExperiment(b, "table2") }
+func BenchmarkFig5SubscriptionQual(b *testing.B) { benchExperiment(b, "fig5") }
+func BenchmarkFig6HourlyHitRatio(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFig7Traffic(b *testing.B)          { benchExperiment(b, "fig7") }
+
+// Extension benches: the ablations DESIGN.md calls out.
+
+func BenchmarkBaselinesAblation(b *testing.B)   { benchExperiment(b, "baselines") }
+func BenchmarkDCLAPBoundsAblation(b *testing.B) { benchExperiment(b, "dclap-bounds") }
+func BenchmarkMixedRequestsAblation(b *testing.B) {
+	benchExperiment(b, "mixed")
+}
+func BenchmarkClosedLoopValidation(b *testing.B) { benchExperiment(b, "closedloop") }
+func BenchmarkResponseTimes(b *testing.B)        { benchExperiment(b, "latency") }
+
+// Micro-benches on the core building blocks.
+
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	cfg := ScaledWorkloadConfig(TraceNEWS, benchScale)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateWorkload(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulationRun(b *testing.B) {
+	w, err := GenerateWorkload(ScaledWorkloadConfig(TraceNEWS, benchScale))
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := LookupStrategy("SG2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := DefaultSimOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(w, f, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchStrategyOps(b *testing.B, name string) {
+	f, err := LookupStrategy(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := f.New(StrategyParams{Capacity: 1 << 20, Beta: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := i % 512
+		meta := PageMeta{ID: id, Size: int64(1000 + id*13%9000), Cost: 1}
+		if i%3 == 0 {
+			s.Push(meta, 0, 1+id%7)
+		} else {
+			s.Request(meta, 0, 1+id%7)
+		}
+	}
+}
+
+func BenchmarkStrategyGDStar(b *testing.B) { benchStrategyOps(b, "GD*") }
+func BenchmarkStrategySUB(b *testing.B)    { benchStrategyOps(b, "SUB") }
+func BenchmarkStrategySG2(b *testing.B)    { benchStrategyOps(b, "SG2") }
+func BenchmarkStrategyDM(b *testing.B)     { benchStrategyOps(b, "DM") }
+func BenchmarkStrategyDCLAP(b *testing.B)  { benchStrategyOps(b, "DC-LAP") }
+
+func BenchmarkMatchEngine(b *testing.B) {
+	e := NewMatchEngine()
+	topics := []string{"sports", "politics", "tech", "weather", "finance"}
+	for i := 0; i < 5000; i++ {
+		if _, err := e.Subscribe(Subscription{
+			Proxy:  i % 100,
+			Topics: []string{topics[i%len(topics)]},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ev := Event{ID: "e", Topics: []string{"tech"}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.MatchCounts(ev)
+	}
+}

@@ -1,0 +1,49 @@
+// Command broker runs a standalone publish/subscribe broker over TCP
+// using the line-delimited-JSON protocol in internal/broker.
+//
+// Usage:
+//
+//	broker -addr 127.0.0.1:7070
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"pubsubcd/internal/broker"
+)
+
+func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	stop := make(chan struct{})
+	go func() {
+		<-sig
+		close(stop)
+	}()
+	if err := run(os.Args[1:], stop, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "broker:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the broker server and blocks until stop is closed.
+func run(args []string, stop <-chan struct{}, out *os.File) error {
+	fs := flag.NewFlagSet("broker", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b := broker.New()
+	srv, err := broker.NewServer(b, *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "broker listening on %s\n", srv.Addr())
+	<-stop
+	fmt.Fprintln(out, "shutting down")
+	return srv.Close()
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"context"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"pubsubcd/internal/broker"
+)
+
+func TestRunServesUntilStopped(t *testing.T) {
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	go func() {
+		defer wg.Done()
+		errc <- run([]string{"-addr", "127.0.0.1:39917"}, stop, devnull)
+	}()
+
+	// Wait for the server to accept, then exercise it over the wire.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var client *broker.Client
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		client, err = broker.Dial(ctx, "127.0.0.1:39917", nil)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			close(stop)
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := client.Publish(ctx, broker.Content{ID: "p", Topics: []string{"t"}, Body: []byte("x")}); err != nil {
+		t.Error(err)
+	}
+	_ = client.Close()
+
+	close(stop)
+	wg.Wait()
+	if err := <-errc; err != nil {
+		t.Fatalf("run returned error: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	stop := make(chan struct{})
+	close(stop)
+	if err := run([]string{"-addr", "256.256.256.256:1"}, stop, os.Stdout); err == nil {
+		t.Error("bad address should error")
+	}
+	if err := run([]string{"-badflag"}, stop, os.Stdout); err == nil {
+		t.Error("bad flag should error")
+	}
+}

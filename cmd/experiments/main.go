@@ -1,0 +1,64 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section (§5).
+//
+// Usage:
+//
+//	experiments -run all                 # everything, full scale
+//	experiments -run fig4,table2         # selected experiments
+//	experiments -run beta -scale 10      # quick run at 1/10 scale
+//	experiments -list                    # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pubsubcd/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	runList := fs.String("run", "all", "comma-separated experiment names, or 'all'")
+	scale := fs.Int("scale", 1, "workload scale divisor (1 = paper's full scale)")
+	seed := fs.Int64("seed", 1, "workload random seed")
+	topoSeed := fs.Int64("toposeed", 7, "topology random seed")
+	list := fs.Bool("list", false, "list experiment names and exit")
+	quiet := fs.Bool("q", false, "suppress progress messages")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, name := range experiments.Names() {
+			fmt.Println(name)
+		}
+		return nil
+	}
+	names := experiments.Names()
+	if *runList != "all" {
+		names = strings.Split(*runList, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+	}
+	h := experiments.New(experiments.Config{Scale: *scale, Seed: *seed, TopologySeed: *topoSeed})
+	for _, name := range names {
+		start := time.Now()
+		if err := experiments.RunByName(h, name, os.Stdout); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return nil
+}

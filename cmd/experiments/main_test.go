@@ -1,0 +1,29 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleExperimentScaled(t *testing.T) {
+	if err := run([]string{"-run", "table1", "-scale", "100", "-q"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-run", "fig3", "-scale", "100", "-q"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-run", "nope", "-scale", "100", "-q"}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("bad flag should error")
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pubsubcd/internal/workload"
+)
+
+func TestRunCatalog(t *testing.T) {
+	if err := run([]string{"-catalog"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSmallSimulation(t *testing.T) {
+	if err := run([]string{"-strategy", "GD*", "-scale", "100", "-hourly"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithAnalyze(t *testing.T) {
+	if err := run([]string{"-strategy", "SUB", "-scale", "100", "-analyze"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLoadedTrace(t *testing.T) {
+	cfg := workload.ScaledConfig(workload.TraceNEWS, 100)
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.gob")
+	if err := w.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-strategy", "DC-LAP", "-load", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-strategy", "NOPE", "-scale", "100"}); err == nil {
+		t.Error("unknown strategy should error")
+	}
+	if err := run([]string{"-trace", "BOGUS", "-scale", "100"}); err == nil {
+		t.Error("unknown trace should error")
+	}
+	if err := run([]string{"-capacity", "0", "-scale", "100"}); err == nil {
+		t.Error("zero capacity should error")
+	}
+	if err := run([]string{"-load", "/nonexistent/file.gob"}); err == nil {
+		t.Error("missing trace file should error")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("bad flag should error")
+	}
+}

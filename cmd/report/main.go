@@ -1,0 +1,59 @@
+// Command report runs the full experiment suite and writes the
+// paper-vs-measured reproduction report (EXPERIMENTS.md).
+//
+// Usage:
+//
+//	report -out EXPERIMENTS.md            # full scale (several minutes)
+//	report -scale 10 -out /tmp/exp.md     # quick pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pubsubcd/internal/experiments"
+	"pubsubcd/internal/report"
+	"pubsubcd/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	out := fs.String("out", "EXPERIMENTS.md", "output path")
+	scale := fs.Int("scale", 1, "workload scale divisor (1 = paper's full scale)")
+	seed := fs.Int64("seed", 1, "workload random seed")
+	topoSeed := fs.Int64("toposeed", 7, "topology random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	h := experiments.New(experiments.Config{Scale: *scale, Seed: *seed, TopologySeed: *topoSeed})
+	data, err := report.Collect(h, *scale)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := report.Generate(data, f, "cmd/report"); err != nil {
+		return err
+	}
+	for _, trace := range []workload.TraceName{workload.TraceNEWS, workload.TraceALTERNATIVE} {
+		if err := report.WorkloadSnapshot(f, trace, *scale, *seed); err != nil {
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}

@@ -1,0 +1,63 @@
+// Command workloadgen generates the paper's synthetic news workload and
+// saves it as a trace file (.json, .gob, optionally .gz) for later
+// simulation with pubsubsim -load.
+//
+// Usage:
+//
+//	workloadgen -trace NEWS -out news.gob.gz
+//	workloadgen -trace ALTERNATIVE -sq 0.5 -scale 10 -out alt.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pubsubcd/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "workloadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("workloadgen", flag.ContinueOnError)
+	trace := fs.String("trace", "NEWS", "trace: NEWS (α=1.5) or ALTERNATIVE (α=1.0)")
+	sq := fs.Float64("sq", 1, "subscription quality SQ in (0, 1]")
+	scale := fs.Int("scale", 1, "workload scale divisor")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "", "output path (.json, .gob, optionally .gz); required")
+	stats := fs.Bool("stats", true, "print workload statistics")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	tn, err := workload.ParseTrace(*trace)
+	if err != nil {
+		return err
+	}
+	cfg := workload.ScaledConfig(tn, *scale)
+	cfg.Seed = *seed
+	cfg.SQ = *sq
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	if err := w.SaveFile(*out); err != nil {
+		return err
+	}
+	if *stats {
+		fmt.Printf("trace          %s (alpha=%g, SQ=%g, seed=%d)\n", cfg.Trace(), cfg.Alpha, cfg.SQ, cfg.Seed)
+		fmt.Printf("pages          %d distinct\n", len(w.Pages))
+		fmt.Printf("publications   %d (incl. modified versions)\n", len(w.Publications))
+		fmt.Printf("requests       %d over %d servers\n", len(w.Requests), cfg.Servers)
+		fmt.Printf("subscriptions  %d\n", w.TotalSubscriptions())
+		fmt.Printf("saved          %s\n", *out)
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pubsubcd/internal/workload"
+)
+
+func TestRunGeneratesLoadableTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.gob.gz")
+	if err := run([]string{"-trace", "NEWS", "-scale", "100", "-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Requests) == 0 {
+		t.Error("loaded trace has no requests")
+	}
+	if w.Config.Trace() != workload.TraceNEWS {
+		t.Errorf("trace = %s", w.Config.Trace())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -out should error")
+	}
+	if err := run([]string{"-out", filepath.Join(t.TempDir(), "x.xml")}); err == nil {
+		t.Error("unknown extension should error")
+	}
+	if err := run([]string{"-sq", "0", "-out", filepath.Join(t.TempDir(), "x.json")}); err == nil {
+		t.Error("invalid SQ should error")
+	}
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag should error")
+	}
+}

@@ -1,0 +1,119 @@
+// Liveproxy runs the full publish/subscribe architecture of the paper's
+// Fig. 1 as live components: a broker served over TCP, subscribers that
+// receive notifications through the wire protocol, and caching proxies
+// that receive pushes and serve end-user requests locally.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"pubsubcd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Origin site: in-process broker, also exposed over TCP.
+	origin := pubsubcd.NewBroker()
+	server, err := pubsubcd.NewBrokerServer(origin, "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer server.Close()
+	fmt.Printf("broker listening on %s\n", server.Addr())
+
+	// Two edge proxies, each caching under DC-LAP.
+	proxies := make([]*pubsubcd.Proxy, 2)
+	for i := range proxies {
+		strategy, err := pubsubcd.NewDCLAP(pubsubcd.StrategyParams{Capacity: 1 << 14, Beta: 2})
+		if err != nil {
+			return err
+		}
+		proxies[i], err = pubsubcd.NewProxy(i, origin, strategy, 1+float64(i))
+		if err != nil {
+			return err
+		}
+		defer proxies[i].Close()
+	}
+
+	// A remote subscriber connects over TCP; its interests aggregate at
+	// proxy 0. Notifications arrive asynchronously on the wire.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var mu sync.Mutex
+	var inbox []pubsubcd.Notification
+	client, err := pubsubcd.DialBroker(ctx, server.Addr(), func(n pubsubcd.Notification) {
+		mu.Lock()
+		inbox = append(inbox, n)
+		mu.Unlock()
+	})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	if _, err := client.Subscribe(ctx, 0, []string{"tech"}, nil); err != nil {
+		return err
+	}
+	if _, err := client.Subscribe(ctx, 0, nil, []string{"golang", "release"}); err != nil {
+		return err
+	}
+
+	// The publisher emits stories over the same wire protocol.
+	stories := []pubsubcd.Content{
+		{ID: "go-release", Topics: []string{"tech"}, Keywords: []string{"golang", "release"},
+			Body: []byte("Go 1.22 is out with stdlib-only goodness.")},
+		{ID: "election", Topics: []string{"politics"}, Keywords: []string{"vote"},
+			Body: []byte("Polling stations open at dawn.")},
+	}
+	for _, st := range stories {
+		matched, err := client.Publish(ctx, st)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("published %-11q -> %d matched subscriptions\n", st.ID, matched)
+	}
+
+	// Wait for the notifications to arrive over the wire.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(inbox)
+		mu.Unlock()
+		if n >= 2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	for _, n := range inbox {
+		fmt.Printf("notified: page=%s version=%d size=%dB\n", n.PageID, n.Version, n.Size)
+	}
+	mu.Unlock()
+
+	// The notified user reads the story through its local proxy; the
+	// pushed copy serves it without contacting the origin.
+	body, err := proxies[0].Request("go-release")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("proxy 0 served %dB, stats: %+v\n", len(body), proxies[0].Stats())
+
+	// A user behind proxy 1 (no subscriptions there) reads the election
+	// story: a miss, fetched from the origin and cached for neighbours.
+	if _, err := proxies[1].Request("election"); err != nil {
+		return err
+	}
+	if _, err := proxies[1].Request("election"); err != nil {
+		return err
+	}
+	fmt.Printf("proxy 1 stats after two reads: %+v\n", proxies[1].Stats())
+	return nil
+}

@@ -1,0 +1,54 @@
+// Newsdelivery runs the paper's central comparison on both traces: every
+// content distribution strategy on the synthetic news workload at the
+// 5 % capacity setting, reporting hit ratio and relative improvement over
+// the GD* baseline — a compact version of Fig. 4 and Table 2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"pubsubcd"
+)
+
+func main() {
+	scale := flag.Int("scale", 10, "workload scale divisor (1 = paper's full scale)")
+	capacity := flag.Float64("capacity", 0.05, "cache capacity fraction")
+	flag.Parse()
+
+	for _, trace := range []pubsubcd.TraceName{pubsubcd.TraceNEWS, pubsubcd.TraceALTERNATIVE} {
+		if err := compare(trace, *scale, *capacity); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func compare(trace pubsubcd.TraceName, scale int, capacity float64) error {
+	cfg := pubsubcd.ScaledWorkloadConfig(trace, scale)
+	w, err := pubsubcd.GenerateWorkload(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("=== %s trace (alpha=%g, capacity=%g%%) ===\n", trace, cfg.Alpha, capacity*100)
+
+	opts := pubsubcd.DefaultSimOptions()
+	opts.CapacityFraction = capacity
+
+	var baseline float64
+	for _, factory := range pubsubcd.StrategyCatalog() {
+		res, err := pubsubcd.Simulate(w, factory, opts)
+		if err != nil {
+			return err
+		}
+		h := res.HitRatio()
+		if factory.Name == "GD*" {
+			baseline = h
+		}
+		improvement := 100 * (h - baseline) / baseline
+		fmt.Printf("%-8s H=%.3f  (%+6.1f%% vs GD*)  misses: %d cold, %d warm\n",
+			factory.Name, h, improvement, res.ColdMisses, res.WarmMisses)
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,40 @@
+// Quickstart: generate a scaled-down news workload, run the access-based
+// baseline (GD*) and the paper's best combined scheme (SG2) through the
+// simulator, and compare hit ratios and traffic.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pubsubcd"
+)
+
+func main() {
+	// 1/20 of the paper's full scale keeps this under a second.
+	cfg := pubsubcd.ScaledWorkloadConfig(pubsubcd.TraceNEWS, 20)
+	w, err := pubsubcd.GenerateWorkload(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d pages, %d publications, %d requests, %d servers\n\n",
+		len(w.Pages), len(w.Publications), len(w.Requests), cfg.Servers)
+
+	opts := pubsubcd.DefaultSimOptions() // 5% capacity, beta=2
+	for _, name := range []string{"GD*", "SG2"} {
+		factory, err := pubsubcd.LookupStrategy(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := pubsubcd.Simulate(w, factory, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-4s hit ratio %.3f, traffic %6d pages (always-pushing) / %6d (pushing-when-necessary)\n",
+			name, res.HitRatio(),
+			res.TotalTraffic(pubsubcd.AlwaysPush),
+			res.TotalTraffic(pubsubcd.PushWhenNecessary))
+	}
+	fmt.Println("\nSG2 combines push-time and access-time placement using subscription")
+	fmt.Println("counts minus past accesses as its frequency estimate (eq. 4 of the paper).")
+}

@@ -1,0 +1,3 @@
+module pubsubcd
+
+go 1.22

@@ -1,0 +1,201 @@
+// Package broker implements the publish/subscribe system of the paper's
+// Fig. 1 as a working component: publishers publish content into the
+// broker, the matching engine finds the subscriptions each event matches,
+// notifications flow to subscribers, and the content distribution engine
+// pushes page content toward the proxies whose users subscribed.
+//
+// The package provides an in-process broker plus a line-delimited-JSON
+// TCP transport (see transport.go), so the library's strategies can be
+// exercised end-to-end outside the simulator.
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"pubsubcd/internal/match"
+)
+
+// Content is a published page at a specific version.
+type Content struct {
+	// ID identifies the page.
+	ID string
+	// Version is the content version, starting at 0.
+	Version int
+	// Topics and Keywords drive matching.
+	Topics   []string
+	Keywords []string
+	// Body is the page payload.
+	Body []byte
+}
+
+// Notification announces a published page to a subscriber. It carries
+// metadata only — the paper's notification lists carry titles/links, not
+// content (§1).
+type Notification struct {
+	PageID  string `json:"pageId"`
+	Version int    `json:"version"`
+	Size    int64  `json:"size"`
+	// SubscriptionID identifies the matched subscription.
+	SubscriptionID int64 `json:"subscriptionId"`
+}
+
+// Notifier receives notifications for a subscription. Implementations
+// must be safe for concurrent use and must not block for long.
+type Notifier interface {
+	Notify(n Notification)
+}
+
+// NotifierFunc adapts a function to the Notifier interface.
+type NotifierFunc func(n Notification)
+
+// Notify implements Notifier.
+func (f NotifierFunc) Notify(n Notification) { f(n) }
+
+// PushSink receives pushed content for a proxy. The content distribution
+// engine calls it when a published page matches subscriptions aggregated
+// at the proxy.
+type PushSink interface {
+	// Push offers the content together with the number of local
+	// subscriptions it matched.
+	Push(c Content, matched int)
+}
+
+// ErrUnknownPage is returned by Fetch for pages never published.
+var ErrUnknownPage = errors.New("broker: unknown page")
+
+// Broker is an in-process publish/subscribe broker with a content store.
+type Broker struct {
+	engine *match.Engine
+
+	mu        sync.RWMutex
+	store     map[string]Content
+	notifiers map[int64]Notifier
+	sinks     map[int]PushSink
+}
+
+// New returns an empty broker.
+func New() *Broker {
+	return &Broker{
+		engine:    match.NewEngine(),
+		store:     make(map[string]Content),
+		notifiers: make(map[int64]Notifier),
+		sinks:     make(map[int]PushSink),
+	}
+}
+
+// Subscribe registers a subscription and its notifier, returning the
+// subscription ID.
+func (b *Broker) Subscribe(sub match.Subscription, n Notifier) (int64, error) {
+	if n == nil {
+		return 0, errors.New("broker: nil notifier")
+	}
+	id, err := b.engine.Subscribe(sub)
+	if err != nil {
+		return 0, err
+	}
+	b.mu.Lock()
+	b.notifiers[id] = n
+	b.mu.Unlock()
+	return id, nil
+}
+
+// Unsubscribe removes a subscription.
+func (b *Broker) Unsubscribe(id int64) error {
+	if err := b.engine.Unsubscribe(id); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	delete(b.notifiers, id)
+	b.mu.Unlock()
+	return nil
+}
+
+// AttachProxy registers the push sink for a proxy. Pushes for matched
+// content are delivered to it synchronously from Publish.
+func (b *Broker) AttachProxy(proxy int, sink PushSink) error {
+	if sink == nil {
+		return errors.New("broker: nil push sink")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.sinks[proxy]; dup {
+		return fmt.Errorf("broker: proxy %d already attached", proxy)
+	}
+	b.sinks[proxy] = sink
+	return nil
+}
+
+// DetachProxy removes a proxy's push sink.
+func (b *Broker) DetachProxy(proxy int) {
+	b.mu.Lock()
+	delete(b.sinks, proxy)
+	b.mu.Unlock()
+}
+
+// Publish stores the content, notifies every matching subscriber, and
+// pushes the content to each attached proxy with at least one matching
+// subscription. It returns the number of matched subscriptions.
+func (b *Broker) Publish(c Content) (int, error) {
+	if c.ID == "" {
+		return 0, errors.New("broker: content needs an ID")
+	}
+	b.mu.Lock()
+	if prev, ok := b.store[c.ID]; ok && c.Version <= prev.Version {
+		b.mu.Unlock()
+		return 0, fmt.Errorf("broker: page %q version %d not newer than stored %d", c.ID, c.Version, prev.Version)
+	}
+	b.store[c.ID] = c
+	b.mu.Unlock()
+
+	ev := match.Event{ID: c.ID, Topics: c.Topics, Keywords: c.Keywords}
+	matched := b.engine.Match(ev)
+
+	b.mu.RLock()
+	notifiers := make(map[int64]Notifier, len(matched))
+	perProxy := make(map[int]int)
+	for _, sub := range matched {
+		if n, ok := b.notifiers[sub.ID]; ok {
+			notifiers[sub.ID] = n
+		}
+		perProxy[sub.Proxy]++
+	}
+	sinks := make(map[int]PushSink, len(perProxy))
+	for proxy := range perProxy {
+		if s, ok := b.sinks[proxy]; ok {
+			sinks[proxy] = s
+		}
+	}
+	b.mu.RUnlock()
+
+	for _, sub := range matched {
+		if n, ok := notifiers[sub.ID]; ok {
+			n.Notify(Notification{
+				PageID:         c.ID,
+				Version:        c.Version,
+				Size:           int64(len(c.Body)),
+				SubscriptionID: sub.ID,
+			})
+		}
+	}
+	for proxy, sink := range sinks {
+		sink.Push(c, perProxy[proxy])
+	}
+	return len(matched), nil
+}
+
+// Fetch returns the current content of a page (the origin fetch a proxy
+// performs on a cache miss).
+func (b *Broker) Fetch(pageID string) (Content, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	c, ok := b.store[pageID]
+	if !ok {
+		return Content{}, fmt.Errorf("%w: %q", ErrUnknownPage, pageID)
+	}
+	return c, nil
+}
+
+// Subscriptions returns the number of live subscriptions.
+func (b *Broker) Subscriptions() int { return b.engine.Len() }

@@ -1,0 +1,281 @@
+package broker
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"pubsubcd/internal/core"
+	"pubsubcd/internal/match"
+)
+
+type recordingNotifier struct {
+	mu    sync.Mutex
+	notes []Notification
+}
+
+func (r *recordingNotifier) Notify(n Notification) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.notes = append(r.notes, n)
+}
+
+func (r *recordingNotifier) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.notes)
+}
+
+func TestBrokerPublishNotifiesMatchingSubscribers(t *testing.T) {
+	b := New()
+	rec := &recordingNotifier{}
+	id, err := b.Subscribe(match.Subscription{Proxy: 0, Topics: []string{"sports"}}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == 0 {
+		t.Fatal("expected non-zero subscription ID")
+	}
+	other := &recordingNotifier{}
+	if _, err := b.Subscribe(match.Subscription{Proxy: 1, Topics: []string{"politics"}}, other); err != nil {
+		t.Fatal(err)
+	}
+	matched, err := b.Publish(Content{ID: "p1", Topics: []string{"sports"}, Body: []byte("goal")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matched != 1 {
+		t.Fatalf("matched = %d, want 1", matched)
+	}
+	if rec.count() != 1 {
+		t.Fatalf("subscriber got %d notifications, want 1", rec.count())
+	}
+	if other.count() != 0 {
+		t.Fatal("non-matching subscriber was notified")
+	}
+	rec.mu.Lock()
+	n := rec.notes[0]
+	rec.mu.Unlock()
+	if n.PageID != "p1" || n.Size != 4 {
+		t.Errorf("notification = %+v", n)
+	}
+}
+
+func TestBrokerValidation(t *testing.T) {
+	b := New()
+	if _, err := b.Subscribe(match.Subscription{Proxy: 0, Topics: []string{"t"}}, nil); err == nil {
+		t.Error("nil notifier should error")
+	}
+	if _, err := b.Publish(Content{}); err == nil {
+		t.Error("content without ID should error")
+	}
+	if err := b.AttachProxy(0, nil); err == nil {
+		t.Error("nil sink should error")
+	}
+	if _, err := b.Fetch("missing"); !errors.Is(err, ErrUnknownPage) {
+		t.Errorf("Fetch(missing) = %v, want ErrUnknownPage", err)
+	}
+}
+
+func TestBrokerVersionMonotonicity(t *testing.T) {
+	b := New()
+	if _, err := b.Publish(Content{ID: "p", Version: 1, Body: []byte("v1")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Publish(Content{ID: "p", Version: 1, Body: []byte("again")}); err == nil {
+		t.Error("same version republish should error")
+	}
+	if _, err := b.Publish(Content{ID: "p", Version: 0, Body: []byte("old")}); err == nil {
+		t.Error("older version should error")
+	}
+	if _, err := b.Publish(Content{ID: "p", Version: 2, Body: []byte("v2")}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.Fetch("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Version != 2 || string(c.Body) != "v2" {
+		t.Errorf("fetched %+v", c)
+	}
+}
+
+func TestBrokerUnsubscribeStopsNotifications(t *testing.T) {
+	b := New()
+	rec := &recordingNotifier{}
+	id, err := b.Subscribe(match.Subscription{Proxy: 0, Topics: []string{"x"}}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Unsubscribe(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Publish(Content{ID: "p", Topics: []string{"x"}}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.count() != 0 {
+		t.Error("unsubscribed notifier still notified")
+	}
+	if b.Subscriptions() != 0 {
+		t.Errorf("Subscriptions = %d, want 0", b.Subscriptions())
+	}
+}
+
+func newTestProxy(t *testing.T, b *Broker, id int) *Proxy {
+	t.Helper()
+	strat, err := core.NewSG2(core.Params{Capacity: 1 << 20, Beta: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProxy(id, b, strat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestProxyPushThenRequestHits(t *testing.T) {
+	b := New()
+	p := newTestProxy(t, b, 0)
+	defer p.Close()
+	if _, err := b.Subscribe(match.Subscription{Proxy: 0, Topics: []string{"news"}}, NotifierFunc(func(Notification) {})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Publish(Content{ID: "story", Topics: []string{"news"}, Body: []byte("content")}); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.PushesSeen != 1 || st.PushesStored != 1 {
+		t.Fatalf("push stats %+v", st)
+	}
+	body, err := p.Request("story")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != "content" {
+		t.Errorf("body = %q", body)
+	}
+	st = p.Stats()
+	if st.Hits != 1 || st.Fetches != 0 {
+		t.Errorf("pushed page should hit locally: %+v", st)
+	}
+	if p.HitRatio() != 1 {
+		t.Errorf("hit ratio = %g, want 1", p.HitRatio())
+	}
+}
+
+func TestProxyMissFetchesAndCaches(t *testing.T) {
+	b := New()
+	p := newTestProxy(t, b, 0)
+	defer p.Close()
+	if _, err := b.Publish(Content{ID: "cold", Body: []byte("brr"), Topics: []string{"t"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Request("cold"); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Hits != 0 || st.Fetches != 1 {
+		t.Fatalf("first request should fetch: %+v", st)
+	}
+	if _, err := p.Request("cold"); err != nil {
+		t.Fatal(err)
+	}
+	st = p.Stats()
+	if st.Hits != 1 {
+		t.Errorf("second request should hit: %+v", st)
+	}
+	if _, err := p.Request("never-published"); err == nil {
+		t.Error("unknown page should error")
+	}
+}
+
+func TestProxyStaleCopyRefetches(t *testing.T) {
+	b := New()
+	p := newTestProxy(t, b, 0)
+	defer p.Close()
+	if _, err := b.Subscribe(match.Subscription{Proxy: 0, Topics: []string{"n"}}, NotifierFunc(func(Notification) {})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Publish(Content{ID: "p", Version: 0, Topics: []string{"n"}, Body: []byte("v0")}); err != nil {
+		t.Fatal(err)
+	}
+	// New version pushed: proxy refreshes in place.
+	if _, err := b.Publish(Content{ID: "p", Version: 1, Topics: []string{"n"}, Body: []byte("v1")}); err != nil {
+		t.Fatal(err)
+	}
+	body, err := p.Request("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != "v1" {
+		t.Errorf("got %q, want refreshed v1", body)
+	}
+	if st := p.Stats(); st.Hits != 1 {
+		t.Errorf("refreshed push should serve locally: %+v", st)
+	}
+}
+
+func TestProxyValidation(t *testing.T) {
+	b := New()
+	strat, err := core.NewGDStar(core.Params{Capacity: 100, Beta: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewProxy(0, nil, strat, 1); err == nil {
+		t.Error("nil broker should error")
+	}
+	if _, err := NewProxy(0, b, nil, 1); err == nil {
+		t.Error("nil strategy should error")
+	}
+	if _, err := NewProxy(0, b, strat, 0); err == nil {
+		t.Error("zero cost should error")
+	}
+	if _, err := NewProxy(0, b, strat, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewProxy(0, b, strat, 1); err == nil {
+		t.Error("duplicate proxy ID should error")
+	}
+}
+
+func TestBrokerConcurrentPublishSubscribe(t *testing.T) {
+	b := New()
+	p := newTestProxy(t, b, 0)
+	defer p.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				topic := []string{"t"}
+				if _, err := b.Subscribe(match.Subscription{Proxy: 0, Topics: topic},
+					NotifierFunc(func(Notification) {})); err != nil {
+					t.Error(err)
+					return
+				}
+				id := g*1000 + i
+				if _, err := b.Publish(Content{
+					ID: pageName(id), Topics: topic, Body: []byte("x"),
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := p.Request(pageName(id)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Subscriptions() != 200 {
+		t.Errorf("Subscriptions = %d, want 200", b.Subscriptions())
+	}
+}
+
+func pageName(i int) string {
+	return "page-" + string(rune('a'+i%26)) + "-" + string(rune('0'+(i/26)%10)) + "-" + string(rune('0'+(i/260)%10)) + "-" + string(rune('0'+(i/2600)%10))
+}

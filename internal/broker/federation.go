@@ -1,0 +1,289 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"pubsubcd/internal/match"
+)
+
+// The paper's architecture (§2) notes that the matching and routing
+// engines "may be centralized or distributed". This file provides the
+// distributed variant: a federation of brokers with Siena-style
+// subscription forwarding. Each node advertises its (transitive)
+// subscription interests to its peers, and publications are routed only
+// along links with matching downstream interest, so a publication reaches
+// every matching subscriber in the federation without global flooding.
+
+// Node is one broker in a federation.
+type Node struct {
+	name   string
+	broker *Broker
+
+	mu    sync.Mutex
+	peers map[string]*Node
+	// downstream[peer] summarises the interests reachable through that
+	// peer: topic and keyword reference counts.
+	downstream map[string]*interestSummary
+	// local summarises this node's own subscriptions.
+	local *interestSummary
+	// seen deduplicates routed publications by page#version.
+	seen map[string]bool
+}
+
+// interestSummary counts interest per topic and keyword.
+type interestSummary struct {
+	topics   map[string]int
+	keywords map[string]int
+}
+
+func newInterestSummary() *interestSummary {
+	return &interestSummary{topics: make(map[string]int), keywords: make(map[string]int)}
+}
+
+func (s *interestSummary) add(topics, keywords []string, delta int) {
+	for _, t := range topics {
+		s.topics[t] += delta
+		if s.topics[t] <= 0 {
+			delete(s.topics, t)
+		}
+	}
+	for _, k := range keywords {
+		s.keywords[k] += delta
+		if s.keywords[k] <= 0 {
+			delete(s.keywords, k)
+		}
+	}
+}
+
+// covers reports whether the summary has any interest overlapping the
+// event. It is conservative: keyword subscriptions are conjunctions, but
+// routing forwards on any keyword overlap — a superset of true matches,
+// as in subscription-forwarding systems.
+func (s *interestSummary) covers(ev match.Event) bool {
+	for _, t := range ev.Topics {
+		if s.topics[t] > 0 {
+			return true
+		}
+	}
+	for _, k := range ev.Keywords {
+		if s.keywords[k] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// NewNode creates a federation node wrapping a fresh broker.
+func NewNode(name string) *Node {
+	return &Node{
+		name:       name,
+		broker:     New(),
+		peers:      make(map[string]*Node),
+		downstream: make(map[string]*interestSummary),
+		local:      newInterestSummary(),
+		seen:       make(map[string]bool),
+	}
+}
+
+// Name returns the node name.
+func (n *Node) Name() string { return n.name }
+
+// Broker returns the node's local broker (for attaching proxies).
+func (n *Node) Broker() *Broker { return n.broker }
+
+// Connect links two nodes bidirectionally. The federation topology must
+// be a tree (no cycles): subscription forwarding assumes a unique path
+// between any two nodes.
+func Connect(a, b *Node) error {
+	if a == nil || b == nil {
+		return errors.New("broker: nil node")
+	}
+	if a == b {
+		return errors.New("broker: cannot connect a node to itself")
+	}
+	if a.reaches(b) {
+		return fmt.Errorf("broker: connecting %s-%s would create a cycle", a.name, b.name)
+	}
+	a.mu.Lock()
+	if _, dup := a.peers[b.name]; dup {
+		a.mu.Unlock()
+		return fmt.Errorf("broker: %s already connected to %s", a.name, b.name)
+	}
+	a.peers[b.name] = b
+	a.downstream[b.name] = newInterestSummary()
+	aInterests := a.allInterestsExcept(b.name)
+	a.mu.Unlock()
+
+	b.mu.Lock()
+	b.peers[a.name] = a
+	b.downstream[a.name] = newInterestSummary()
+	bInterests := b.allInterestsExcept(a.name)
+	b.mu.Unlock()
+
+	// Exchange existing interests across the new link.
+	for _, iv := range bInterests {
+		a.learnInterest(b.name, iv.topics, iv.keywords, iv.count)
+	}
+	for _, iv := range aInterests {
+		b.learnInterest(a.name, iv.topics, iv.keywords, iv.count)
+	}
+	return nil
+}
+
+// reaches reports whether other is reachable from n (cycle check).
+func (n *Node) reaches(other *Node) bool {
+	visited := map[*Node]bool{}
+	var walk func(cur *Node) bool
+	walk = func(cur *Node) bool {
+		if cur == other {
+			return true
+		}
+		visited[cur] = true
+		cur.mu.Lock()
+		peers := make([]*Node, 0, len(cur.peers))
+		for _, p := range cur.peers {
+			peers = append(peers, p)
+		}
+		cur.mu.Unlock()
+		for _, p := range peers {
+			if !visited[p] && walk(p) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(n)
+}
+
+// interestVector is a flattened interest set used during link setup.
+type interestVector struct {
+	topics   []string
+	keywords []string
+	count    int
+}
+
+// allInterestsExcept flattens local plus downstream interests from every
+// link except the named one. Caller holds n.mu.
+func (n *Node) allInterestsExcept(except string) []interestVector {
+	var out []interestVector
+	flat := func(s *interestSummary) {
+		for t, c := range s.topics {
+			out = append(out, interestVector{topics: []string{t}, count: c})
+		}
+		for k, c := range s.keywords {
+			out = append(out, interestVector{keywords: []string{k}, count: c})
+		}
+	}
+	flat(n.local)
+	for peer, s := range n.downstream {
+		if peer != except {
+			flat(s)
+		}
+	}
+	return out
+}
+
+// Subscribe registers a subscription at this node and advertises its
+// interests through the federation.
+func (n *Node) Subscribe(sub match.Subscription, notifier Notifier) (int64, error) {
+	id, err := n.broker.Subscribe(sub, notifier)
+	if err != nil {
+		return 0, err
+	}
+	n.mu.Lock()
+	n.local.add(sub.Topics, sub.Keywords, 1)
+	peers := n.peerList("")
+	n.mu.Unlock()
+	for _, p := range peers {
+		p.learnInterest(n.name, sub.Topics, sub.Keywords, 1)
+	}
+	return id, nil
+}
+
+// learnInterest records that interests are reachable via the named peer
+// link and propagates the advertisement onward (away from via).
+func (n *Node) learnInterest(via string, topics, keywords []string, count int) {
+	if count <= 0 {
+		return
+	}
+	n.mu.Lock()
+	s, ok := n.downstream[via]
+	if !ok {
+		n.mu.Unlock()
+		return
+	}
+	for i := 0; i < count; i++ {
+		s.add(topics, keywords, 1)
+	}
+	peers := n.peerList(via)
+	n.mu.Unlock()
+	for _, p := range peers {
+		p.learnInterest(n.name, topics, keywords, count)
+	}
+}
+
+// peerList snapshots peers except the named one. Caller holds n.mu.
+func (n *Node) peerList(except string) []*Node {
+	names := make([]string, 0, len(n.peers))
+	for name := range n.peers {
+		if name != except {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	out := make([]*Node, 0, len(names))
+	for _, name := range names {
+		out = append(out, n.peers[name])
+	}
+	return out
+}
+
+// Publish publishes content at this node: it is stored and matched
+// locally and routed along links with downstream interest. It returns the
+// total number of matched subscriptions across the federation.
+func (n *Node) Publish(c Content) (int, error) {
+	return n.route(c, "", true)
+}
+
+func (n *Node) route(c Content, via string, origin bool) (int, error) {
+	key := c.ID + "#" + strconv.Itoa(c.Version)
+	n.mu.Lock()
+	if n.seen[key] {
+		n.mu.Unlock()
+		if origin {
+			return 0, fmt.Errorf("broker: page %q version %d already published", c.ID, c.Version)
+		}
+		return 0, nil
+	}
+	n.seen[key] = true
+	ev := match.Event{ID: c.ID, Topics: c.Topics, Keywords: c.Keywords}
+	var forwards []*Node
+	for peer, s := range n.downstream {
+		if peer != via && s.covers(ev) {
+			forwards = append(forwards, n.peers[peer])
+		}
+	}
+	sort.Slice(forwards, func(i, j int) bool { return forwards[i].name < forwards[j].name })
+	n.mu.Unlock()
+
+	matched, err := n.broker.Publish(c)
+	if err != nil && origin {
+		return 0, err
+	}
+	if err != nil {
+		matched = 0 // replica already stored or racing duplicate: count nothing
+	}
+	total := matched
+	for _, p := range forwards {
+		m, err := p.route(c, n.name, false)
+		if err != nil {
+			return total, err
+		}
+		total += m
+	}
+	return total, nil
+}

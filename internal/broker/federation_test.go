@@ -1,0 +1,223 @@
+package broker
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pubsubcd/internal/match"
+)
+
+// line builds a linear federation a-b-c-... and returns the nodes.
+func line(t *testing.T, names ...string) []*Node {
+	t.Helper()
+	nodes := make([]*Node, len(names))
+	for i, name := range names {
+		nodes[i] = NewNode(name)
+	}
+	for i := 1; i < len(nodes); i++ {
+		if err := Connect(nodes[i-1], nodes[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nodes
+}
+
+func TestFederationRoutesToRemoteSubscriber(t *testing.T) {
+	nodes := line(t, "a", "b", "c")
+	rec := &recordingNotifier{}
+	if _, err := nodes[2].Subscribe(match.Subscription{Proxy: 0, Topics: []string{"sports"}}, rec); err != nil {
+		t.Fatal(err)
+	}
+	matched, err := nodes[0].Publish(Content{ID: "p", Topics: []string{"sports"}, Body: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matched != 1 {
+		t.Fatalf("matched = %d, want 1 (remote subscriber)", matched)
+	}
+	if rec.count() != 1 {
+		t.Fatalf("remote subscriber got %d notifications", rec.count())
+	}
+	// The content is replicated along the path: node c can serve it.
+	if _, err := nodes[2].Broker().Fetch("p"); err != nil {
+		t.Errorf("content not available at subscriber's node: %v", err)
+	}
+}
+
+func TestFederationPrunesUninterestedBranches(t *testing.T) {
+	// Star: hub with three leaves. Only leaf1 subscribes.
+	hub := NewNode("hub")
+	leaves := []*Node{NewNode("l1"), NewNode("l2"), NewNode("l3")}
+	for _, l := range leaves {
+		if err := Connect(hub, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := leaves[0].Subscribe(match.Subscription{Proxy: 0, Topics: []string{"t"}}, &recordingNotifier{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hub.Publish(Content{ID: "p", Topics: []string{"t"}, Body: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leaves[0].Broker().Fetch("p"); err != nil {
+		t.Error("interested leaf should have the content")
+	}
+	if _, err := leaves[1].Broker().Fetch("p"); err == nil {
+		t.Error("uninterested leaf l2 should not receive the publication")
+	}
+	if _, err := leaves[2].Broker().Fetch("p"); err == nil {
+		t.Error("uninterested leaf l3 should not receive the publication")
+	}
+}
+
+func TestFederationInterestsLearnedAcrossExistingLinks(t *testing.T) {
+	// Subscribe first, connect later: interests must be exchanged at
+	// link setup.
+	a, b := NewNode("a"), NewNode("b")
+	rec := &recordingNotifier{}
+	if _, err := b.Subscribe(match.Subscription{Proxy: 0, Topics: []string{"late"}}, rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := Connect(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Publish(Content{ID: "p", Topics: []string{"late"}, Body: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.count() != 1 {
+		t.Errorf("subscriber connected before link got %d notifications", rec.count())
+	}
+}
+
+func TestFederationKeywordRouting(t *testing.T) {
+	nodes := line(t, "a", "b")
+	rec := &recordingNotifier{}
+	if _, err := nodes[1].Subscribe(match.Subscription{Proxy: 0, Keywords: []string{"golang", "cache"}}, rec); err != nil {
+		t.Fatal(err)
+	}
+	// Partial keyword overlap routes the publication (conservative),
+	// but the subscription (a conjunction) does not match.
+	if _, err := nodes[0].Publish(Content{ID: "p1", Keywords: []string{"golang"}, Body: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.count() != 0 {
+		t.Error("conjunction should not match on partial keywords")
+	}
+	if _, err := nodes[0].Publish(Content{ID: "p2", Keywords: []string{"golang", "cache"}, Body: []byte("y")}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.count() != 1 {
+		t.Errorf("full keyword match should notify, got %d", rec.count())
+	}
+}
+
+func TestFederationConnectValidation(t *testing.T) {
+	a, b, c := NewNode("a"), NewNode("b"), NewNode("c")
+	if err := Connect(a, nil); err == nil {
+		t.Error("nil node should error")
+	}
+	if err := Connect(a, a); err == nil {
+		t.Error("self link should error")
+	}
+	if err := Connect(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := Connect(a, b); err == nil {
+		t.Error("duplicate link should error")
+	}
+	if err := Connect(b, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := Connect(c, a); err == nil {
+		t.Error("cycle should be rejected")
+	}
+}
+
+func TestFederationDeduplicatesVersions(t *testing.T) {
+	nodes := line(t, "a", "b")
+	if _, err := nodes[1].Subscribe(match.Subscription{Proxy: 0, Topics: []string{"t"}}, &recordingNotifier{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nodes[0].Publish(Content{ID: "p", Version: 0, Topics: []string{"t"}, Body: []byte("v0")}); err != nil {
+		t.Fatal(err)
+	}
+	// Republishing the same version at the origin is rejected.
+	if _, err := nodes[0].Publish(Content{ID: "p", Version: 0, Topics: []string{"t"}, Body: []byte("dup")}); err == nil {
+		t.Error("same-version republish should error at the origin")
+	}
+	// A new version routes fine.
+	matched, err := nodes[0].Publish(Content{ID: "p", Version: 1, Topics: []string{"t"}, Body: []byte("v1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matched != 1 {
+		t.Errorf("new version matched %d, want 1", matched)
+	}
+	c, err := nodes[1].Broker().Fetch("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Version != 1 {
+		t.Errorf("node b holds version %d, want 1", c.Version)
+	}
+}
+
+func TestFederationProxiesAtEdgeNodes(t *testing.T) {
+	// End-to-end: proxies attached to edge brokers receive pushes for
+	// publications that originate elsewhere in the federation.
+	nodes := line(t, "origin", "mid", "edge")
+	p := newTestProxy(t, nodes[2].Broker(), 7)
+	defer p.Close()
+	if _, err := nodes[2].Subscribe(match.Subscription{Proxy: 7, Topics: []string{"news"}}, &recordingNotifier{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nodes[0].Publish(Content{ID: "story", Topics: []string{"news"}, Body: []byte("body")}); err != nil {
+		t.Fatal(err)
+	}
+	body, err := p.Request("story")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != "body" {
+		t.Errorf("body = %q", body)
+	}
+	if st := p.Stats(); st.Hits != 1 || st.PushesStored != 1 {
+		t.Errorf("edge proxy should have been pushed to: %+v", st)
+	}
+}
+
+func TestFederationConcurrentPublish(t *testing.T) {
+	nodes := line(t, "a", "b", "c", "d")
+	var recs []*recordingNotifier
+	for i, n := range nodes {
+		rec := &recordingNotifier{}
+		recs = append(recs, rec)
+		if _, err := n.Subscribe(match.Subscription{Proxy: i, Topics: []string{"all"}}, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	const perNode = 25
+	for i, n := range nodes {
+		i, n := i, n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < perNode; k++ {
+				id := fmt.Sprintf("p-%d-%d", i, k)
+				if _, err := n.Publish(Content{ID: id, Topics: []string{"all"}, Body: []byte("x")}); err != nil {
+					t.Errorf("publish %s: %v", id, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	want := len(nodes) * perNode
+	for i, rec := range recs {
+		if rec.count() != want {
+			t.Errorf("node %d subscriber got %d notifications, want %d", i, rec.count(), want)
+		}
+	}
+}

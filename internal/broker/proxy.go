@@ -1,0 +1,183 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"pubsubcd/internal/core"
+)
+
+// Proxy is a content-distribution proxy server: it aggregates its users'
+// subscriptions, caches page content under a core.Strategy, receives
+// pushes from the broker and serves local requests, fetching from the
+// origin on misses.
+type Proxy struct {
+	id     int
+	broker *Broker
+	cost   float64
+
+	mu       sync.Mutex
+	strategy core.Strategy
+	bodies   map[string][]byte
+	versions map[string]int
+	latest   map[string]int
+	subs     map[string]int
+
+	stats ProxyStats
+}
+
+// ProxyStats counts a proxy's traffic.
+type ProxyStats struct {
+	Requests     int64
+	Hits         int64
+	PushesSeen   int64
+	PushesStored int64
+	Fetches      int64
+}
+
+// NewProxy builds a proxy with the given placement strategy and attaches
+// it to the broker. cost is the proxy's fetch cost c(p) from the origin.
+func NewProxy(id int, b *Broker, strategy core.Strategy, cost float64) (*Proxy, error) {
+	if b == nil {
+		return nil, errors.New("broker: nil broker")
+	}
+	if strategy == nil {
+		return nil, errors.New("broker: nil strategy")
+	}
+	if cost <= 0 {
+		return nil, fmt.Errorf("broker: fetch cost must be positive, got %g", cost)
+	}
+	p := &Proxy{
+		id:       id,
+		broker:   b,
+		cost:     cost,
+		strategy: strategy,
+		bodies:   make(map[string][]byte),
+		versions: make(map[string]int),
+		latest:   make(map[string]int),
+		subs:     make(map[string]int),
+	}
+	if err := b.AttachProxy(id, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+var _ PushSink = (*Proxy)(nil)
+
+// ID returns the proxy identifier.
+func (p *Proxy) ID() int { return p.id }
+
+// Push implements PushSink: the content distribution engine offers a
+// freshly published page that matched `matched` local subscriptions.
+func (p *Proxy) Push(c Content, matched int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.PushesSeen++
+	p.subs[c.ID] += matched
+	p.observeVersion(c.ID, c.Version)
+	meta := core.PageMeta{ID: p.numericID(c.ID), Size: bodySize(c.Body), Cost: p.cost}
+	if stored := p.strategy.Push(meta, c.Version, p.subs[c.ID]); stored {
+		p.stats.PushesStored++
+		p.bodies[c.ID] = c.Body
+		p.versions[c.ID] = c.Version
+	} else {
+		delete(p.bodies, c.ID)
+		delete(p.versions, c.ID)
+	}
+}
+
+// Request serves a local user's request for a page: from the cache when
+// the strategy reports a fresh hit, from the origin otherwise. Freshness
+// is judged against the newest version the proxy has learned about
+// through pushes and fetches — like a real proxy, it has no invalidation
+// signal for pages its users never subscribed to.
+func (p *Proxy) Request(pageID string) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Requests++
+
+	if body, ok := p.bodies[pageID]; ok {
+		meta := core.PageMeta{ID: p.numericID(pageID), Size: bodySize(body), Cost: p.cost}
+		hit, stored := p.strategy.Request(meta, p.latest[pageID], p.subs[pageID])
+		if hit && p.versions[pageID] >= p.latest[pageID] {
+			p.stats.Hits++
+			return body, nil
+		}
+		// Stale copy: refetch and, when the strategy keeps the page,
+		// refresh the stored body.
+		current, err := p.broker.Fetch(pageID)
+		if err != nil {
+			return nil, err
+		}
+		p.observeVersion(pageID, current.Version)
+		p.stats.Fetches++
+		if stored {
+			p.bodies[pageID] = current.Body
+			p.versions[pageID] = current.Version
+		} else {
+			delete(p.bodies, pageID)
+			delete(p.versions, pageID)
+		}
+		return current.Body, nil
+	}
+
+	current, err := p.broker.Fetch(pageID)
+	if err != nil {
+		return nil, err
+	}
+	p.observeVersion(pageID, current.Version)
+	meta := core.PageMeta{ID: p.numericID(pageID), Size: bodySize(current.Body), Cost: p.cost}
+	_, stored := p.strategy.Request(meta, current.Version, p.subs[pageID])
+	p.stats.Fetches++
+	if stored {
+		p.bodies[pageID] = current.Body
+		p.versions[pageID] = current.Version
+	}
+	return current.Body, nil
+}
+
+func (p *Proxy) observeVersion(pageID string, version int) {
+	if version > p.latest[pageID] {
+		p.latest[pageID] = version
+	}
+}
+
+// Stats returns a copy of the proxy's counters.
+func (p *Proxy) Stats() ProxyStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// HitRatio returns the proxy's local hit ratio.
+func (p *Proxy) HitRatio() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stats.Requests == 0 {
+		return 0
+	}
+	return float64(p.stats.Hits) / float64(p.stats.Requests)
+}
+
+// Close detaches the proxy from the broker.
+func (p *Proxy) Close() {
+	p.broker.DetachProxy(p.id)
+}
+
+// numericID maps a string page ID to the integer ID space the strategy
+// layer uses, via FNV-1a.
+func (p *Proxy) numericID(pageID string) int {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(pageID))
+	return int(h.Sum64() & 0x7fffffff)
+}
+
+func bodySize(body []byte) int64 {
+	if len(body) == 0 {
+		return 1 // zero-size pages are not cacheable entities
+	}
+	return int64(len(body))
+}

@@ -1,0 +1,340 @@
+package broker
+
+import (
+	"bufio"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"pubsubcd/internal/match"
+)
+
+// The wire protocol is line-delimited JSON over TCP. Each request line is
+// a message with a "type" field; the server answers every request with
+// exactly one response line, and additionally sends asynchronous "notify"
+// lines to connections holding subscriptions.
+
+// wireMessage is the on-the-wire envelope.
+type wireMessage struct {
+	Type string `json:"type"`
+	// Request fields.
+	ID       string   `json:"id,omitempty"`
+	Version  int      `json:"version,omitempty"`
+	Topics   []string `json:"topics,omitempty"`
+	Keywords []string `json:"keywords,omitempty"`
+	Proxy    int      `json:"proxy,omitempty"`
+	Body     string   `json:"body,omitempty"` // base64
+	// Response fields.
+	OK      bool   `json:"ok,omitempty"`
+	Error   string `json:"error,omitempty"`
+	Matched int    `json:"matched,omitempty"`
+	SubID   int64  `json:"subId,omitempty"`
+	// Notification payload.
+	Notification *Notification `json:"notification,omitempty"`
+}
+
+const (
+	msgSubscribe   = "subscribe"
+	msgUnsubscribe = "unsubscribe"
+	msgPublish     = "publish"
+	msgFetch       = "fetch"
+	msgNotify      = "notify"
+	msgResponse    = "response"
+)
+
+// Server exposes a Broker over TCP.
+type Server struct {
+	broker *Broker
+	ln     net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewServer starts a TCP server for the broker on addr (e.g.
+// "127.0.0.1:0"). The returned server is already accepting connections.
+func NewServer(b *Broker, addr string) (*Server, error) {
+	if b == nil {
+		return nil, errors.New("broker: nil broker")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("broker: listen: %w", err)
+	}
+	s := &Server{broker: b, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, closes all connections and waits for the
+// handler goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// connWriter serialises concurrent writes (responses vs notifications).
+type connWriter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+func (cw *connWriter) send(m wireMessage) error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	return cw.enc.Encode(m)
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+
+	cw := &connWriter{enc: json.NewEncoder(conn)}
+	var subIDs []int64
+	defer func() {
+		for _, id := range subIDs {
+			_ = s.broker.Unsubscribe(id)
+		}
+	}()
+
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for scanner.Scan() {
+		var m wireMessage
+		if err := json.Unmarshal(scanner.Bytes(), &m); err != nil {
+			_ = cw.send(wireMessage{Type: msgResponse, Error: "malformed message: " + err.Error()})
+			continue
+		}
+		resp := s.dispatch(&m, cw, &subIDs)
+		if err := cw.send(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(m *wireMessage, cw *connWriter, subIDs *[]int64) wireMessage {
+	switch m.Type {
+	case msgSubscribe:
+		id, err := s.broker.Subscribe(match.Subscription{
+			Proxy:    m.Proxy,
+			Topics:   m.Topics,
+			Keywords: m.Keywords,
+		}, NotifierFunc(func(n Notification) {
+			_ = cw.send(wireMessage{Type: msgNotify, Notification: &n})
+		}))
+		if err != nil {
+			return wireMessage{Type: msgResponse, Error: err.Error()}
+		}
+		*subIDs = append(*subIDs, id)
+		return wireMessage{Type: msgResponse, OK: true, SubID: id}
+	case msgUnsubscribe:
+		if err := s.broker.Unsubscribe(m.SubID); err != nil {
+			return wireMessage{Type: msgResponse, Error: err.Error()}
+		}
+		return wireMessage{Type: msgResponse, OK: true}
+	case msgPublish:
+		body, err := base64.StdEncoding.DecodeString(m.Body)
+		if err != nil {
+			return wireMessage{Type: msgResponse, Error: "bad body encoding: " + err.Error()}
+		}
+		matched, err := s.broker.Publish(Content{
+			ID:       m.ID,
+			Version:  m.Version,
+			Topics:   m.Topics,
+			Keywords: m.Keywords,
+			Body:     body,
+		})
+		if err != nil {
+			return wireMessage{Type: msgResponse, Error: err.Error()}
+		}
+		return wireMessage{Type: msgResponse, OK: true, Matched: matched}
+	case msgFetch:
+		c, err := s.broker.Fetch(m.ID)
+		if err != nil {
+			return wireMessage{Type: msgResponse, Error: err.Error()}
+		}
+		return wireMessage{
+			Type: msgResponse, OK: true, ID: c.ID, Version: c.Version,
+			Body: base64.StdEncoding.EncodeToString(c.Body),
+		}
+	default:
+		return wireMessage{Type: msgResponse, Error: fmt.Sprintf("unknown message type %q", m.Type)}
+	}
+}
+
+// Client is a TCP client for a broker Server.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+
+	mu      sync.Mutex
+	pending chan wireMessage
+	notify  func(Notification)
+	done    chan struct{}
+	readErr error
+}
+
+// Dial connects to a broker server. onNotify, if non-nil, is invoked for
+// every notification delivered to this connection's subscriptions.
+func Dial(ctx context.Context, addr string, onNotify func(Notification)) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("broker: dial: %w", err)
+	}
+	c := &Client{
+		conn:    conn,
+		enc:     json.NewEncoder(conn),
+		pending: make(chan wireMessage, 1),
+		notify:  onNotify,
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	scanner := bufio.NewScanner(c.conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for scanner.Scan() {
+		var m wireMessage
+		if err := json.Unmarshal(scanner.Bytes(), &m); err != nil {
+			continue
+		}
+		switch m.Type {
+		case msgNotify:
+			if c.notify != nil && m.Notification != nil {
+				c.notify(*m.Notification)
+			}
+		case msgResponse:
+			select {
+			case c.pending <- m:
+			default:
+				// No caller is waiting; drop the orphan response.
+			}
+		}
+	}
+	c.readErr = scanner.Err()
+}
+
+// Close shuts the connection down.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.done
+	return err
+}
+
+// roundTrip sends a request and waits for the next response line.
+func (c *Client) roundTrip(ctx context.Context, m wireMessage) (wireMessage, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(m); err != nil {
+		return wireMessage{}, fmt.Errorf("broker: send: %w", err)
+	}
+	select {
+	case resp := <-c.pending:
+		if resp.Error != "" {
+			return resp, errors.New(resp.Error)
+		}
+		return resp, nil
+	case <-c.done:
+		return wireMessage{}, errors.New("broker: connection closed")
+	case <-ctx.Done():
+		return wireMessage{}, ctx.Err()
+	}
+}
+
+// Subscribe registers a subscription for the given proxy and returns its
+// ID. Notifications arrive via the Dial callback.
+func (c *Client) Subscribe(ctx context.Context, proxy int, topics, keywords []string) (int64, error) {
+	resp, err := c.roundTrip(ctx, wireMessage{
+		Type: msgSubscribe, Proxy: proxy, Topics: topics, Keywords: keywords,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return resp.SubID, nil
+}
+
+// Unsubscribe removes a subscription.
+func (c *Client) Unsubscribe(ctx context.Context, id int64) error {
+	_, err := c.roundTrip(ctx, wireMessage{Type: msgUnsubscribe, SubID: id})
+	return err
+}
+
+// Publish publishes content and returns the matched subscription count.
+func (c *Client) Publish(ctx context.Context, content Content) (int, error) {
+	resp, err := c.roundTrip(ctx, wireMessage{
+		Type: msgPublish, ID: content.ID, Version: content.Version,
+		Topics: content.Topics, Keywords: content.Keywords,
+		Body: base64.StdEncoding.EncodeToString(content.Body),
+	})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Matched, nil
+}
+
+// Fetch retrieves the current content of a page.
+func (c *Client) Fetch(ctx context.Context, pageID string) (Content, error) {
+	resp, err := c.roundTrip(ctx, wireMessage{Type: msgFetch, ID: pageID})
+	if err != nil {
+		return Content{}, err
+	}
+	body, err := base64.StdEncoding.DecodeString(resp.Body)
+	if err != nil {
+		return Content{}, fmt.Errorf("broker: bad body encoding: %w", err)
+	}
+	return Content{ID: resp.ID, Version: resp.Version, Body: body}, nil
+}

@@ -1,0 +1,135 @@
+// Package core implements the paper's primary contribution: content
+// distribution strategies for publish/subscribe proxies. A Strategy is the
+// placement/replacement policy of a single proxy's cache; it is driven by
+// two kinds of events (§3):
+//
+//   - Push: the matching engine routed a freshly published page (or a new
+//     version) to this proxy because it matches subs local subscriptions.
+//   - Request: a local user asked for the page.
+//
+// Strategies differ in *when* they place content (push time, access time
+// or both) and *how* they value pages (access pattern, subscription counts
+// or both). The package provides every scheme from the paper — GD*, SUB,
+// SG1, SG2, SR, DM, DC-FP, DC-AP and DC-LAP — plus the classic
+// access-time baselines the paper cites (LRU, GDS, LFU-DA).
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PageMeta is the strategy-visible description of a page at one proxy.
+type PageMeta struct {
+	// ID identifies the page.
+	ID int
+	// Size is the content size in bytes.
+	Size int64
+	// Cost is the cost c(p) to fetch the page from the publisher, e.g.
+	// the network distance of this proxy from the origin (§3.1).
+	Cost float64
+}
+
+// Strategy is a per-proxy content placement and replacement policy.
+//
+// Both methods report whether the page is resident in the local cache
+// afterwards; the simulator uses that to account traffic under the two
+// pushing schemes of §5.6.
+type Strategy interface {
+	// Name returns the scheme's short name (e.g. "GD*", "DC-LAP").
+	Name() string
+	// Push offers a freshly published version of a page that matches
+	// subs local subscriptions. It returns true if the page (at this
+	// version) is stored locally afterwards.
+	Push(p PageMeta, version, subs int) (stored bool)
+	// Request serves a local user request for the given version. hit
+	// reports whether the current version was already cached (response
+	// served locally); stored reports whether the page is resident
+	// afterwards.
+	Request(p PageMeta, version, subs int) (hit, stored bool)
+	// Used returns the number of bytes currently cached.
+	Used() int64
+	// Capacity returns the cache capacity in bytes.
+	Capacity() int64
+	// Len returns the number of cached pages.
+	Len() int
+}
+
+// Params configures strategy construction for one proxy.
+type Params struct {
+	// Capacity is the cache capacity in bytes. Must be positive.
+	Capacity int64
+	// Beta is the GD* balance parameter β of eq. 1 (ignored by
+	// strategies that don't use the GD* framework). Must be positive
+	// for strategies that use it.
+	Beta float64
+}
+
+func (p Params) validate() error {
+	if p.Capacity <= 0 {
+		return fmt.Errorf("core: capacity must be positive, got %d", p.Capacity)
+	}
+	return nil
+}
+
+func (p Params) validateBeta() error {
+	if err := p.validate(); err != nil {
+		return err
+	}
+	if p.Beta <= 0 {
+		return fmt.Errorf("core: beta must be positive, got %g", p.Beta)
+	}
+	return nil
+}
+
+// Factory builds one Strategy instance per proxy.
+type Factory struct {
+	// Name is the scheme name.
+	Name string
+	// When classifies the placement opportunities the scheme uses.
+	When string
+	// How classifies the information the scheme uses.
+	How string
+	// New constructs a proxy-local instance.
+	New func(Params) (Strategy, error)
+}
+
+// UsesPush reports whether the scheme places content at push time. The
+// simulator routes matched publications only to pushing schemes; for
+// access-time-only schemes the push-time module does not exist, so they
+// incur no push traffic under either pushing scheme.
+func (f Factory) UsesPush() bool {
+	return f.When != "access-time"
+}
+
+// ErrUnknownStrategy is returned by Lookup for unrecognised names.
+var ErrUnknownStrategy = errors.New("core: unknown strategy")
+
+// Catalog returns the factories for every scheme in the paper's Table 1,
+// plus the classic baselines. The order matches the paper's presentation.
+func Catalog() []Factory {
+	return []Factory{
+		{Name: "GD*", When: "access-time", How: "access", New: NewGDStar},
+		{Name: "SUB", When: "push-time", How: "subscription", New: NewSUB},
+		{Name: "SG1", When: "access+push", How: "access+subscription", New: NewSG1},
+		{Name: "SG2", When: "access+push", How: "access+subscription", New: NewSG2},
+		{Name: "SR", When: "access+push", How: "access+subscription", New: NewSR},
+		{Name: "DM", When: "access+push", How: "access+subscription", New: NewDM},
+		{Name: "DC-FP", When: "access+push", How: "access+subscription", New: NewDCFP},
+		{Name: "DC-AP", When: "access+push", How: "access+subscription", New: NewDCAP},
+		{Name: "DC-LAP", When: "access+push", How: "access+subscription", New: NewDCLAP},
+		{Name: "LRU", When: "access-time", How: "access", New: NewLRU},
+		{Name: "GDS", When: "access-time", How: "access", New: NewGDS},
+		{Name: "LFU-DA", When: "access-time", How: "access", New: NewLFUDA},
+	}
+}
+
+// Lookup returns the factory with the given name, or ErrUnknownStrategy.
+func Lookup(name string) (Factory, error) {
+	for _, f := range Catalog() {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return Factory{}, fmt.Errorf("%w: %q", ErrUnknownStrategy, name)
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// dualCache implements the Dual-Caches family (§3.3): the proxy's storage
+// is divided into a push cache (PC, managed by SUB) and an access cache
+// (AC, managed by GD*).
+//
+//   - DC-FP keeps a fixed partition; a PC page moves to AC on its first
+//     access, which may trigger replacement in AC.
+//   - DC-AP relabels storage instead: a PC page's storage becomes AC
+//     storage on first access (no AC replacement), and the placing
+//     algorithm may reclaim AC storage holding pages unreferenced since
+//     the last AC replacement.
+//   - DC-LAP is DC-AP with the PC fraction bounded (default 25–75 %);
+//     repartitions that would violate a bound are not performed.
+type dualCache struct {
+	name     string
+	adaptive bool
+	minPC    float64 // lower bound on PC fraction (0 when unbounded)
+	maxPC    float64 // upper bound on PC fraction (1 when unbounded)
+
+	capacity int64
+	beta     float64
+	l        float64 // GD* inflation for AC
+	seq      uint64
+	// lastACRepl is the sequence number of the most recent replacement
+	// (eviction) in AC; entries not accessed since then are DC-AP's
+	// reclamation candidates.
+	lastACRepl uint64
+
+	pc *Store
+	ac *Store
+}
+
+var _ Strategy = (*dualCache)(nil)
+
+// DefaultDCLAPBounds are the paper's DC-LAP bounds on the PC fraction.
+const (
+	DefaultDCLAPLower = 0.25
+	DefaultDCLAPUpper = 0.75
+)
+
+// NewDCFP builds Dual-Caches with Fixed Partition (50 %/50 %).
+func NewDCFP(params Params) (Strategy, error) {
+	return newDualCache("DC-FP", params, false, 0, 1)
+}
+
+// NewDCAP builds Dual-Caches with Adaptive Partition, starting at 50/50.
+func NewDCAP(params Params) (Strategy, error) {
+	return newDualCache("DC-AP", params, true, 0, 1)
+}
+
+// NewDCLAP builds Dual-Caches with Limited Adaptive Partition, starting
+// at 50/50 with the PC fraction bounded in [0.25, 0.75].
+func NewDCLAP(params Params) (Strategy, error) {
+	return NewDCLAPBounded(params, DefaultDCLAPLower, DefaultDCLAPUpper)
+}
+
+// NewDCLAPBounded builds DC-LAP with custom bounds on the PC fraction.
+func NewDCLAPBounded(params Params, lower, upper float64) (Strategy, error) {
+	if lower < 0 || upper > 1 || lower > upper {
+		return nil, fmt.Errorf("core: DC-LAP bounds [%g, %g] invalid", lower, upper)
+	}
+	return newDualCache("DC-LAP", params, true, lower, upper)
+}
+
+func newDualCache(name string, params Params, adaptive bool, minPC, maxPC float64) (*dualCache, error) {
+	if err := params.validateBeta(); err != nil {
+		return nil, err
+	}
+	half := params.Capacity / 2
+	pc, err := NewStore(half)
+	if err != nil {
+		return nil, err
+	}
+	ac, err := NewStore(params.Capacity - half)
+	if err != nil {
+		return nil, err
+	}
+	return &dualCache{
+		name:     name,
+		adaptive: adaptive,
+		minPC:    minPC,
+		maxPC:    maxPC,
+		capacity: params.Capacity,
+		beta:     params.Beta,
+		pc:       pc,
+		ac:       ac,
+	}, nil
+}
+
+func (d *dualCache) Name() string    { return d.name }
+func (d *dualCache) Used() int64     { return d.pc.Used() + d.ac.Used() }
+func (d *dualCache) Capacity() int64 { return d.capacity }
+func (d *dualCache) Len() int        { return d.pc.Len() + d.ac.Len() }
+
+// PCFraction returns the current fraction of storage assigned to the push
+// cache (informational; used by tests and the partition ablation).
+func (d *dualCache) PCFraction() float64 {
+	return float64(d.pc.Capacity()) / float64(d.capacity)
+}
+
+func (d *dualCache) gdEval(e *Entry) float64 {
+	return d.l + invPow(float64(e.Refs)*e.Cost/float64(e.Size), d.beta)
+}
+
+func (d *dualCache) subEval(e *Entry) float64 {
+	return float64(e.Subs) * e.Cost / float64(e.Size)
+}
+
+// Push implements the placing algorithm.
+func (d *dualCache) Push(p PageMeta, version, subs int) bool {
+	d.seq++
+	// A resident page (in either cache) is refreshed in place.
+	if e, ok := d.pc.Get(p.ID); ok {
+		if version > e.Version {
+			e.Version = version
+		}
+		e.Subs = subs
+		e.Value = d.subEval(e)
+		d.pc.Fix(e)
+		return true
+	}
+	if e, ok := d.ac.Get(p.ID); ok {
+		if version > e.Version {
+			e.Version = version
+		}
+		e.Subs = subs
+		return true
+	}
+	e := &Entry{
+		ID: p.ID, Version: version, Size: p.Size, Cost: p.Cost,
+		Subs: subs, LastAccessSeq: d.seq,
+	}
+	e.Value = d.subEval(e)
+	// Run SUB on the push cache.
+	if p.Size <= d.pc.Capacity() && d.pc.CanAdmit(p.Size, e.Value) {
+		if _, ok := d.pc.EvictFor(p.Size, e.Value); !ok {
+			return false
+		}
+		return d.pc.Add(e) == nil
+	}
+	if !d.adaptive {
+		return false
+	}
+	return d.reclaimAndStore(e)
+}
+
+// reclaimAndStore implements DC-AP's placing fallback: storage of AC
+// pages unreferenced since the last AC replacement is relabeled PC and
+// used to hold the new page.
+func (d *dualCache) reclaimAndStore(e *Entry) bool {
+	need := e.Size - d.pc.Free()
+	if need <= 0 {
+		// SUB failed on value grounds, not space; DC-AP only reassigns
+		// storage, it does not override SUB's value decision.
+		return false
+	}
+	var candidates []*Entry
+	var candBytes int64
+	d.ac.Each(func(x *Entry) bool {
+		if x.LastAccessSeq < d.lastACRepl {
+			candidates = append(candidates, x)
+			candBytes += x.Size
+		}
+		return true
+	})
+	if candBytes < need {
+		return false
+	}
+	// Respect DC-LAP's upper bound on the PC fraction. The evicted
+	// candidate set is chosen ascending by AC (GD*) value, so compute
+	// the freed amount first.
+	var freed int64
+	var chosen []*Entry
+	sortEntriesByValue(candidates)
+	for _, c := range candidates {
+		if freed >= need {
+			break
+		}
+		chosen = append(chosen, c)
+		freed += c.Size
+	}
+	newPCFrac := float64(d.pc.Capacity()+freed) / float64(d.capacity)
+	if newPCFrac > d.maxPC {
+		return false
+	}
+	for _, c := range chosen {
+		d.ac.Remove(c.ID)
+	}
+	if err := d.ac.SetCapacity(d.ac.Capacity() - freed); err != nil {
+		return false
+	}
+	if err := d.pc.SetCapacity(d.pc.Capacity() + freed); err != nil {
+		return false
+	}
+	return d.pc.Add(e) == nil
+}
+
+// Request implements the locating algorithm.
+func (d *dualCache) Request(p PageMeta, version, subs int) (hit, stored bool) {
+	d.seq++
+	if e, ok := d.pc.Get(p.ID); ok {
+		fresh := e.Version >= version
+		if version > e.Version {
+			e.Version = version
+		}
+		e.Refs++
+		e.Subs = subs
+		e.LastAccessSeq = d.seq
+		// First access: the page moves from PC to AC.
+		d.moveToAC(e)
+		return fresh, true
+	}
+	if e, ok := d.ac.Get(p.ID); ok {
+		fresh := e.Version >= version
+		if version > e.Version {
+			e.Version = version
+		}
+		e.Refs++
+		e.Subs = subs
+		e.LastAccessSeq = d.seq
+		e.Value = d.gdEval(e)
+		d.ac.Fix(e)
+		return fresh, true
+	}
+	// Miss: standard GD* replacement on AC.
+	if p.Size > d.ac.Capacity() {
+		return false, false
+	}
+	evicted, ok := d.ac.EvictFor(p.Size, math.Inf(1))
+	for _, ev := range evicted {
+		d.l = ev.Value
+	}
+	if len(evicted) > 0 {
+		d.lastACRepl = d.seq
+	}
+	if !ok {
+		return false, false
+	}
+	e := &Entry{
+		ID: p.ID, Version: version, Size: p.Size, Cost: p.Cost,
+		Refs: 1, Subs: subs, LastAccessSeq: d.seq,
+	}
+	e.Value = d.gdEval(e)
+	if err := d.ac.Add(e); err != nil {
+		return false, false
+	}
+	return false, true
+}
+
+// moveToAC transfers a first-accessed PC page to the access cache. DC-AP
+// relabels the storage (growing AC by the page's size); DC-FP moves the
+// page into the existing AC space, evicting as needed. DC-LAP relabels
+// only while the PC fraction stays above its lower bound, falling back to
+// the DC-FP move otherwise.
+func (d *dualCache) moveToAC(e *Entry) {
+	d.pc.Remove(e.ID)
+	e.Value = d.gdEval(e)
+	if d.adaptive {
+		newPCFrac := float64(d.pc.Capacity()-e.Size) / float64(d.capacity)
+		if newPCFrac >= d.minPC {
+			// SetCapacity cannot fail here: PC just freed e.Size bytes
+			// and AC only grows.
+			_ = d.pc.SetCapacity(d.pc.Capacity() - e.Size)
+			_ = d.ac.SetCapacity(d.ac.Capacity() + e.Size)
+			_ = d.ac.Add(e)
+			return
+		}
+	}
+	// DC-FP move: may trigger replacement in AC.
+	if e.Size > d.ac.Capacity() {
+		return // page cannot live in AC; drop it
+	}
+	evicted, ok := d.ac.EvictFor(e.Size, math.Inf(1))
+	for _, ev := range evicted {
+		d.l = ev.Value
+	}
+	if len(evicted) > 0 {
+		d.lastACRepl = d.seq
+	}
+	if ok {
+		_ = d.ac.Add(e)
+	}
+}
+
+// sortEntriesByValue sorts ascending by (Value, ID) — insertion sort is
+// fine for the small candidate sets involved.
+func sortEntriesByValue(es []*Entry) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0; j-- {
+			a, b := es[j-1], es[j]
+			if b.Value < a.Value || (b.Value == a.Value && b.ID < a.ID) {
+				es[j-1], es[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+}

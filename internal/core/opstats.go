@@ -1,0 +1,50 @@
+package core
+
+// OpStats counts a strategy's placement decisions, exposing why a cache
+// behaves the way it does (admission rejections vs evictions vs stale
+// refreshes). The single-cache engine family implements StatsProvider;
+// composite strategies (DM, DC-*) aggregate their modules.
+type OpStats struct {
+	// PushOffers counts Push calls for non-resident pages;
+	// PushStores how many were stored.
+	PushOffers int64
+	PushStores int64
+	// Requests counts Request calls; Hits the fresh local hits;
+	// StaleRefreshes the resident-but-outdated refetches.
+	Requests       int64
+	Hits           int64
+	StaleRefreshes int64
+	// AccessAdmits counts miss-time admissions; AccessRejects counts
+	// gated-admission refusals.
+	AccessAdmits  int64
+	AccessRejects int64
+	// Evictions and EvictedBytes count replacement victims.
+	Evictions    int64
+	EvictedBytes int64
+}
+
+// add accumulates other into s.
+func (s *OpStats) add(other OpStats) {
+	s.PushOffers += other.PushOffers
+	s.PushStores += other.PushStores
+	s.Requests += other.Requests
+	s.Hits += other.Hits
+	s.StaleRefreshes += other.StaleRefreshes
+	s.AccessAdmits += other.AccessAdmits
+	s.AccessRejects += other.AccessRejects
+	s.Evictions += other.Evictions
+	s.EvictedBytes += other.EvictedBytes
+}
+
+// StatsProvider is implemented by strategies that expose operation
+// counters.
+type StatsProvider interface {
+	OpStats() OpStats
+}
+
+var (
+	_ StatsProvider = (*engine)(nil)
+)
+
+// OpStats implements StatsProvider for the single-cache engine family.
+func (g *engine) OpStats() OpStats { return g.stats }

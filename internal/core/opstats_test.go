@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+)
+
+func opStats(t *testing.T, s Strategy) OpStats {
+	t.Helper()
+	sp, ok := s.(StatsProvider)
+	if !ok {
+		t.Fatalf("%s does not provide OpStats", s.Name())
+	}
+	return sp.OpStats()
+}
+
+func TestOpStatsCountsRequestOutcomes(t *testing.T) {
+	s := mustStrategy(t, NewGDStar, Params{Capacity: 100, Beta: 2})
+	s.Request(page(1, 40), 0, 0) // miss, admit
+	s.Request(page(1, 40), 0, 0) // hit
+	s.Request(page(1, 40), 1, 0) // stale refresh
+	st := opStats(t, s)
+	if st.Requests != 3 {
+		t.Errorf("Requests = %d, want 3", st.Requests)
+	}
+	if st.Hits != 1 {
+		t.Errorf("Hits = %d, want 1", st.Hits)
+	}
+	if st.StaleRefreshes != 1 {
+		t.Errorf("StaleRefreshes = %d, want 1", st.StaleRefreshes)
+	}
+	if st.AccessAdmits != 1 {
+		t.Errorf("AccessAdmits = %d, want 1", st.AccessAdmits)
+	}
+}
+
+func TestOpStatsCountsPushesAndRejects(t *testing.T) {
+	s := mustStrategy(t, NewSUB, Params{Capacity: 100})
+	s.Push(page(1, 60), 0, 10) // stored
+	s.Push(page(2, 60), 0, 1)  // rejected: value too low
+	s.Push(page(1, 60), 1, 10) // resident refresh: not an offer
+	st := opStats(t, s)
+	if st.PushOffers != 2 {
+		t.Errorf("PushOffers = %d, want 2", st.PushOffers)
+	}
+	if st.PushStores != 1 {
+		t.Errorf("PushStores = %d, want 1", st.PushStores)
+	}
+	// SUB never caches at access time; a miss is neither admit nor
+	// reject (the module does not run).
+	s.Request(page(3, 10), 0, 1)
+	st = opStats(t, s)
+	if st.AccessAdmits != 0 || st.AccessRejects != 0 {
+		t.Errorf("SUB access admission counters should stay zero: %+v", st)
+	}
+}
+
+func TestOpStatsEvictionAccounting(t *testing.T) {
+	s := mustStrategy(t, NewLRU, Params{Capacity: 100})
+	s.Request(page(1, 60), 0, 0)
+	s.Request(page(2, 60), 0, 0) // evicts page 1
+	st := opStats(t, s)
+	if st.Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", st.Evictions)
+	}
+	if st.EvictedBytes != 60 {
+		t.Errorf("EvictedBytes = %d, want 60", st.EvictedBytes)
+	}
+}
+
+func TestOpStatsGatedRejection(t *testing.T) {
+	s := mustStrategy(t, NewSG2, Params{Capacity: 100, Beta: 2})
+	s.Push(page(1, 100), 0, 50) // fills the cache with a high-value page
+	// Low-value access miss cannot displace it.
+	hit, stored := s.Request(page(2, 100), 0, 0)
+	if hit || stored {
+		t.Fatal("low-value page should be rejected")
+	}
+	st := opStats(t, s)
+	if st.AccessRejects != 1 {
+		t.Errorf("AccessRejects = %d, want 1", st.AccessRejects)
+	}
+	if st.Hits != 0 || st.Requests != 1 {
+		t.Errorf("unexpected request counters: %+v", st)
+	}
+}
+
+func TestOpStatsConsistencyUnderLoad(t *testing.T) {
+	s := mustStrategy(t, NewSG1, Params{Capacity: 1000, Beta: 2})
+	for i := 0; i < 3000; i++ {
+		id := (i * 7) % 61
+		size := int64(10 + (i*13)%120)
+		if i%2 == 0 {
+			s.Push(page(id, size), i/700, 1+(i%5))
+		} else {
+			s.Request(page(id, size), i/700, 1+(i%5))
+		}
+	}
+	st := opStats(t, s)
+	if st.Requests != 1500 {
+		t.Errorf("Requests = %d, want 1500", st.Requests)
+	}
+	if st.Hits+st.StaleRefreshes+st.AccessAdmits+st.AccessRejects != st.Requests {
+		t.Errorf("request outcome counters do not partition requests: %+v", st)
+	}
+	if st.PushStores > st.PushOffers {
+		t.Errorf("stores exceed offers: %+v", st)
+	}
+	if st.EvictedBytes < st.Evictions {
+		t.Errorf("evicted bytes below eviction count (pages are >=1 byte): %+v", st)
+	}
+}

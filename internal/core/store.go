@@ -1,0 +1,206 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Entry is a cached page as tracked by a Store.
+type Entry struct {
+	// ID is the page identifier.
+	ID int
+	// Version is the cached content version.
+	Version int
+	// Size is the page size in bytes.
+	Size int64
+	// Cost is the fetch cost c(p) at this proxy.
+	Cost float64
+	// Value is the replacement value under the owning policy; the Store
+	// evicts ascending Value.
+	Value float64
+	// Refs is the in-cache access count a(p). Discarded on eviction
+	// (In-Cache LFU semantics, §3.1).
+	Refs int
+	// Subs is the number of local subscriptions matching the page.
+	Subs int
+	// LastAccessSeq is the policy-local sequence number of the last
+	// access (or insertion), used by DC-AP's placing algorithm.
+	LastAccessSeq uint64
+
+	index int // heap index, -1 when not in a store
+}
+
+// Store is a capacity-bounded page cache with ascending-value eviction.
+// Ties are broken by page ID so behaviour is deterministic.
+type Store struct {
+	capacity int64
+	used     int64
+	byID     map[int]*Entry
+	h        entryHeap
+}
+
+// NewStore returns an empty store with the given capacity in bytes.
+func NewStore(capacity int64) (*Store, error) {
+	if capacity < 0 {
+		return nil, fmt.Errorf("core: store capacity must be non-negative, got %d", capacity)
+	}
+	return &Store{capacity: capacity, byID: make(map[int]*Entry)}, nil
+}
+
+// Capacity returns the store capacity in bytes.
+func (s *Store) Capacity() int64 { return s.capacity }
+
+// Used returns the cached bytes.
+func (s *Store) Used() int64 { return s.used }
+
+// Free returns the available bytes.
+func (s *Store) Free() int64 { return s.capacity - s.used }
+
+// Len returns the number of cached pages.
+func (s *Store) Len() int { return len(s.byID) }
+
+// SetCapacity adjusts the capacity. It fails if the new capacity is below
+// the bytes currently in use (callers evict first).
+func (s *Store) SetCapacity(c int64) error {
+	if c < s.used {
+		return fmt.Errorf("core: capacity %d below used %d", c, s.used)
+	}
+	s.capacity = c
+	return nil
+}
+
+// Get returns the cached entry for a page, if any.
+func (s *Store) Get(id int) (*Entry, bool) {
+	e, ok := s.byID[id]
+	return e, ok
+}
+
+// Add inserts an entry. It fails if the page is already cached or there is
+// not enough free space (evict first).
+func (s *Store) Add(e *Entry) error {
+	if _, dup := s.byID[e.ID]; dup {
+		return fmt.Errorf("core: page %d already cached", e.ID)
+	}
+	if e.Size > s.Free() {
+		return fmt.Errorf("core: page %d (%d bytes) exceeds free space %d", e.ID, e.Size, s.Free())
+	}
+	s.byID[e.ID] = e
+	heap.Push(&s.h, e)
+	s.used += e.Size
+	return nil
+}
+
+// Remove evicts the entry for a page, if cached.
+func (s *Store) Remove(id int) (*Entry, bool) {
+	e, ok := s.byID[id]
+	if !ok {
+		return nil, false
+	}
+	heap.Remove(&s.h, e.index)
+	delete(s.byID, id)
+	s.used -= e.Size
+	return e, true
+}
+
+// Peek returns the entry with the smallest value without removing it.
+func (s *Store) Peek() (*Entry, bool) {
+	if s.h.Len() == 0 {
+		return nil, false
+	}
+	return s.h[0], true
+}
+
+// PopMin evicts and returns the entry with the smallest value.
+func (s *Store) PopMin() (*Entry, bool) {
+	if s.h.Len() == 0 {
+		return nil, false
+	}
+	e := heap.Pop(&s.h).(*Entry)
+	delete(s.byID, e.ID)
+	s.used -= e.Size
+	return e, true
+}
+
+// Fix re-establishes heap order after e.Value changed.
+func (s *Store) Fix(e *Entry) {
+	heap.Fix(&s.h, e.index)
+}
+
+// BytesBelow returns the total size of entries with Value strictly less
+// than v — the push-time candidate set of SUB (§3.2).
+func (s *Store) BytesBelow(v float64) int64 {
+	var total int64
+	for _, e := range s.byID {
+		if e.Value < v {
+			total += e.Size
+		}
+	}
+	return total
+}
+
+// CanAdmit reports whether a page of the given size fits after evicting
+// only entries with value strictly below v.
+func (s *Store) CanAdmit(size int64, v float64) bool {
+	if size > s.capacity {
+		return false
+	}
+	return s.Free()+s.BytesBelow(v) >= size
+}
+
+// EvictFor evicts ascending-value entries until size bytes are free,
+// never evicting an entry whose value is >= limit. It returns the evicted
+// entries and whether enough space was freed. On failure nothing useful
+// can be guaranteed to remain (callers should CanAdmit first when the
+// eviction must be all-or-nothing).
+func (s *Store) EvictFor(size int64, limit float64) ([]*Entry, bool) {
+	var evicted []*Entry
+	for s.Free() < size {
+		e, ok := s.Peek()
+		if !ok || e.Value >= limit {
+			return evicted, false
+		}
+		s.PopMin()
+		evicted = append(evicted, e)
+	}
+	return evicted, true
+}
+
+// Each calls fn for every cached entry until fn returns false. The
+// iteration order is unspecified; fn must not mutate the store.
+func (s *Store) Each(fn func(*Entry) bool) {
+	for _, e := range s.byID {
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// entryHeap is a min-heap on (Value, ID).
+type entryHeap []*Entry
+
+func (h entryHeap) Len() int { return len(h) }
+func (h entryHeap) Less(i, j int) bool {
+	if h[i].Value != h[j].Value {
+		return h[i].Value < h[j].Value
+	}
+	return h[i].ID < h[j].ID
+}
+func (h entryHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *entryHeap) Push(x interface{}) {
+	e := x.(*Entry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *entryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	e.index = -1
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

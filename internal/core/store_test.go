@@ -1,0 +1,285 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewStoreValidation(t *testing.T) {
+	if _, err := NewStore(-1); err == nil {
+		t.Error("negative capacity should error")
+	}
+	s, err := NewStore(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Capacity() != 0 || s.Used() != 0 || s.Len() != 0 {
+		t.Error("zero-capacity store should be empty")
+	}
+}
+
+func entry(id int, size int64, value float64) *Entry {
+	return &Entry{ID: id, Size: size, Value: value, Cost: 1}
+}
+
+func TestStoreAddGetRemove(t *testing.T) {
+	s, err := NewStore(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(entry(1, 40, 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(entry(1, 10, 2.0)); err == nil {
+		t.Error("duplicate add should error")
+	}
+	if err := s.Add(entry(2, 70, 2.0)); err == nil {
+		t.Error("over-capacity add should error")
+	}
+	if err := s.Add(entry(2, 60, 2.0)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Used() != 100 || s.Free() != 0 || s.Len() != 2 {
+		t.Errorf("used=%d free=%d len=%d; want 100/0/2", s.Used(), s.Free(), s.Len())
+	}
+	e, ok := s.Get(1)
+	if !ok || e.Size != 40 {
+		t.Fatalf("Get(1) = %+v, %v", e, ok)
+	}
+	if _, ok := s.Get(3); ok {
+		t.Error("Get(3) should miss")
+	}
+	if _, ok := s.Remove(3); ok {
+		t.Error("Remove(3) should miss")
+	}
+	if e, ok := s.Remove(1); !ok || e.ID != 1 {
+		t.Fatal("Remove(1) failed")
+	}
+	if s.Used() != 60 || s.Len() != 1 {
+		t.Errorf("after remove: used=%d len=%d", s.Used(), s.Len())
+	}
+}
+
+func TestStorePopMinOrder(t *testing.T) {
+	s, _ := NewStore(1000)
+	values := []float64{5, 1, 3, 2, 4}
+	for i, v := range values {
+		if err := s.Add(entry(i, 10, v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prev := math.Inf(-1)
+	for s.Len() > 0 {
+		e, ok := s.PopMin()
+		if !ok {
+			t.Fatal("PopMin on non-empty store failed")
+		}
+		if e.Value < prev {
+			t.Fatalf("PopMin out of order: %g after %g", e.Value, prev)
+		}
+		prev = e.Value
+	}
+	if _, ok := s.PopMin(); ok {
+		t.Error("PopMin on empty store should fail")
+	}
+	if _, ok := s.Peek(); ok {
+		t.Error("Peek on empty store should fail")
+	}
+}
+
+func TestStoreTieBreakByID(t *testing.T) {
+	s, _ := NewStore(1000)
+	for _, id := range []int{5, 3, 9, 1} {
+		if err := s.Add(entry(id, 1, 7.0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []int{1, 3, 5, 9}
+	for _, w := range want {
+		e, _ := s.PopMin()
+		if e.ID != w {
+			t.Fatalf("tie-break order wrong: got %d, want %d", e.ID, w)
+		}
+	}
+}
+
+func TestStoreFixReorders(t *testing.T) {
+	s, _ := NewStore(1000)
+	a := entry(1, 10, 1)
+	b := entry(2, 10, 2)
+	if err := s.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	a.Value = 10
+	s.Fix(a)
+	e, _ := s.Peek()
+	if e.ID != 2 {
+		t.Errorf("after Fix, min should be 2, got %d", e.ID)
+	}
+}
+
+func TestStoreBytesBelowAndCanAdmit(t *testing.T) {
+	s, _ := NewStore(100)
+	if err := s.Add(entry(1, 50, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(entry(2, 50, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.BytesBelow(2); got != 50 {
+		t.Errorf("BytesBelow(2) = %d, want 50", got)
+	}
+	if got := s.BytesBelow(3); got != 50 {
+		t.Errorf("BytesBelow(3) = %d, want 50 (strict)", got)
+	}
+	if got := s.BytesBelow(4); got != 100 {
+		t.Errorf("BytesBelow(4) = %d, want 100", got)
+	}
+	if !s.CanAdmit(50, 2) {
+		t.Error("CanAdmit(50, 2) should pass by evicting entry 1")
+	}
+	if s.CanAdmit(60, 2) {
+		t.Error("CanAdmit(60, 2) should fail: only 50 bytes below")
+	}
+	if s.CanAdmit(200, math.Inf(1)) {
+		t.Error("CanAdmit beyond capacity should fail")
+	}
+}
+
+func TestStoreEvictFor(t *testing.T) {
+	s, _ := NewStore(100)
+	for i, v := range []float64{1, 2, 3, 4} {
+		if err := s.Add(entry(i, 25, v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evicted, ok := s.EvictFor(50, 3)
+	if !ok {
+		t.Fatal("EvictFor should succeed")
+	}
+	if len(evicted) != 2 || evicted[0].Value != 1 || evicted[1].Value != 2 {
+		t.Fatalf("evicted = %v", evicted)
+	}
+	// Now only values 3 and 4 remain (free = 50); limit 3.5 blocks
+	// entry 4, so at most 75 bytes can be freed.
+	evicted, ok = s.EvictFor(80, 3.5)
+	if ok {
+		t.Error("EvictFor should fail against the limit")
+	}
+	if len(evicted) != 1 || evicted[0].Value != 3 {
+		t.Fatalf("partial eviction = %v", evicted)
+	}
+}
+
+func TestStoreSetCapacity(t *testing.T) {
+	s, _ := NewStore(100)
+	if err := s.Add(entry(1, 80, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetCapacity(70); err == nil {
+		t.Error("shrinking below used should error")
+	}
+	if err := s.SetCapacity(200); err != nil {
+		t.Fatal(err)
+	}
+	if s.Free() != 120 {
+		t.Errorf("Free = %d, want 120", s.Free())
+	}
+}
+
+func TestStoreEach(t *testing.T) {
+	s, _ := NewStore(100)
+	for i := 0; i < 5; i++ {
+		if err := s.Add(entry(i, 10, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	s.Each(func(e *Entry) bool {
+		count++
+		return true
+	})
+	if count != 5 {
+		t.Errorf("Each visited %d, want 5", count)
+	}
+	count = 0
+	s.Each(func(e *Entry) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("early-stop Each visited %d, want 2", count)
+	}
+}
+
+func TestStoreCapacityInvariantProperty(t *testing.T) {
+	// Property: under any sequence of adds and min-evictions, used bytes
+	// never exceed capacity and always equal the sum of resident sizes.
+	f := func(ops []uint16) bool {
+		s, err := NewStore(1000)
+		if err != nil {
+			return false
+		}
+		id := 0
+		for _, op := range ops {
+			size := int64(op%200) + 1
+			value := float64(op % 97)
+			e := entry(id, size, value)
+			id++
+			for s.Free() < size {
+				if _, ok := s.PopMin(); !ok {
+					break
+				}
+			}
+			if size <= s.Capacity() {
+				if err := s.Add(e); err != nil {
+					return false
+				}
+			}
+			if s.Used() > s.Capacity() {
+				return false
+			}
+			var sum int64
+			s.Each(func(x *Entry) bool { sum += x.Size; return true })
+			if sum != s.Used() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStoreHeapOrderProperty(t *testing.T) {
+	// Property: PopMin yields a non-decreasing value sequence whatever
+	// the insertion order.
+	f := func(vals []uint16) bool {
+		s, err := NewStore(int64(len(vals))*10 + 10)
+		if err != nil {
+			return false
+		}
+		for i, v := range vals {
+			if err := s.Add(entry(i, 10, float64(v))); err != nil {
+				return false
+			}
+		}
+		prev := math.Inf(-1)
+		for s.Len() > 0 {
+			e, _ := s.PopMin()
+			if e.Value < prev {
+				return false
+			}
+			prev = e.Value
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

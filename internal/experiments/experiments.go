@@ -1,0 +1,545 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pubsubcd/internal/core"
+	"pubsubcd/internal/sim"
+	"pubsubcd/internal/workload"
+)
+
+// fig4Algos are the strategies compared in Fig. 4 (and Fig. 5).
+var fig4Algos = []string{"GD*", "SUB", "SG1", "SG2", "SR", "DC-LAP"}
+
+// fig3Algos are the Dual* strategies compared against GD* in Fig. 3.
+var fig3Algos = []string{"GD*", "DM", "DC-FP", "DC-AP", "DC-LAP"}
+
+// table2Algos are the columns of Table 2.
+var table2Algos = []string{"SUB", "SG1", "SG2", "SR", "DM", "DC-FP", "DC-LAP"}
+
+// capLabel renders a capacity fraction as the paper's percentage label.
+func capLabel(c float64) string { return fmt.Sprintf("%g%%", c*100) }
+
+// Table1 renders the paper's Table 1: the categorisation of the schemes
+// by when content is placed and what information values it.
+func Table1(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Table 1: categorisation of content distribution schemes"); err != nil {
+		return err
+	}
+	for _, f := range core.Catalog() {
+		if _, err := fmt.Fprintf(w, "%-8s when=%-12s how=%s\n", f.Name, f.When, f.How); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// BetaSweep reproduces the β-selection experiment of §5.1: GD*, SG1 and
+// SG2 evaluated with β from 0.0625 to 4 under the three capacity
+// settings, for both traces.
+func BetaSweep(h *Harness) ([]*Grid, error) {
+	var grids []*Grid
+	for _, trace := range Traces {
+		g := &Grid{
+			Title:     fmt.Sprintf("Beta sweep (hit ratio, %s trace, SQ=1)", trace),
+			RowHeader: "algo@cap",
+		}
+		for _, beta := range BetaGrid {
+			g.Cols = append(g.Cols, fmt.Sprintf("β=%g", beta))
+		}
+		for _, algo := range sweptAlgos {
+			for _, capacity := range Capacities {
+				_, curve, err := h.sweepBeta(algo, trace, capacity)
+				if err != nil {
+					return nil, err
+				}
+				g.Rows = append(g.Rows, fmt.Sprintf("%s@%s", algo, capLabel(capacity)))
+				g.Cells = append(g.Cells, curve)
+			}
+		}
+		grids = append(grids, g)
+	}
+	return grids, nil
+}
+
+// Fig3 reproduces Fig. 3: hit ratios of the Dual-Methods and Dual-Caches
+// algorithms against GD* on the NEWS trace across capacities.
+func Fig3(h *Harness) (*Grid, error) {
+	return hitRatioGrid(h, "Fig. 3: Dual* hit ratios (NEWS, SQ=1)", fig3Algos, workload.TraceNEWS)
+}
+
+// Fig4 reproduces Fig. 4: hit ratios of the main schemes with perfect
+// subscriptions for both traces, across capacities.
+func Fig4(h *Harness) ([]*Grid, error) {
+	var grids []*Grid
+	for _, trace := range Traces {
+		g, err := hitRatioGrid(h, fmt.Sprintf("Fig. 4: hit ratios (%s, SQ=1)", trace), fig4Algos, trace)
+		if err != nil {
+			return nil, err
+		}
+		grids = append(grids, g)
+	}
+	return grids, nil
+}
+
+func hitRatioGrid(h *Harness, title string, algos []string, trace workload.TraceName) (*Grid, error) {
+	g := &Grid{Title: title, RowHeader: "strategy"}
+	for _, c := range Capacities {
+		g.Cols = append(g.Cols, capLabel(c))
+	}
+	for _, algo := range algos {
+		row := make([]float64, len(Capacities))
+		for i, capacity := range Capacities {
+			res, err := h.RunTuned(algo, trace, capacity, 1)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = res.HitRatio()
+		}
+		g.Rows = append(g.Rows, algo)
+		g.Cells = append(g.Cells, row)
+	}
+	return g, nil
+}
+
+// Table2 reproduces Table 2: relative improvement over GD* (%) at the
+// 5 % capacity setting for both traces.
+func Table2(h *Harness) (*Grid, error) {
+	g := &Grid{
+		Title:     "Table 2: relative improvement over GD* (%) (capacity = 5%)",
+		RowHeader: "α",
+		Cols:      table2Algos,
+		Percent:   true,
+	}
+	for _, trace := range Traces {
+		base, err := h.RunTuned("GD*", trace, 0.05, 1)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, len(table2Algos))
+		for i, algo := range table2Algos {
+			res, err := h.RunTuned(algo, trace, 0.05, 1)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = 100 * (res.HitRatio() - base.HitRatio()) / base.HitRatio()
+		}
+		alpha := "1.5"
+		if trace == workload.TraceALTERNATIVE {
+			alpha = "1.0"
+		}
+		g.Rows = append(g.Rows, alpha)
+		g.Cells = append(g.Cells, row)
+	}
+	return g, nil
+}
+
+// Fig5 reproduces Fig. 5: hit ratios under varying subscription quality
+// at the 5 % capacity setting, for both traces.
+func Fig5(h *Harness) ([]*Grid, error) {
+	var grids []*Grid
+	for _, trace := range Traces {
+		g := &Grid{
+			Title:     fmt.Sprintf("Fig. 5: hit ratio vs subscription quality (%s, capacity = 5%%)", trace),
+			RowHeader: "strategy",
+		}
+		for _, sq := range SQLevels {
+			g.Cols = append(g.Cols, fmt.Sprintf("SQ=%g", sq))
+		}
+		for _, algo := range fig4Algos {
+			row := make([]float64, len(SQLevels))
+			for i, sq := range SQLevels {
+				res, err := h.RunTuned(algo, trace, 0.05, sq)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = res.HitRatio()
+			}
+			g.Rows = append(g.Rows, algo)
+			g.Cells = append(g.Cells, row)
+		}
+		grids = append(grids, g)
+	}
+	return grids, nil
+}
+
+// fig6Algos are the strategies tracked hourly in Fig. 6.
+var fig6Algos = []string{"SG2", "SUB", "GD*"}
+
+// Fig6 reproduces Fig. 6: average hourly hit ratio over the 7 simulated
+// days for SG2, SUB and GD* (SQ = 1, capacity = 5 %), for both traces.
+func Fig6(h *Harness) ([]*Series, error) {
+	var out []*Series
+	for _, trace := range Traces {
+		s := &Series{
+			Title:  fmt.Sprintf("Fig. 6: hourly hit ratio (%s, SQ=1, capacity=5%%)", trace),
+			XLabel: "hour",
+			Names:  fig6Algos,
+		}
+		for _, algo := range fig6Algos {
+			res, err := h.RunTuned(algo, trace, 0.05, 1)
+			if err != nil {
+				return nil, err
+			}
+			if s.X == nil {
+				for hr := range res.HourlyHits {
+					s.X = append(s.X, float64(hr))
+				}
+			}
+			s.Y = append(s.Y, res.HourlyHitRatio())
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Fig7 reproduces Fig. 7: hourly traffic in pages (pushes plus fetches on
+// miss) for SUB, SG2 and GD* on the NEWS trace, under the Always-Pushing
+// and Pushing-When-Necessary schemes.
+func Fig7(h *Harness) ([]*Series, error) {
+	var out []*Series
+	for _, scheme := range []sim.PushScheme{sim.AlwaysPush, sim.PushWhenNecessary} {
+		s := &Series{
+			Title:  fmt.Sprintf("Fig. 7: hourly traffic in pages, %s (NEWS, SQ=1, capacity=5%%)", scheme),
+			XLabel: "hour",
+			Names:  []string{"SUB", "SG2", "GD*"},
+		}
+		for _, algo := range s.Names {
+			res, err := h.RunTuned(algo, workload.TraceNEWS, 0.05, 1)
+			if err != nil {
+				return nil, err
+			}
+			if s.X == nil {
+				for hr := range res.HourlyHits {
+					s.X = append(s.X, float64(hr))
+				}
+			}
+			traffic := res.HourlyTraffic(scheme)
+			y := make([]float64, len(traffic))
+			for i, v := range traffic {
+				y[i] = float64(v)
+			}
+			s.Y = append(s.Y, y)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Baselines compares GD* against the classic replacement algorithms the
+// paper cites (LRU, GDS, LFU-DA) on both traces — the premise for using
+// GD* as the baseline (§3.1).
+func Baselines(h *Harness) ([]*Grid, error) {
+	var grids []*Grid
+	for _, trace := range Traces {
+		g, err := hitRatioGrid(h, fmt.Sprintf("Baselines: access-time-only hit ratios (%s)", trace),
+			[]string{"GD*", "LRU", "GDS", "LFU-DA"}, trace)
+		if err != nil {
+			return nil, err
+		}
+		grids = append(grids, g)
+	}
+	return grids, nil
+}
+
+// DCLAPBoundsSweep is an ablation over DC-LAP's partition bounds: it
+// sweeps symmetric bounds [lo, 1-lo] on the PC fraction at the 5 %
+// capacity setting (NEWS), with DC-AP (unbounded) and DC-FP (fully
+// pinned) as the end points.
+func DCLAPBoundsSweep(h *Harness) (*Grid, error) {
+	lows := []float64{0, 0.1, 0.25, 0.4, 0.5}
+	g := &Grid{
+		Title:     "Ablation: DC-LAP partition bounds (NEWS, SQ=1, capacity=5%)",
+		RowHeader: "bounds",
+		Cols:      []string{"hit ratio"},
+	}
+	w, err := h.Workload(workload.TraceNEWS, 1)
+	if err != nil {
+		return nil, err
+	}
+	costs, err := h.fetchCosts(w.Config.Servers)
+	if err != nil {
+		return nil, err
+	}
+	beta, err := h.BestBeta("GD*", workload.TraceNEWS, 0.05)
+	if err != nil {
+		return nil, err
+	}
+	for _, lo := range lows {
+		lo := lo
+		f := core.Factory{
+			Name: fmt.Sprintf("DC-LAP[%g,%g]", lo, 1-lo),
+			When: "access+push",
+			How:  "access+subscription",
+			New: func(p core.Params) (core.Strategy, error) {
+				return core.NewDCLAPBounded(p, lo, 1-lo)
+			},
+		}
+		res, err := sim.Run(w, f, sim.Options{CapacityFraction: 0.05, Beta: beta, FetchCosts: costs})
+		if err != nil {
+			return nil, err
+		}
+		g.Rows = append(g.Rows, f.Name)
+		g.Cells = append(g.Cells, []float64{res.HitRatio()})
+	}
+	return g, nil
+}
+
+// MixedRequests is the paper's stated future-work scenario (§7): only a
+// fraction of requests is driven through the notification service. It
+// sweeps NotificationDrivenFrac and reports hit ratios for GD*, SUB and
+// SG2 (NEWS, 5 %).
+func MixedRequests(h *Harness) (*Grid, error) {
+	fracs := []float64{0.25, 0.5, 0.75, 1}
+	algos := []string{"GD*", "SUB", "SG2"}
+	g := &Grid{
+		Title:     "Extension: mixed request streams (NEWS, capacity=5%)",
+		RowHeader: "strategy",
+	}
+	for _, fr := range fracs {
+		g.Cols = append(g.Cols, fmt.Sprintf("notif=%g", fr))
+	}
+	costs := []float64(nil)
+	for _, algo := range algos {
+		beta, err := h.BestBeta(algo, workload.TraceNEWS, 0.05)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, len(fracs))
+		for i, fr := range fracs {
+			cfg := workload.ScaledConfig(workload.TraceNEWS, h.cfg.Scale)
+			cfg.Seed = h.cfg.Seed
+			cfg.NotificationDrivenFrac = fr
+			w, err := workload.Generate(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if costs == nil {
+				costs, err = h.fetchCosts(w.Config.Servers)
+				if err != nil {
+					return nil, err
+				}
+			}
+			f, err := core.Lookup(algo)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.Run(w, f, sim.Options{CapacityFraction: 0.05, Beta: beta, FetchCosts: costs})
+			if err != nil {
+				return nil, err
+			}
+			row[i] = res.HitRatio()
+		}
+		g.Rows = append(g.Rows, algo)
+		g.Cells = append(g.Cells, row)
+	}
+	return g, nil
+}
+
+// ClosedLoop validates the open-loop trace construction: it derives a
+// closed-loop request stream from the subscriptions (each subscriber
+// reads with probability SQ after notification) and compares strategy
+// hit ratios on both streams (NEWS, capacity 5 %). The strategy ranking
+// should agree.
+func ClosedLoop(h *Harness) (*Grid, error) {
+	open, err := h.Workload(workload.TraceNEWS, 1)
+	if err != nil {
+		return nil, err
+	}
+	closed, err := workload.DeriveClosedLoop(open, h.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	costs, err := h.fetchCosts(open.Config.Servers)
+	if err != nil {
+		return nil, err
+	}
+	g := &Grid{
+		Title:     "Validation: open-loop vs closed-loop request streams (NEWS, SQ=1, capacity=5%)",
+		RowHeader: "strategy",
+		Cols:      []string{"open-loop", "closed-loop"},
+	}
+	for _, algo := range []string{"GD*", "SUB", "SG1", "SG2", "SR", "DC-LAP"} {
+		beta, err := h.BestBeta(algo, workload.TraceNEWS, 0.05)
+		if err != nil {
+			return nil, err
+		}
+		f, err := core.Lookup(algo)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, 2)
+		for i, w := range []*workload.Workload{open, closed} {
+			res, err := sim.Run(w, f, sim.Options{CapacityFraction: 0.05, Beta: beta, FetchCosts: costs})
+			if err != nil {
+				return nil, err
+			}
+			row[i] = res.HitRatio()
+		}
+		g.Rows = append(g.Rows, algo)
+		g.Cells = append(g.Cells, row)
+	}
+	return g, nil
+}
+
+// ResponseTimes converts the Fig. 4 comparison into the paper's
+// motivating metric: estimated mean response time per request under the
+// default latency model (NEWS, SQ=1, capacity 5 %).
+func ResponseTimes(h *Harness) (*Grid, error) {
+	w, err := h.Workload(workload.TraceNEWS, 1)
+	if err != nil {
+		return nil, err
+	}
+	costs, err := h.fetchCosts(w.Config.Servers)
+	if err != nil {
+		return nil, err
+	}
+	model := sim.DefaultLatencyModel()
+	g := &Grid{
+		Title:     "Extension: estimated mean response time in ms (NEWS, SQ=1, capacity=5%)",
+		RowHeader: "strategy",
+		Cols:      []string{"hit ratio", "ms/request", "vs GD*"},
+	}
+	var base float64
+	for _, algo := range []string{"GD*", "SUB", "SG1", "SG2", "SR", "DC-LAP"} {
+		beta, err := h.BestBeta(algo, workload.TraceNEWS, 0.05)
+		if err != nil {
+			return nil, err
+		}
+		f, err := core.Lookup(algo)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(w, f, sim.Options{CapacityFraction: 0.05, Beta: beta, FetchCosts: costs})
+		if err != nil {
+			return nil, err
+		}
+		mrt, err := res.MeanResponseTime(model, costs)
+		if err != nil {
+			return nil, err
+		}
+		if algo == "GD*" {
+			base = mrt
+		}
+		g.Rows = append(g.Rows, algo)
+		g.Cells = append(g.Cells, []float64{res.HitRatio(), mrt, (base - mrt) / base})
+	}
+	return g, nil
+}
+
+// Names lists the runnable experiment identifiers.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// registry maps experiment names to drivers that render text output.
+var registry = map[string]func(h *Harness, w io.Writer) error{
+	"table1": func(h *Harness, w io.Writer) error { return Table1(w) },
+	"beta": func(h *Harness, w io.Writer) error {
+		grids, err := BetaSweep(h)
+		return writeGrids(grids, err, w)
+	},
+	"fig3": func(h *Harness, w io.Writer) error {
+		g, err := Fig3(h)
+		if err != nil {
+			return err
+		}
+		return g.WriteText(w)
+	},
+	"fig4": func(h *Harness, w io.Writer) error {
+		grids, err := Fig4(h)
+		return writeGrids(grids, err, w)
+	},
+	"table2": func(h *Harness, w io.Writer) error {
+		g, err := Table2(h)
+		if err != nil {
+			return err
+		}
+		return g.WriteText(w)
+	},
+	"fig5": func(h *Harness, w io.Writer) error {
+		grids, err := Fig5(h)
+		return writeGrids(grids, err, w)
+	},
+	"fig6": func(h *Harness, w io.Writer) error {
+		series, err := Fig6(h)
+		return writeSeries(series, err, w)
+	},
+	"fig7": func(h *Harness, w io.Writer) error {
+		series, err := Fig7(h)
+		return writeSeries(series, err, w)
+	},
+	"baselines": func(h *Harness, w io.Writer) error {
+		grids, err := Baselines(h)
+		return writeGrids(grids, err, w)
+	},
+	"dclap-bounds": func(h *Harness, w io.Writer) error {
+		g, err := DCLAPBoundsSweep(h)
+		if err != nil {
+			return err
+		}
+		return g.WriteText(w)
+	},
+	"mixed": func(h *Harness, w io.Writer) error {
+		g, err := MixedRequests(h)
+		if err != nil {
+			return err
+		}
+		return g.WriteText(w)
+	},
+	"closedloop": func(h *Harness, w io.Writer) error {
+		g, err := ClosedLoop(h)
+		if err != nil {
+			return err
+		}
+		return g.WriteText(w)
+	},
+	"latency": func(h *Harness, w io.Writer) error {
+		g, err := ResponseTimes(h)
+		if err != nil {
+			return err
+		}
+		return g.WriteText(w)
+	},
+}
+
+// RunByName runs a named experiment, writing its text rendering to w.
+func RunByName(h *Harness, name string, w io.Writer) error {
+	driver, ok := registry[name]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return driver(h, w)
+}
+
+func writeGrids(grids []*Grid, err error, w io.Writer) error {
+	if err != nil {
+		return err
+	}
+	for _, g := range grids {
+		if err := g.WriteText(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSeries(series []*Series, err error, w io.Writer) error {
+	if err != nil {
+		return err
+	}
+	for _, s := range series {
+		if err := s.WriteText(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"testing"
+
+	"pubsubcd/internal/workload"
+)
+
+// TestFullScaleHeadline runs the paper's central comparison at the true
+// full scale (6,000 pages, 30,147 publications, 195,000 requests, 100
+// proxies) and asserts the headline result: at the 5 % capacity setting
+// every subscription-informed scheme beats the GD* baseline by a wide
+// margin on both traces. Skipped under -short.
+func TestFullScaleHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale run skipped in -short mode")
+	}
+	h := New(Config{Scale: 1, Seed: 1, TopologySeed: 7})
+	for _, trace := range Traces {
+		base, err := h.Run("GD*", trace, 0.05, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.Requests != 195000 {
+			t.Fatalf("%s: full scale should have 195000 requests, got %d", trace, base.Requests)
+		}
+		baseH := base.HitRatio()
+		if baseH < 0.1 || baseH > 0.9 {
+			t.Fatalf("%s: GD* hit ratio %.3f implausible at full scale", trace, baseH)
+		}
+		for _, algo := range []string{"SUB", "SG2", "DC-LAP"} {
+			res, err := h.Run(algo, trace, 0.05, 1, 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gain := (res.HitRatio() - baseH) / baseH
+			if gain < 0.25 {
+				t.Errorf("%s/%s: relative gain %.0f%% below the paper-scale margin", trace, algo, 100*gain)
+			}
+		}
+	}
+}
+
+// TestFullScaleWorkloadInvariants checks the §4 totals at true scale.
+func TestFullScaleWorkloadInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale run skipped in -short mode")
+	}
+	w, err := workload.Generate(workload.DefaultConfig(workload.TraceNEWS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Pages) != 6000 {
+		t.Errorf("pages = %d, want 6000", len(w.Pages))
+	}
+	if len(w.Publications) != 30147 {
+		t.Errorf("publications = %d, want 30147", len(w.Publications))
+	}
+	if len(w.Requests) != 195000 {
+		t.Errorf("requests = %d, want 195000", len(w.Requests))
+	}
+	if got := w.TotalSubscriptions(); got != 195000 {
+		t.Errorf("SQ=1 subscriptions = %d, want 195000", got)
+	}
+}

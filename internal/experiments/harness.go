@@ -1,0 +1,201 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5). Each experiment has a driver that runs the required
+// simulation matrix and renders the same rows/series the paper reports.
+//
+// Following §5.1, the GD*-framework algorithms (GD*, SG1, SG2) have their
+// balance parameter β chosen by sweeping β ∈ {0.0625 … 4} per trace and
+// capacity and keeping the value with the highest hit ratio; the other
+// strategies that embed a GD* module (DM, DC-*) inherit GD*'s best β.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"pubsubcd/internal/core"
+	"pubsubcd/internal/sim"
+	"pubsubcd/internal/topology"
+	"pubsubcd/internal/workload"
+)
+
+// BetaGrid is the β sweep of §5.1.
+var BetaGrid = []float64{0.0625, 0.125, 0.25, 0.5, 1, 2, 4}
+
+// Capacities are the three cache-capacity fractions of §5.1.
+var Capacities = []float64{0.01, 0.05, 0.10}
+
+// SQLevels are the subscription-quality settings of Fig. 5.
+var SQLevels = []float64{0.25, 0.5, 0.75, 1}
+
+// Traces are the two request traces.
+var Traces = []workload.TraceName{workload.TraceNEWS, workload.TraceALTERNATIVE}
+
+// Config parameterises the harness.
+type Config struct {
+	// Scale divides the workload size; 1 is the paper's full scale.
+	Scale int
+	// Seed drives workload generation.
+	Seed int64
+	// TopologySeed drives the Waxman topology for fetch costs.
+	TopologySeed int64
+}
+
+// DefaultConfig is the full-scale configuration.
+func DefaultConfig() Config {
+	return Config{Scale: 1, Seed: 1, TopologySeed: 7}
+}
+
+// Harness caches workloads, fetch costs and swept β values across
+// experiments so the full suite reuses work.
+type Harness struct {
+	cfg Config
+
+	mu        sync.Mutex
+	workloads map[wkey]*workload.Workload
+	costs     map[int][]float64
+	bestBeta  map[bkey]float64
+}
+
+type wkey struct {
+	trace workload.TraceName
+	sq    float64
+}
+
+type bkey struct {
+	algo  string
+	trace workload.TraceName
+	cap   float64
+}
+
+// New returns a harness.
+func New(cfg Config) *Harness {
+	if cfg.Scale < 1 {
+		cfg.Scale = 1
+	}
+	return &Harness{
+		cfg:       cfg,
+		workloads: make(map[wkey]*workload.Workload),
+		costs:     make(map[int][]float64),
+		bestBeta:  make(map[bkey]float64),
+	}
+}
+
+// Workload returns the (cached) workload for a trace and SQ.
+func (h *Harness) Workload(trace workload.TraceName, sq float64) (*workload.Workload, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	key := wkey{trace: trace, sq: sq}
+	if w, ok := h.workloads[key]; ok {
+		return w, nil
+	}
+	cfg := workload.ScaledConfig(trace, h.cfg.Scale)
+	cfg.Seed = h.cfg.Seed
+	cfg.SQ = sq
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generate %s/SQ=%g: %w", trace, sq, err)
+	}
+	h.workloads[key] = w
+	return w, nil
+}
+
+// fetchCosts returns cached per-proxy fetch costs for a server count.
+func (h *Harness) fetchCosts(servers int) ([]float64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if c, ok := h.costs[servers]; ok {
+		return c, nil
+	}
+	c, err := topology.FetchCosts(servers, h.cfg.TopologySeed)
+	if err != nil {
+		return nil, err
+	}
+	h.costs[servers] = c
+	return c, nil
+}
+
+// Run simulates one (strategy, trace, capacity, sq, beta) cell.
+func (h *Harness) Run(algo string, trace workload.TraceName, capacity, sq, beta float64) (*sim.Result, error) {
+	w, err := h.Workload(trace, sq)
+	if err != nil {
+		return nil, err
+	}
+	costs, err := h.fetchCosts(w.Config.Servers)
+	if err != nil {
+		return nil, err
+	}
+	f, err := core.Lookup(algo)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(w, f, sim.Options{
+		CapacityFraction: capacity,
+		Beta:             beta,
+		FetchCosts:       costs,
+	})
+}
+
+// sweptAlgos are the algorithms whose β is swept directly (§5.1).
+var sweptAlgos = []string{"GD*", "SG1", "SG2"}
+
+// betaSource maps each strategy to the algorithm whose swept β it uses.
+// SR and SUB have no β in their value functions; β = 1 is passed and
+// ignored.
+func betaSource(algo string) string {
+	switch algo {
+	case "SG1", "SG2":
+		return algo
+	case "GD*", "DM", "DC-FP", "DC-AP", "DC-LAP", "LRU", "GDS", "LFU-DA":
+		return "GD*"
+	default:
+		return ""
+	}
+}
+
+// BestBeta returns the swept best β for an algorithm at a trace/capacity,
+// sweeping (and caching) on demand. Algorithms without a β return 1.
+func (h *Harness) BestBeta(algo string, trace workload.TraceName, capacity float64) (float64, error) {
+	src := betaSource(algo)
+	if src == "" {
+		return 1, nil
+	}
+	h.mu.Lock()
+	if b, ok := h.bestBeta[bkey{algo: src, trace: trace, cap: capacity}]; ok {
+		h.mu.Unlock()
+		return b, nil
+	}
+	h.mu.Unlock()
+	best, _, err := h.sweepBeta(src, trace, capacity)
+	return best, err
+}
+
+// sweepBeta runs the β grid for one algorithm and returns the best β and
+// the full curve.
+func (h *Harness) sweepBeta(algo string, trace workload.TraceName, capacity float64) (float64, []float64, error) {
+	curve := make([]float64, len(BetaGrid))
+	bestBeta, bestH := BetaGrid[0], -1.0
+	for i, beta := range BetaGrid {
+		res, err := h.Run(algo, trace, capacity, 1, beta)
+		if err != nil {
+			return 0, nil, err
+		}
+		curve[i] = res.HitRatio()
+		if curve[i] > bestH {
+			bestH = curve[i]
+			bestBeta = beta
+		}
+	}
+	h.mu.Lock()
+	h.bestBeta[bkey{algo: algo, trace: trace, cap: capacity}] = bestBeta
+	h.mu.Unlock()
+	return bestBeta, curve, nil
+}
+
+// RunTuned simulates a cell using the swept best β for the algorithm.
+func (h *Harness) RunTuned(algo string, trace workload.TraceName, capacity, sq float64) (*sim.Result, error) {
+	beta, err := h.BestBeta(algo, trace, capacity)
+	if err != nil {
+		return nil, err
+	}
+	return h.Run(algo, trace, capacity, sq, beta)
+}

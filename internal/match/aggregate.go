@@ -1,0 +1,104 @@
+package match
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// CountTable is a static per-page, per-proxy subscription-count table. The
+// simulator consumes subscription information in this aggregated form
+// (§4.3: "the only subscription information of interest is the number of
+// subscriptions matching every page at every server"). A CountTable can be
+// built directly by the workload generator or derived from a live Engine
+// with BuildCountTable.
+type CountTable struct {
+	mu sync.RWMutex
+	// counts[pageID][proxy] = number of matching subscriptions.
+	counts map[string]map[int]int
+}
+
+// NewCountTable returns an empty table.
+func NewCountTable() *CountTable {
+	return &CountTable{counts: make(map[string]map[int]int)}
+}
+
+// Set records the subscription count for a page at a proxy. Counts must be
+// non-negative; a zero count removes the entry.
+func (t *CountTable) Set(pageID string, proxy, count int) error {
+	if count < 0 {
+		return fmt.Errorf("match: negative subscription count %d for page %q proxy %d", count, pageID, proxy)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	row := t.counts[pageID]
+	if count == 0 {
+		if row != nil {
+			delete(row, proxy)
+			if len(row) == 0 {
+				delete(t.counts, pageID)
+			}
+		}
+		return nil
+	}
+	if row == nil {
+		row = make(map[int]int)
+		t.counts[pageID] = row
+	}
+	row[proxy] = count
+	return nil
+}
+
+// Count returns the subscription count for a page at a proxy (0 if none).
+func (t *CountTable) Count(pageID string, proxy int) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.counts[pageID][proxy]
+}
+
+// Proxies returns the proxies with at least one subscription for the page,
+// in ascending order.
+func (t *CountTable) Proxies(pageID string) []int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	row := t.counts[pageID]
+	out := make([]int, 0, len(row))
+	for p := range row {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TotalSubscriptions returns the sum of all counts for the page.
+func (t *CountTable) TotalSubscriptions(pageID string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	total := 0
+	for _, c := range t.counts[pageID] {
+		total += c
+	}
+	return total
+}
+
+// Pages returns the number of pages with at least one subscription.
+func (t *CountTable) Pages() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.counts)
+}
+
+// BuildCountTable evaluates every event against the engine and stores the
+// per-proxy match counts, bridging the live matching engine and the
+// simulator's aggregated view.
+func BuildCountTable(e *Engine, events []Event) *CountTable {
+	t := NewCountTable()
+	for _, ev := range events {
+		for proxy, c := range e.MatchCounts(ev) {
+			// Set only errors on negative counts, which MatchCounts
+			// cannot produce.
+			_ = t.Set(ev.ID, proxy, c)
+		}
+	}
+	return t
+}

@@ -1,0 +1,231 @@
+// Package match implements the publish/subscribe matching engine from the
+// paper's architecture (Fig. 1): subscribers declare interests, publishers
+// emit events, and the engine determines which subscriptions each event
+// matches. Proxy servers aggregate their users' subscriptions, so for
+// content distribution the quantity of interest is the number of matching
+// subscriptions per proxy (fS in the paper's value functions, eq. 2).
+//
+// Subscriptions are conjunctions over two predicate kinds:
+//
+//   - Topics: the subscription matches events carrying at least one of the
+//     listed topics (an OR over topics, as in topic-based systems).
+//   - Keywords: every listed keyword must appear in the event (an AND, as
+//     in content-based keyword filtering at news sites).
+//
+// The engine is an inverted index keyed by topic and keyword, so matching
+// cost scales with the number of subscriptions actually touching the
+// event's terms rather than with the total subscription population.
+package match
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Event is a published unit of content as seen by the matching engine.
+type Event struct {
+	// ID identifies the page/document this event announces.
+	ID string
+	// Topics are the categories the content belongs to.
+	Topics []string
+	// Keywords are content terms extracted from the page.
+	Keywords []string
+}
+
+// Subscription is a stored user interest.
+type Subscription struct {
+	// ID is assigned by the engine on Subscribe.
+	ID int64
+	// Proxy is the proxy server that aggregates this subscriber.
+	Proxy int
+	// Subscriber names the end user (informational).
+	Subscriber string
+	// Topics: match if the event carries at least one (empty = no topic
+	// constraint).
+	Topics []string
+	// Keywords: every keyword must appear in the event (empty = no
+	// keyword constraint).
+	Keywords []string
+}
+
+// ErrEmptySubscription is returned when a subscription constrains nothing.
+var ErrEmptySubscription = errors.New("match: subscription must have at least one topic or keyword")
+
+// ErrNotFound is returned by Unsubscribe for unknown subscription IDs.
+var ErrNotFound = errors.New("match: subscription not found")
+
+// Engine is a thread-safe matching engine.
+type Engine struct {
+	mu     sync.RWMutex
+	nextID int64
+	subs   map[int64]*Subscription
+	// byTopic and byKeyword map a term to the IDs of subscriptions
+	// listing it.
+	byTopic   map[string]map[int64]struct{}
+	byKeyword map[string]map[int64]struct{}
+}
+
+// NewEngine returns an empty matching engine.
+func NewEngine() *Engine {
+	return &Engine{
+		subs:      make(map[int64]*Subscription),
+		byTopic:   make(map[string]map[int64]struct{}),
+		byKeyword: make(map[string]map[int64]struct{}),
+	}
+}
+
+// Subscribe stores a subscription and returns its assigned ID.
+func (e *Engine) Subscribe(sub Subscription) (int64, error) {
+	if len(sub.Topics) == 0 && len(sub.Keywords) == 0 {
+		return 0, ErrEmptySubscription
+	}
+	if sub.Proxy < 0 {
+		return 0, fmt.Errorf("match: negative proxy %d", sub.Proxy)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.nextID++
+	stored := sub
+	stored.ID = e.nextID
+	stored.Topics = append([]string(nil), sub.Topics...)
+	stored.Keywords = append([]string(nil), sub.Keywords...)
+	e.subs[stored.ID] = &stored
+	for _, t := range stored.Topics {
+		set, ok := e.byTopic[t]
+		if !ok {
+			set = make(map[int64]struct{})
+			e.byTopic[t] = set
+		}
+		set[stored.ID] = struct{}{}
+	}
+	for _, k := range stored.Keywords {
+		set, ok := e.byKeyword[k]
+		if !ok {
+			set = make(map[int64]struct{})
+			e.byKeyword[k] = set
+		}
+		set[stored.ID] = struct{}{}
+	}
+	return stored.ID, nil
+}
+
+// Unsubscribe removes a subscription by ID.
+func (e *Engine) Unsubscribe(id int64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sub, ok := e.subs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	delete(e.subs, id)
+	for _, t := range sub.Topics {
+		if set := e.byTopic[t]; set != nil {
+			delete(set, id)
+			if len(set) == 0 {
+				delete(e.byTopic, t)
+			}
+		}
+	}
+	for _, k := range sub.Keywords {
+		if set := e.byKeyword[k]; set != nil {
+			delete(set, id)
+			if len(set) == 0 {
+				delete(e.byKeyword, k)
+			}
+		}
+	}
+	return nil
+}
+
+// Len returns the number of stored subscriptions.
+func (e *Engine) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.subs)
+}
+
+// Match returns the subscriptions the event matches, sorted by ID.
+func (e *Engine) Match(ev Event) []Subscription {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	ids := e.candidateIDs(ev)
+	out := make([]Subscription, 0, len(ids))
+	for id := range ids {
+		sub := e.subs[id]
+		if e.matches(sub, ev) {
+			out = append(out, *sub)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// MatchCounts returns, for each proxy with at least one matching
+// subscription, the number of matching subscriptions. This is the fS input
+// of the push-time value functions.
+func (e *Engine) MatchCounts(ev Event) map[int]int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	counts := make(map[int]int)
+	for id := range e.candidateIDs(ev) {
+		sub := e.subs[id]
+		if e.matches(sub, ev) {
+			counts[sub.Proxy]++
+		}
+	}
+	return counts
+}
+
+// candidateIDs collects subscription IDs that touch any of the event's
+// terms. A subscription with only keyword constraints is a candidate via
+// its keywords; one with topics via its topics. Exact verification happens
+// in matches.
+func (e *Engine) candidateIDs(ev Event) map[int64]struct{} {
+	ids := make(map[int64]struct{})
+	for _, t := range ev.Topics {
+		for id := range e.byTopic[t] {
+			ids[id] = struct{}{}
+		}
+	}
+	for _, k := range ev.Keywords {
+		for id := range e.byKeyword[k] {
+			ids[id] = struct{}{}
+		}
+	}
+	return ids
+}
+
+func (e *Engine) matches(sub *Subscription, ev Event) bool {
+	if len(sub.Topics) > 0 {
+		found := false
+		for _, want := range sub.Topics {
+			for _, got := range ev.Topics {
+				if want == got {
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	for _, want := range sub.Keywords {
+		found := false
+		for _, got := range ev.Keywords {
+			if want == got {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

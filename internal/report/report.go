@@ -1,0 +1,677 @@
+// Package report validates the reproduction against the paper's reported
+// results and renders EXPERIMENTS.md: for every table and figure it
+// records the paper's claim, the measured outcome, and a verdict on
+// whether the qualitative shape reproduces.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"pubsubcd/internal/experiments"
+	"pubsubcd/internal/workload"
+)
+
+// Data bundles the outputs of every experiment driver.
+type Data struct {
+	Scale  int
+	Beta   []*experiments.Grid
+	Fig3   *experiments.Grid
+	Fig4   []*experiments.Grid
+	Table2 *experiments.Grid
+	Fig5   []*experiments.Grid
+	Fig6   []*experiments.Series
+	Fig7   []*experiments.Series
+	// Extensions beyond the paper's evaluation.
+	ClosedLoop *experiments.Grid
+	Latency    *experiments.Grid
+}
+
+// Collect runs every experiment needed for the report.
+func Collect(h *experiments.Harness, scale int) (*Data, error) {
+	d := &Data{Scale: scale}
+	var err error
+	if d.Beta, err = experiments.BetaSweep(h); err != nil {
+		return nil, fmt.Errorf("report: beta: %w", err)
+	}
+	if d.Fig3, err = experiments.Fig3(h); err != nil {
+		return nil, fmt.Errorf("report: fig3: %w", err)
+	}
+	if d.Fig4, err = experiments.Fig4(h); err != nil {
+		return nil, fmt.Errorf("report: fig4: %w", err)
+	}
+	if d.Table2, err = experiments.Table2(h); err != nil {
+		return nil, fmt.Errorf("report: table2: %w", err)
+	}
+	if d.Fig5, err = experiments.Fig5(h); err != nil {
+		return nil, fmt.Errorf("report: fig5: %w", err)
+	}
+	if d.Fig6, err = experiments.Fig6(h); err != nil {
+		return nil, fmt.Errorf("report: fig6: %w", err)
+	}
+	if d.Fig7, err = experiments.Fig7(h); err != nil {
+		return nil, fmt.Errorf("report: fig7: %w", err)
+	}
+	if d.ClosedLoop, err = experiments.ClosedLoop(h); err != nil {
+		return nil, fmt.Errorf("report: closedloop: %w", err)
+	}
+	if d.Latency, err = experiments.ResponseTimes(h); err != nil {
+		return nil, fmt.Errorf("report: latency: %w", err)
+	}
+	return d, nil
+}
+
+// Verdict grades one claim.
+type Verdict int
+
+// Verdict values.
+const (
+	Reproduced Verdict = iota + 1
+	Partial
+	Differs
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Reproduced:
+		return "REPRODUCED"
+	case Partial:
+		return "PARTIAL"
+	case Differs:
+		return "DIFFERS"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Claim is one checkable statement from the paper's evaluation.
+type Claim struct {
+	ID         string
+	Experiment string
+	Statement  string
+	Check      func(d *Data) (Verdict, string)
+}
+
+// row/cell helpers over grids.
+
+func gridRow(g *experiments.Grid, name string) []float64 {
+	for r, n := range g.Rows {
+		if n == name {
+			return g.Cells[r]
+		}
+	}
+	return nil
+}
+
+func colIndex(g *experiments.Grid, col string) int {
+	for c, n := range g.Cols {
+		if n == col {
+			return c
+		}
+	}
+	return -1
+}
+
+func seriesCurve(s *experiments.Series, name string) []float64 {
+	for i, n := range s.Names {
+		if n == name {
+			return s.Y[i]
+		}
+	}
+	return nil
+}
+
+func dayMean(curve []float64, day int) float64 {
+	sum, n := 0.0, 0
+	for hr := day * 24; hr < (day+1)*24 && hr < len(curve); hr++ {
+		if !math.IsNaN(curve[hr]) {
+			sum += curve[hr]
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+func seriesTotal(s *experiments.Series, name string) float64 {
+	total := 0.0
+	for _, v := range seriesCurve(s, name) {
+		if !math.IsNaN(v) {
+			total += v
+		}
+	}
+	return total
+}
+
+// Claims returns the paper's checkable claims in presentation order.
+func Claims() []Claim {
+	return []Claim{
+		{
+			ID: "beta-gdstar-news", Experiment: "beta",
+			Statement: "§5.1: β = 2 maximises GD*'s hit ratio on the NEWS trace at every capacity.",
+			Check: func(d *Data) (Verdict, string) {
+				g := d.Beta[0] // NEWS
+				hits := 0
+				detail := []string{}
+				for r, name := range g.Rows {
+					if !strings.HasPrefix(name, "GD*") {
+						continue
+					}
+					best, bestV := "", -1.0
+					for c, col := range g.Cols {
+						if g.Cells[r][c] > bestV {
+							bestV, best = g.Cells[r][c], col
+						}
+					}
+					detail = append(detail, fmt.Sprintf("%s best at %s", name, best))
+					if best == "β=2" {
+						hits++
+					}
+				}
+				msg := strings.Join(detail, "; ")
+				switch hits {
+				case 3:
+					return Reproduced, msg
+				case 0:
+					return Differs, msg
+				default:
+					return Partial, msg
+				}
+			},
+		},
+		{
+			ID: "beta-sg2-small", Experiment: "beta",
+			Statement: "§5.1: SG2 prefers a small β (the paper uses 0.5 on ALTERNATIVE); its best β is below GD*'s.",
+			Check: func(d *Data) (Verdict, string) {
+				g := d.Beta[1] // ALTERNATIVE
+				ok := 0
+				total := 0
+				for r, name := range g.Rows {
+					if !strings.HasPrefix(name, "SG2") {
+						continue
+					}
+					total++
+					best, bestV := math.NaN(), -1.0
+					for c := range g.Cols {
+						if g.Cells[r][c] > bestV {
+							bestV = g.Cells[r][c]
+							fmt.Sscanf(g.Cols[c], "β=%f", &best)
+						}
+					}
+					if best <= 0.5 {
+						ok++
+					}
+				}
+				msg := fmt.Sprintf("%d/%d SG2 rows best at β ≤ 0.5 on ALTERNATIVE", ok, total)
+				if ok == total {
+					return Reproduced, msg
+				}
+				if ok > 0 {
+					return Partial, msg
+				}
+				return Differs, msg
+			},
+		},
+		{
+			ID: "fig3-dual-beat-gdstar", Experiment: "fig3",
+			Statement: "Fig. 3: all Dual* approaches have a better hit ratio than GD* at every capacity.",
+			Check: func(d *Data) (Verdict, string) {
+				base := gridRow(d.Fig3, "GD*")
+				failures := []string{}
+				for _, name := range []string{"DM", "DC-FP", "DC-AP", "DC-LAP"} {
+					row := gridRow(d.Fig3, name)
+					for c := range d.Fig3.Cols {
+						if row[c] <= base[c] {
+							failures = append(failures, fmt.Sprintf("%s@%s", name, d.Fig3.Cols[c]))
+						}
+					}
+				}
+				if len(failures) == 0 {
+					return Reproduced, "every Dual* beats GD* at 1%, 5% and 10%"
+				}
+				if len(failures) <= 2 {
+					return Partial, "exceptions: " + strings.Join(failures, ", ")
+				}
+				return Differs, "exceptions: " + strings.Join(failures, ", ")
+			},
+		},
+		{
+			ID: "fig3-dclap-vs-dcap", Experiment: "fig3",
+			Statement: "Fig. 3: DC-LAP outperforms DM and the other Dual-Caches approaches in all cases (the paper notes the adaptive gain over DC-FP is marginal).",
+			Check: func(d *Data) (Verdict, string) {
+				lap := gridRow(d.Fig3, "DC-LAP")
+				ap := gridRow(d.Fig3, "DC-AP")
+				dm := gridRow(d.Fig3, "DM")
+				fp := gridRow(d.Fig3, "DC-FP")
+				wins, total := 0, 0
+				for c := range d.Fig3.Cols {
+					for _, other := range [][]float64{ap, dm, fp} {
+						total++
+						if lap[c] > other[c] {
+							wins++
+						}
+					}
+				}
+				msg := fmt.Sprintf("DC-LAP wins %d/%d pairwise comparisons", wins, total)
+				switch {
+				case wins == total:
+					return Reproduced, msg
+				case wins >= total/3:
+					return Partial, msg
+				default:
+					return Differs, msg
+				}
+			},
+		},
+		{
+			ID: "fig4-schemes-beat-gdstar", Experiment: "fig4",
+			Statement: "Fig. 4: with perfect subscriptions every new scheme beats GD* (the paper's single exception is SUB at 1% on NEWS).",
+			Check: func(d *Data) (Verdict, string) {
+				failures := []string{}
+				for _, g := range d.Fig4 {
+					base := gridRow(g, "GD*")
+					for _, name := range []string{"SUB", "SG1", "SG2", "SR", "DC-LAP"} {
+						row := gridRow(g, name)
+						for c := range g.Cols {
+							if row[c] <= base[c] {
+								failures = append(failures, fmt.Sprintf("%s@%s(%s)", name, g.Cols[c], g.Title))
+							}
+						}
+					}
+				}
+				if len(failures) == 0 {
+					return Reproduced, "all schemes beat GD* everywhere"
+				}
+				if len(failures) <= 2 {
+					return Partial, "exceptions: " + strings.Join(failures, ", ")
+				}
+				return Differs, strings.Join(failures, ", ")
+			},
+		},
+		{
+			ID: "fig4-sg2-sr-top", Experiment: "fig4",
+			Statement: "Fig. 4: SG2 and SR, which estimate future references, provide the highest hit ratios among the single-cache schemes; SG1 is lower.",
+			Check: func(d *Data) (Verdict, string) {
+				ok, total := 0, 0
+				for _, g := range d.Fig4 {
+					sg1 := gridRow(g, "SG1")
+					sg2 := gridRow(g, "SG2")
+					sr := gridRow(g, "SR")
+					for c := range g.Cols {
+						total++
+						if sg2[c] >= sg1[c]-0.005 && sr[c] >= sg1[c]-0.005 {
+							ok++
+						}
+					}
+				}
+				msg := fmt.Sprintf("SG2/SR at or above SG1 in %d/%d cells", ok, total)
+				switch {
+				case ok == total:
+					return Reproduced, msg
+				case ok >= total/2:
+					return Partial, msg
+				default:
+					return Differs, msg
+				}
+			},
+		},
+		{
+			ID: "table2-alternative-larger", Experiment: "table2",
+			Statement: "Table 2: relative improvements are much higher for α = 1.0 than for α = 1.5 — pushing benefits less-skewed request streams more.",
+			Check: func(d *Data) (Verdict, string) {
+				larger := 0
+				for c := range d.Table2.Cols {
+					if d.Table2.Cells[1][c] > d.Table2.Cells[0][c] {
+						larger++
+					}
+				}
+				msg := fmt.Sprintf("ALTERNATIVE gain larger in %d/%d columns", larger, len(d.Table2.Cols))
+				switch {
+				case larger == len(d.Table2.Cols):
+					return Reproduced, msg
+				case larger > len(d.Table2.Cols)/2:
+					return Partial, msg
+				default:
+					return Differs, msg
+				}
+			},
+		},
+		{
+			ID: "table2-headline", Experiment: "table2",
+			Statement: "Abstract: the best approaches yield over 50% (NEWS) and 130% (ALTERNATIVE) relative hit-ratio gains.",
+			Check: func(d *Data) (Verdict, string) {
+				best := func(row []float64) float64 {
+					b := row[0]
+					for _, v := range row {
+						if v > b {
+							b = v
+						}
+					}
+					return b
+				}
+				news, alt := best(d.Table2.Cells[0]), best(d.Table2.Cells[1])
+				msg := fmt.Sprintf("best gains: NEWS %.0f%%, ALTERNATIVE %.0f%% (paper: 54%%, 133%%)", news, alt)
+				if news >= 50 && alt >= 130 {
+					return Reproduced, msg
+				}
+				if news >= 25 && alt >= 65 {
+					return Partial, msg
+				}
+				return Differs, msg
+			},
+		},
+		{
+			ID: "fig5-gdstar-flat", Experiment: "fig5",
+			Statement: "Fig. 5: all approaches are affected by SQ except GD*, which ignores subscriptions.",
+			Check: func(d *Data) (Verdict, string) {
+				for _, g := range d.Fig5 {
+					row := gridRow(g, "GD*")
+					for c := range g.Cols {
+						if math.Abs(row[c]-row[0]) > 1e-9 {
+							return Differs, "GD* varies with SQ"
+						}
+					}
+				}
+				return Reproduced, "GD* identical across SQ levels on both traces"
+			},
+		},
+		{
+			ID: "fig5-sr-sensitive-sg1-robust", Experiment: "fig5",
+			Statement: "Fig. 5: SR is most affected by SQ while SG1 and DC-LAP are not sensitive to it.",
+			Check: func(d *Data) (Verdict, string) {
+				ok := 0
+				msgs := []string{}
+				for _, g := range d.Fig5 {
+					drop := func(name string) float64 {
+						row := gridRow(g, name)
+						return row[len(row)-1] - row[0] // SQ=1 minus SQ=0.25
+					}
+					srDrop, sg1Drop, lapDrop := drop("SR"), drop("SG1"), drop("DC-LAP")
+					msgs = append(msgs, fmt.Sprintf("drops SR %.3f SG1 %.3f DC-LAP %.3f", srDrop, sg1Drop, lapDrop))
+					if srDrop > sg1Drop && srDrop > lapDrop {
+						ok++
+					}
+				}
+				msg := strings.Join(msgs, "; ")
+				switch ok {
+				case 2:
+					return Reproduced, msg
+				case 1:
+					return Partial, msg
+				default:
+					return Differs, msg
+				}
+			},
+		},
+		{
+			ID: "fig5-sg2-below-sg1-alt", Experiment: "fig5",
+			Statement: "Fig. 5: on ALTERNATIVE, SG2 drops more quickly than on NEWS and falls below SG1 when SQ is 0.25 or 0.5.",
+			Check: func(d *Data) (Verdict, string) {
+				g := d.Fig5[1] // ALTERNATIVE
+				sg1 := gridRow(g, "SG1")
+				sg2 := gridRow(g, "SG2")
+				low := colIndex(g, "SQ=0.25")
+				mid := colIndex(g, "SQ=0.5")
+				below := 0
+				if sg2[low] < sg1[low] {
+					below++
+				}
+				if sg2[mid] < sg1[mid] {
+					below++
+				}
+				msg := fmt.Sprintf("SG2 below SG1 at %d/2 low-SQ levels (SQ=0.25: %.3f vs %.3f)", below, sg2[low], sg1[low])
+				switch below {
+				case 2:
+					return Reproduced, msg
+				case 1:
+					return Partial, msg
+				default:
+					return Differs, msg
+				}
+			},
+		},
+		{
+			ID: "fig6-sub-decays", Experiment: "fig6",
+			Statement: "Fig. 6: SUB starts with a high hit ratio and decays over time; SG2 keeps a high hit ratio throughout.",
+			Check: func(d *Data) (Verdict, string) {
+				ok := 0
+				msgs := []string{}
+				for _, s := range d.Fig6 {
+					sub := seriesCurve(s, "SUB")
+					sg2 := seriesCurve(s, "SG2")
+					subDecay := dayMean(sub, 0) - dayMean(sub, 6)
+					sg2Decay := dayMean(sg2, 0) - dayMean(sg2, 6)
+					msgs = append(msgs, fmt.Sprintf("SUB decay %.3f, SG2 decay %.3f", subDecay, sg2Decay))
+					if subDecay > 0.02 && sg2Decay < subDecay {
+						ok++
+					}
+				}
+				msg := strings.Join(msgs, "; ")
+				switch ok {
+				case 2:
+					return Reproduced, msg
+				case 1:
+					return Partial, msg
+				default:
+					return Differs, msg
+				}
+			},
+		},
+		{
+			ID: "fig6-gdstar-stable", Experiment: "fig6",
+			Statement: "Fig. 6: after the first couple of hours GD* behaves stably.",
+			Check: func(d *Data) (Verdict, string) {
+				ok := 0
+				msgs := []string{}
+				for _, s := range d.Fig6 {
+					gd := seriesCurve(s, "GD*")
+					swing := math.Abs(dayMean(gd, 1) - dayMean(gd, 6))
+					msgs = append(msgs, fmt.Sprintf("day1→day6 swing %.3f", swing))
+					if swing < 0.10 {
+						ok++
+					}
+				}
+				msg := strings.Join(msgs, "; ")
+				switch ok {
+				case 2:
+					return Reproduced, msg
+				case 1:
+					return Partial, msg
+				default:
+					return Differs, msg
+				}
+			},
+		},
+		{
+			ID: "fig7-sub-highest-traffic", Experiment: "fig7",
+			Statement: "Fig. 7: SUB always introduces the highest traffic overhead (it fetches on every miss without caching).",
+			Check: func(d *Data) (Verdict, string) {
+				ok := 0
+				for _, s := range d.Fig7 {
+					if seriesTotal(s, "SUB") > seriesTotal(s, "SG2") &&
+						seriesTotal(s, "SUB") > seriesTotal(s, "GD*") {
+						ok++
+					}
+				}
+				msg := fmt.Sprintf("SUB highest under %d/2 pushing schemes", ok)
+				switch ok {
+				case 2:
+					return Reproduced, msg
+				case 1:
+					return Partial, msg
+				default:
+					return Differs, msg
+				}
+			},
+		},
+		{
+			ID: "fig7-pwn-helps-sub", Experiment: "fig7",
+			Statement: "Fig. 7: Pushing-When-Necessary narrows the SUB–GD* traffic gap relative to Always-Pushing, and GD*'s traffic does not change with the pushing scheme.",
+			Check: func(d *Data) (Verdict, string) {
+				ap, pwn := d.Fig7[0], d.Fig7[1]
+				gdSame := math.Abs(seriesTotal(ap, "GD*")-seriesTotal(pwn, "GD*")) < 1e-6
+				gapAP := seriesTotal(ap, "SUB") - seriesTotal(ap, "GD*")
+				gapPWN := seriesTotal(pwn, "SUB") - seriesTotal(pwn, "GD*")
+				msg := fmt.Sprintf("SUB−GD* gap: AP %.0f, PWN %.0f pages; GD* scheme-independent: %v", gapAP, gapPWN, gdSame)
+				if gdSame && gapPWN < gapAP {
+					return Reproduced, msg
+				}
+				if gdSame || gapPWN < gapAP {
+					return Partial, msg
+				}
+				return Differs, msg
+			},
+		},
+	}
+}
+
+// paperTable2 is the paper's reported Table 2 (relative improvement over
+// GD*, %, capacity = 5 %).
+var paperTable2 = map[string][2]float64{
+	"SUB":    {6, 47},
+	"SG1":    {34, 84},
+	"SG2":    {50, 133},
+	"SR":     {54, 133},
+	"DM":     {17, 34},
+	"DC-FP":  {37, 93},
+	"DC-LAP": {40, 96},
+}
+
+// Generate writes the full Markdown report.
+func Generate(d *Data, w io.Writer, generatedBy string) error {
+	now := time.Now().UTC().Format("2006-01-02")
+	p := func(format string, args ...interface{}) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("# EXPERIMENTS — paper vs measured\n\n"); err != nil {
+		return err
+	}
+	if err := p("Reproduction of the evaluation (§5) of *Content Distribution for\nPublish/Subscribe Services* (Middleware 2003). Generated %s by `%s`\n(workload scale 1/%d; scale 1 is the paper's full size).\n\n", now, generatedBy, d.Scale); err != nil {
+		return err
+	}
+	if err := p("Absolute hit ratios are not expected to match the paper — the workload\nis a reconstruction from the paper's published parameters — but the\nqualitative shape is. Each claim below is checked programmatically\n(`internal/report`): REPRODUCED / PARTIAL / DIFFERS.\n\n## Claim checklist\n\n"); err != nil {
+		return err
+	}
+	if err := p("| # | Experiment | Paper claim | Verdict | Measured |\n|---|---|---|---|---|\n"); err != nil {
+		return err
+	}
+	counts := map[Verdict]int{}
+	for i, c := range Claims() {
+		verdict, detail := c.Check(d)
+		counts[verdict]++
+		if err := p("| %d | %s | %s | **%s** | %s |\n", i+1, c.Experiment, c.Statement, verdict, detail); err != nil {
+			return err
+		}
+	}
+	if err := p("\nSummary: %d reproduced, %d partial, %d differ.\n\n", counts[Reproduced], counts[Partial], counts[Differs]); err != nil {
+		return err
+	}
+
+	if err := p(`## Known deviations and root causes
+
+The deviations observed above are consistent across scales and share a
+single root cause. The paper's SUB is weak (+6%% on NEWS) and decays while
+SG2/SR stay high; in this reproduction SUB performs on par with SG2/SR,
+its traffic is correspondingly not the highest, and SG2 decays alongside
+SUB late in the week. The cause: with SQ = 1 the reconstructed workload
+makes the static subscription count of a (page, proxy) pair equal to its
+total request count, so SUB's static values are nearly clairvoyant —
+there is no popularity drift within the 7-day horizon that the paper's
+(unavailable) generator evidently had, where stated interest went stale
+relative to actual accesses. Re-pushed modified versions also keep SUB's
+cache perfectly fresh on exactly the hottest pages. The SQ < 1 results
+(Fig. 5) restore the paper's ordering because imperfect subscriptions
+reintroduce the misprediction SUB cannot correct: SR/SG2/SUB degrade the
+most and SG1/DC-LAP are robust, including the paper's specific
+observation that SG2 falls below SG1 at low SQ on ALTERNATIVE.
+
+Calibration notes (see DESIGN.md §4 for the full list): request ages are
+Lomax-distributed per popularity class; popularity is day-local (each
+day's publication cohort has its own Zipf ranking, per the
+Padmanabhan-Qiu observation that the popular set turns over daily);
+modification is popularity-biased with assortative intervals (popular
+news is updated most), which is what gives the access-only baseline its
+paper-level staleness losses.
+
+`); err != nil {
+		return err
+	}
+
+	// Table 2 side-by-side.
+	if err := p("## Table 2 — relative improvement over GD* (%%, capacity 5%%)\n\n| α | scheme | paper | measured |\n|---|---|---|---|\n"); err != nil {
+		return err
+	}
+	for ri, alphaLabel := range d.Table2.Rows {
+		for ci, scheme := range d.Table2.Cols {
+			pv := paperTable2[scheme]
+			paperVal := pv[ri]
+			if err := p("| %s | %s | %.0f | %.0f |\n", alphaLabel, scheme, paperVal, d.Table2.Cells[ri][ci]); err != nil {
+				return err
+			}
+		}
+	}
+	if err := p("\n"); err != nil {
+		return err
+	}
+
+	// Raw measured grids.
+	if err := p("## Measured results\n\n```\n"); err != nil {
+		return err
+	}
+	for _, g := range d.Beta {
+		if err := g.WriteText(w); err != nil {
+			return err
+		}
+	}
+	if err := d.Fig3.WriteText(w); err != nil {
+		return err
+	}
+	for _, g := range d.Fig4 {
+		if err := g.WriteText(w); err != nil {
+			return err
+		}
+	}
+	if err := d.Table2.WriteText(w); err != nil {
+		return err
+	}
+	for _, g := range d.Fig5 {
+		if err := g.WriteText(w); err != nil {
+			return err
+		}
+	}
+	if err := d.ClosedLoop.WriteText(w); err != nil {
+		return err
+	}
+	if err := d.Latency.WriteText(w); err != nil {
+		return err
+	}
+	if err := p("```\n\nThe closed-loop grid validates the workload construction: strategy\nrankings agree whether requests come from the open-loop trace or are\nregenerated from the subscriptions themselves. The response-time grid\ntranslates hit ratios into the paper's motivating metric under a 10 ms\nhit / ~200 ms origin-fetch model.\n\nHourly series (Figs. 6–7) are omitted here for size; regenerate with\n`go run ./cmd/experiments -run fig6,fig7`.\n"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// WorkloadSnapshot appends a workload-analysis appendix for a trace.
+func WorkloadSnapshot(w io.Writer, trace workload.TraceName, scale int, seed int64) error {
+	cfg := workload.ScaledConfig(trace, scale)
+	cfg.Seed = seed
+	wl, err := workload.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "\n## Workload snapshot (%s)\n\n```\n", trace); err != nil {
+		return err
+	}
+	if err := wl.Analyze().WriteText(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(w, "```\n")
+	return err
+}

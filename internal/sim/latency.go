@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// The paper's motivation is reducing the response time perceived by
+// end-users, with the local hit ratio as its proxy metric (§5.1). This
+// file closes the loop: given a simple latency model, a Result's hit and
+// miss counts translate into an estimated mean response time, so the hit
+// ratio improvements can be read in time units.
+
+// LatencyModel maps cache outcomes to response times.
+type LatencyModel struct {
+	// LocalHit is the response time of a proxy cache hit.
+	LocalHit float64
+	// OriginRTTPerCost is the per-unit-fetch-cost round-trip time: a
+	// miss at a proxy with fetch cost c costs LocalHit + c *
+	// OriginRTTPerCost.
+	OriginRTTPerCost float64
+}
+
+// DefaultLatencyModel uses 10 ms for a local hit and 200 ms per unit of
+// normalised fetch cost (the topology normalises mean cost to 1), giving
+// origin fetches a mean of ~210 ms — representative broadband-era WAN
+// numbers.
+func DefaultLatencyModel() LatencyModel {
+	return LatencyModel{LocalHit: 10, OriginRTTPerCost: 200}
+}
+
+// Validate checks the model.
+func (m LatencyModel) Validate() error {
+	if m.LocalHit < 0 {
+		return fmt.Errorf("sim: negative local hit latency %g", m.LocalHit)
+	}
+	if m.OriginRTTPerCost <= 0 {
+		return fmt.Errorf("sim: origin RTT per cost must be positive, got %g", m.OriginRTTPerCost)
+	}
+	return nil
+}
+
+// MeanResponseTime estimates the mean per-request response time (same
+// unit as the model, conventionally milliseconds) implied by a result's
+// per-server hit counts and the fetch costs used in the run. costs must
+// be the same slice passed (or defaulted) in Options.
+func (r *Result) MeanResponseTime(m LatencyModel, costs []float64) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if len(costs) != len(r.PerServerRequests) {
+		return 0, fmt.Errorf("sim: got %d costs for %d servers", len(costs), len(r.PerServerRequests))
+	}
+	if r.Requests == 0 {
+		return 0, nil
+	}
+	total := 0.0
+	for server, reqs := range r.PerServerRequests {
+		hits := r.PerServerHits[server]
+		misses := reqs - hits
+		total += float64(reqs) * m.LocalHit
+		total += float64(misses) * costs[server] * m.OriginRTTPerCost
+	}
+	return total / float64(r.Requests), nil
+}
+
+// ResponseTimeImprovement returns the relative reduction in estimated
+// mean response time of this result versus a baseline run on the same
+// workload and costs (e.g. 0.42 = 42 % faster).
+func (r *Result) ResponseTimeImprovement(baseline *Result, m LatencyModel, costs []float64) (float64, error) {
+	mine, err := r.MeanResponseTime(m, costs)
+	if err != nil {
+		return 0, err
+	}
+	base, err := baseline.MeanResponseTime(m, costs)
+	if err != nil {
+		return 0, err
+	}
+	if base == 0 {
+		return 0, nil
+	}
+	imp := (base - mine) / base
+	if math.IsNaN(imp) {
+		return 0, nil
+	}
+	return imp, nil
+}

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"pubsubcd/internal/workload"
+)
+
+func TestLatencyModelValidate(t *testing.T) {
+	if err := DefaultLatencyModel().Validate(); err != nil {
+		t.Fatalf("default model invalid: %v", err)
+	}
+	if err := (LatencyModel{LocalHit: -1, OriginRTTPerCost: 1}).Validate(); err == nil {
+		t.Error("negative hit latency should error")
+	}
+	if err := (LatencyModel{LocalHit: 1, OriginRTTPerCost: 0}).Validate(); err == nil {
+		t.Error("zero origin RTT should error")
+	}
+}
+
+func TestMeanResponseTimeHandComputed(t *testing.T) {
+	res := &Result{
+		Requests:          10,
+		Hits:              6,
+		PerServerRequests: []int64{10},
+		PerServerHits:     []int64{6},
+	}
+	m := LatencyModel{LocalHit: 10, OriginRTTPerCost: 100}
+	costs := []float64{2}
+	// 10 requests * 10ms + 4 misses * 2 * 100ms = 100 + 800 = 900; /10 = 90.
+	got, err := res.MeanResponseTime(m, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-90) > 1e-9 {
+		t.Errorf("mean response time = %g, want 90", got)
+	}
+}
+
+func TestMeanResponseTimeValidation(t *testing.T) {
+	res := &Result{Requests: 1, PerServerRequests: []int64{1}, PerServerHits: []int64{0}}
+	if _, err := res.MeanResponseTime(DefaultLatencyModel(), []float64{1, 2}); err == nil {
+		t.Error("mismatched costs should error")
+	}
+	if _, err := res.MeanResponseTime(LatencyModel{LocalHit: -1, OriginRTTPerCost: 1}, []float64{1}); err == nil {
+		t.Error("invalid model should error")
+	}
+	empty := &Result{PerServerRequests: []int64{0}, PerServerHits: []int64{0}}
+	got, err := empty.MeanResponseTime(DefaultLatencyModel(), []float64{1})
+	if err != nil || got != 0 {
+		t.Errorf("empty result: %g, %v", got, err)
+	}
+}
+
+func TestResponseTimeImprovementEndToEnd(t *testing.T) {
+	w := testWorkload(t, workload.TraceNEWS, 1)
+	costs := make([]float64, w.Config.Servers)
+	for i := range costs {
+		costs[i] = 1
+	}
+	opts := DefaultOptions()
+	opts.FetchCosts = costs
+	base := runStrategy(t, w, "GD*", opts)
+	better := runStrategy(t, w, "SG2", opts)
+	imp, err := better.ResponseTimeImprovement(base, DefaultLatencyModel(), costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp <= 0 {
+		t.Errorf("SG2 should reduce response time vs GD*, got improvement %g", imp)
+	}
+	if imp >= 1 {
+		t.Errorf("improvement %g out of range", imp)
+	}
+	// Higher hit ratio must imply lower mean response time under a
+	// uniform cost model.
+	bm, err := base.MeanResponseTime(DefaultLatencyModel(), costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := better.MeanResponseTime(DefaultLatencyModel(), costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm >= bm {
+		t.Errorf("SG2 response time %g should be below GD* %g", sm, bm)
+	}
+}

@@ -1,0 +1,304 @@
+// Package sim is the discrete-event simulator of the paper's Fig. 2: a
+// single publisher, a set of proxy servers each running a content
+// distribution strategy, a publishing stream pushed through the matching
+// engine, and per-proxy request streams served from the local caches.
+//
+// A single run measures the global hit ratio H (eq. 8), hourly hit ratios
+// and the publisher→proxy traffic in pages and bytes under both pushing
+// schemes of §5.6 (Always-Pushing and Pushing-When-Necessary) — the
+// placement outcome is identical under both schemes, only the accounting
+// differs, so one run yields both curves.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"pubsubcd/internal/core"
+	"pubsubcd/internal/topology"
+	"pubsubcd/internal/workload"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// CapacityFraction sizes each proxy cache as this fraction of the
+	// unique bytes the proxy requests over the trace (§5.1; paper uses
+	// 0.01, 0.05, 0.10).
+	CapacityFraction float64
+	// Beta is the GD* balance parameter for strategies that use it.
+	Beta float64
+	// TopologySeed seeds the Waxman topology that yields fetch costs.
+	TopologySeed int64
+	// FetchCosts optionally supplies precomputed per-proxy fetch costs
+	// (len == servers); when nil they are generated from TopologySeed.
+	FetchCosts []float64
+}
+
+// DefaultOptions returns the paper's most common setting: 5 % capacity,
+// β = 2.
+func DefaultOptions() Options {
+	return Options{CapacityFraction: 0.05, Beta: 2, TopologySeed: 7}
+}
+
+// Result summarises one simulation run.
+type Result struct {
+	Strategy         string  `json:"strategy"`
+	Trace            string  `json:"trace"`
+	CapacityFraction float64 `json:"capacityFraction"`
+	Beta             float64 `json:"beta"`
+	SQ               float64 `json:"sq"`
+
+	Hits     int64 `json:"hits"`
+	Requests int64 `json:"requests"`
+
+	// Hourly series, one entry per simulation hour.
+	HourlyHits     []int64 `json:"hourlyHits"`
+	HourlyRequests []int64 `json:"hourlyRequests"`
+	// PushedPagesAP counts page transfers for pushing under
+	// Always-Pushing; PushedPagesPWN under Pushing-When-Necessary.
+	PushedPagesAP  []int64 `json:"pushedPagesAP"`
+	PushedPagesPWN []int64 `json:"pushedPagesPWN"`
+	// FetchedPages counts fetch-on-miss transfers (scheme-independent).
+	FetchedPages []int64 `json:"fetchedPages"`
+	// Byte counterparts of the above.
+	PushedBytesAP  []int64 `json:"pushedBytesAP"`
+	PushedBytesPWN []int64 `json:"pushedBytesPWN"`
+	FetchedBytes   []int64 `json:"fetchedBytes"`
+
+	PerServerHits     []int64 `json:"perServerHits"`
+	PerServerRequests []int64 `json:"perServerRequests"`
+
+	// ColdMisses counts first requests of a (page, server) pair —
+	// avoidable only by pushing. WarmMisses counts repeat-request misses
+	// (the copy was evicted or stale).
+	ColdMisses int64 `json:"coldMisses"`
+	WarmMisses int64 `json:"warmMisses"`
+	// ClassHits/ClassRequests break down by popularity class (0..3).
+	ClassHits     [4]int64 `json:"classHits"`
+	ClassRequests [4]int64 `json:"classRequests"`
+}
+
+// HitRatio returns the global hit ratio H of eq. 8 (0 when no requests).
+func (r *Result) HitRatio() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Requests)
+}
+
+// HourlyHitRatio returns the hit ratio for each simulation hour; hours
+// with no requests yield NaN so plots can skip them.
+func (r *Result) HourlyHitRatio() []float64 {
+	out := make([]float64, len(r.HourlyHits))
+	for i := range out {
+		if r.HourlyRequests[i] == 0 {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = float64(r.HourlyHits[i]) / float64(r.HourlyRequests[i])
+	}
+	return out
+}
+
+// TotalTraffic returns the total pages transferred from the publisher
+// under the given pushing scheme (pushes + fetches on miss).
+func (r *Result) TotalTraffic(scheme PushScheme) int64 {
+	var total int64
+	pushed := r.PushedPagesAP
+	if scheme == PushWhenNecessary {
+		pushed = r.PushedPagesPWN
+	}
+	for i := range pushed {
+		total += pushed[i] + r.FetchedPages[i]
+	}
+	return total
+}
+
+// TotalTrafficBytes is TotalTraffic measured in bytes.
+func (r *Result) TotalTrafficBytes(scheme PushScheme) int64 {
+	var total int64
+	pushed := r.PushedBytesAP
+	if scheme == PushWhenNecessary {
+		pushed = r.PushedBytesPWN
+	}
+	for i := range pushed {
+		total += pushed[i] + r.FetchedBytes[i]
+	}
+	return total
+}
+
+// HourlyTraffic returns the per-hour page traffic under the scheme.
+func (r *Result) HourlyTraffic(scheme PushScheme) []int64 {
+	pushed := r.PushedPagesAP
+	if scheme == PushWhenNecessary {
+		pushed = r.PushedPagesPWN
+	}
+	out := make([]int64, len(pushed))
+	for i := range out {
+		out[i] = pushed[i] + r.FetchedPages[i]
+	}
+	return out
+}
+
+// PushScheme selects how the push-time module transfers content (§5.6).
+type PushScheme int
+
+const (
+	// AlwaysPush transfers every matched page; the proxy may then
+	// decline to store it (wasting the transfer).
+	AlwaysPush PushScheme = iota + 1
+	// PushWhenNecessary exchanges metadata first and transfers the page
+	// only when the proxy will store it.
+	PushWhenNecessary
+)
+
+// String implements fmt.Stringer.
+func (s PushScheme) String() string {
+	switch s {
+	case AlwaysPush:
+		return "Always-Pushing"
+	case PushWhenNecessary:
+		return "Pushing-When-Necessary"
+	default:
+		return fmt.Sprintf("PushScheme(%d)", int(s))
+	}
+}
+
+// Run simulates the workload under the named strategy.
+func Run(w *workload.Workload, factory core.Factory, opts Options) (*Result, error) {
+	if w == nil {
+		return nil, fmt.Errorf("sim: nil workload")
+	}
+	if opts.CapacityFraction <= 0 || opts.CapacityFraction > 1 {
+		return nil, fmt.Errorf("sim: capacity fraction must be in (0, 1], got %g", opts.CapacityFraction)
+	}
+	servers := w.Config.Servers
+	costs := opts.FetchCosts
+	if costs == nil {
+		var err error
+		costs, err = topology.FetchCosts(servers, opts.TopologySeed)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+	}
+	if len(costs) != servers {
+		return nil, fmt.Errorf("sim: got %d fetch costs for %d servers", len(costs), servers)
+	}
+	capacities, err := w.CacheCapacities(opts.CapacityFraction)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	strategies := make([]core.Strategy, servers)
+	for i := range strategies {
+		s, err := factory.New(core.Params{Capacity: capacities[i], Beta: opts.Beta})
+		if err != nil {
+			return nil, fmt.Errorf("sim: server %d: %w", i, err)
+		}
+		strategies[i] = s
+	}
+
+	hours := int(math.Ceil(w.Config.Horizon()))
+	res := &Result{
+		Strategy:          factory.Name,
+		Trace:             string(w.Config.Trace()),
+		CapacityFraction:  opts.CapacityFraction,
+		Beta:              opts.Beta,
+		SQ:                w.Config.SQ,
+		HourlyHits:        make([]int64, hours),
+		HourlyRequests:    make([]int64, hours),
+		PushedPagesAP:     make([]int64, hours),
+		PushedPagesPWN:    make([]int64, hours),
+		FetchedPages:      make([]int64, hours),
+		PushedBytesAP:     make([]int64, hours),
+		PushedBytesPWN:    make([]int64, hours),
+		FetchedBytes:      make([]int64, hours),
+		PerServerHits:     make([]int64, servers),
+		PerServerRequests: make([]int64, servers),
+	}
+	hourOf := func(t float64) int {
+		h := int(t)
+		if h < 0 {
+			h = 0
+		}
+		if h >= hours {
+			h = hours - 1
+		}
+		return h
+	}
+
+	currentVersion := make([]int, len(w.Pages))
+	for i := range currentVersion {
+		currentVersion[i] = -1 // not yet published
+	}
+	usesPush := factory.UsesPush()
+	seen := make([]bool, len(w.Pages)*servers)
+
+	pubs, reqs := w.Publications, w.Requests
+	pi, ri := 0, 0
+	for pi < len(pubs) || ri < len(reqs) {
+		// Publications at the same timestamp are processed before
+		// requests (content becomes available, then is read).
+		if pi < len(pubs) && (ri >= len(reqs) || pubs[pi].Time <= reqs[ri].Time) {
+			p := pubs[pi]
+			pi++
+			if p.Version > currentVersion[p.Page] {
+				currentVersion[p.Page] = p.Version
+			}
+			if !usesPush {
+				continue
+			}
+			page := &w.Pages[p.Page]
+			hour := hourOf(p.Time)
+			row := w.Subscriptions[p.Page]
+			for server := 0; server < servers; server++ {
+				subs := int(row[server])
+				if subs == 0 {
+					continue
+				}
+				meta := core.PageMeta{ID: p.Page, Size: page.Size, Cost: costs[server]}
+				stored := strategies[server].Push(meta, p.Version, subs)
+				res.PushedPagesAP[hour]++
+				res.PushedBytesAP[hour] += page.Size
+				if stored {
+					res.PushedPagesPWN[hour]++
+					res.PushedBytesPWN[hour] += page.Size
+				}
+			}
+			continue
+		}
+		r := reqs[ri]
+		ri++
+		page := &w.Pages[r.Page]
+		version := currentVersion[r.Page]
+		if version < 0 {
+			// Requests are generated after first publication, so this
+			// only guards float boundary artifacts.
+			version = 0
+		}
+		subs := int(w.Subscriptions[r.Page][r.Server])
+		meta := core.PageMeta{ID: r.Page, Size: page.Size, Cost: costs[r.Server]}
+		hit, _ := strategies[r.Server].Request(meta, version, subs)
+		hour := hourOf(r.Time)
+		res.Requests++
+		res.HourlyRequests[hour]++
+		res.PerServerRequests[r.Server]++
+		res.ClassRequests[page.Class]++
+		first := !seen[r.Page*servers+r.Server]
+		seen[r.Page*servers+r.Server] = true
+		if hit {
+			res.Hits++
+			res.HourlyHits[hour]++
+			res.PerServerHits[r.Server]++
+			res.ClassHits[page.Class]++
+		} else {
+			res.FetchedPages[hour]++
+			res.FetchedBytes[hour] += page.Size
+			if first {
+				res.ColdMisses++
+			} else {
+				res.WarmMisses++
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds basic descriptive statistics of a float64 sample.
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	StdDev float64
+	Median float64
+	P90    float64
+	P99    float64
+}
+
+// Summarize computes descriptive statistics. An empty sample yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	sum := 0.0
+	for _, x := range sorted {
+		sum += x
+	}
+	s.Mean = sum / float64(s.N)
+	ss := 0.0
+	for _, x := range sorted {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if s.N > 1 {
+		s.StdDev = math.Sqrt(ss / float64(s.N-1))
+	}
+	s.Median = Quantile(sorted, 0.5)
+	s.P90 = Quantile(sorted, 0.9)
+	s.P99 = Quantile(sorted, 0.99)
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of an ascending-sorted
+// sample using linear interpolation. It returns 0 for an empty sample.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

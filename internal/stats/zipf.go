@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Zipf models a Zipf popularity distribution over n ranked items: the
+// probability of the item with rank i (1-based) is proportional to
+// 1/i^alpha. The paper uses alpha = 1.5 for the NEWS trace and alpha = 1.0
+// for ALTERNATIVE (§4.2).
+type Zipf struct {
+	alpha float64
+	// cum[i] is the cumulative probability of ranks 1..i+1.
+	cum []float64
+}
+
+// NewZipf builds a Zipf distribution over n items with homogeneity
+// parameter alpha. n must be positive and alpha non-negative.
+func NewZipf(n int, alpha float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("zipf: n must be positive, got %d", n)
+	}
+	if alpha < 0 {
+		return nil, fmt.Errorf("zipf: alpha must be non-negative, got %g", alpha)
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += rankWeight(i+1, alpha)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Zipf{alpha: alpha, cum: cum}, nil
+}
+
+func rankWeight(rank int, alpha float64) float64 {
+	return 1 / math.Pow(float64(rank), alpha)
+}
+
+// N returns the number of ranked items.
+func (z *Zipf) N() int { return len(z.cum) }
+
+// Alpha returns the homogeneity parameter.
+func (z *Zipf) Alpha() float64 { return z.alpha }
+
+// Prob returns the probability of the item with 1-based rank.
+func (z *Zipf) Prob(rank int) float64 {
+	if rank < 1 || rank > len(z.cum) {
+		return 0
+	}
+	if rank == 1 {
+		return z.cum[0]
+	}
+	return z.cum[rank-1] - z.cum[rank-2]
+}
+
+// Rank samples a 1-based rank using g.
+func (z *Zipf) Rank(g *RNG) int {
+	u := g.Float64()
+	// cum is sorted ascending; find the first index with cum >= u.
+	i := sort.SearchFloat64s(z.cum, u)
+	if i >= len(z.cum) {
+		i = len(z.cum) - 1
+	}
+	return i + 1
+}
+
+// Counts deterministically apportions total samples to ranks in proportion
+// to the Zipf probabilities, using largest-remainder rounding so that the
+// counts sum exactly to total and never invert the rank order.
+func (z *Zipf) Counts(total int) ([]int, error) {
+	if total < 0 {
+		return nil, errors.New("zipf: total must be non-negative")
+	}
+	n := len(z.cum)
+	counts := make([]int, n)
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, n)
+	assigned := 0
+	for i := 0; i < n; i++ {
+		exact := z.Prob(i+1) * float64(total)
+		whole := int(exact)
+		counts[i] = whole
+		assigned += whole
+		rems[i] = rem{idx: i, frac: exact - float64(whole)}
+	}
+	sort.Slice(rems, func(a, b int) bool {
+		if rems[a].frac != rems[b].frac {
+			return rems[a].frac > rems[b].frac
+		}
+		return rems[a].idx < rems[b].idx
+	})
+	for i := 0; assigned < total; i++ {
+		counts[rems[i%n].idx]++
+		assigned++
+	}
+	return counts, nil
+}

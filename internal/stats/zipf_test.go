@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZipfValidation(t *testing.T) {
+	tests := []struct {
+		name  string
+		n     int
+		alpha float64
+		ok    bool
+	}{
+		{"valid", 10, 1.0, true},
+		{"zero n", 0, 1.0, false},
+		{"negative n", -3, 1.0, false},
+		{"negative alpha", 5, -0.5, false},
+		{"zero alpha uniform", 5, 0, true},
+		{"news alpha", 100, 1.5, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			z, err := NewZipf(tt.n, tt.alpha)
+			if tt.ok && err != nil {
+				t.Fatalf("NewZipf(%d, %g) unexpected error: %v", tt.n, tt.alpha, err)
+			}
+			if !tt.ok {
+				if err == nil {
+					t.Fatalf("NewZipf(%d, %g) expected error", tt.n, tt.alpha)
+				}
+				return
+			}
+			if z.N() != tt.n {
+				t.Errorf("N() = %d, want %d", z.N(), tt.n)
+			}
+			if z.Alpha() != tt.alpha {
+				t.Errorf("Alpha() = %g, want %g", z.Alpha(), tt.alpha)
+			}
+		})
+	}
+}
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	for _, alpha := range []float64{0, 0.8, 1.0, 1.5} {
+		z, err := NewZipf(500, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for r := 1; r <= 500; r++ {
+			sum += z.Prob(r)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("alpha=%g: probabilities sum to %g, want 1", alpha, sum)
+		}
+	}
+}
+
+func TestZipfProbMonotoneInRank(t *testing.T) {
+	z, err := NewZipf(1000, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 2; r <= 1000; r++ {
+		if z.Prob(r) > z.Prob(r-1)+1e-15 {
+			t.Fatalf("Prob(%d)=%g > Prob(%d)=%g; Zipf must be non-increasing in rank", r, z.Prob(r), r-1, z.Prob(r-1))
+		}
+	}
+}
+
+func TestZipfProbOutOfRange(t *testing.T) {
+	z, err := NewZipf(10, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := z.Prob(0); got != 0 {
+		t.Errorf("Prob(0) = %g, want 0", got)
+	}
+	if got := z.Prob(11); got != 0 {
+		t.Errorf("Prob(11) = %g, want 0", got)
+	}
+}
+
+func TestZipfRatioMatchesAlpha(t *testing.T) {
+	// P(1)/P(2) must be 2^alpha.
+	for _, alpha := range []float64{1.0, 1.5} {
+		z, err := NewZipf(100, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := z.Prob(1) / z.Prob(2)
+		want := math.Pow(2, alpha)
+		if math.Abs(ratio-want) > 1e-9 {
+			t.Errorf("alpha=%g: P(1)/P(2) = %g, want %g", alpha, ratio, want)
+		}
+	}
+}
+
+func TestZipfRankSamplingDistribution(t *testing.T) {
+	z, err := NewZipf(50, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewRNG(42)
+	const n = 200000
+	counts := make([]int, 51)
+	for i := 0; i < n; i++ {
+		r := z.Rank(g)
+		if r < 1 || r > 50 {
+			t.Fatalf("Rank returned %d, out of [1, 50]", r)
+		}
+		counts[r]++
+	}
+	// Rank 1 empirical frequency should be close to the analytic value.
+	want := z.Prob(1)
+	got := float64(counts[1]) / n
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("empirical P(rank=1) = %g, analytic %g", got, want)
+	}
+}
+
+func TestZipfCountsExactTotal(t *testing.T) {
+	z, err := NewZipf(77, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, total := range []int{0, 1, 10, 1234, 195000} {
+		counts, err := z.Counts(total)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0
+		for _, c := range counts {
+			sum += c
+		}
+		if sum != total {
+			t.Errorf("Counts(%d) sums to %d", total, sum)
+		}
+	}
+	if _, err := z.Counts(-1); err == nil {
+		t.Error("Counts(-1) should error")
+	}
+}
+
+func TestZipfCountsPreserveRankOrder(t *testing.T) {
+	z, err := NewZipf(200, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := z.Counts(100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] > counts[i-1]+1 {
+			t.Fatalf("counts[%d]=%d exceeds counts[%d]=%d by more than rounding", i, counts[i], i-1, counts[i-1])
+		}
+	}
+}
+
+func TestZipfCountsProperty(t *testing.T) {
+	// Property: for any valid total, the counts sum exactly to the total.
+	z, err := NewZipf(30, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(totalRaw uint16) bool {
+		total := int(totalRaw)
+		counts, err := z.Counts(total)
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for _, c := range counts {
+			if c < 0 {
+				return false
+			}
+			sum += c
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

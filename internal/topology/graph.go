@@ -1,0 +1,210 @@
+// Package topology builds BRITE-style random network topologies and
+// computes the network distance from every proxy server to the publisher.
+// The paper (§3.1) uses the network distance to the origin publisher as the
+// cost c(p) to fetch a page at a given proxy, on a random graph built with
+// BRITE. We reproduce BRITE's router-level Waxman model: nodes are placed
+// uniformly in a plane and each pair (u, v) is connected with probability
+//
+//	P(u, v) = alpha * exp(-d(u, v) / (beta * L))
+//
+// where d is Euclidean distance and L the maximum possible distance. The
+// generator then repairs connectivity by linking each disconnected
+// component to its nearest connected neighbour, mimicking BRITE's
+// incremental growth guarantee that the topology is connected.
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"pubsubcd/internal/stats"
+)
+
+// Node is a router in the generated topology.
+type Node struct {
+	ID int
+	X  float64
+	Y  float64
+}
+
+// Edge is an undirected link with a propagation cost equal to the Euclidean
+// distance between its endpoints.
+type Edge struct {
+	U, V int
+	Cost float64
+}
+
+// Graph is an undirected weighted graph.
+type Graph struct {
+	Nodes []Node
+	adj   [][]halfEdge
+	edges []Edge
+}
+
+type halfEdge struct {
+	to   int
+	cost float64
+}
+
+// WaxmanConfig parameterises the Waxman random-graph model.
+type WaxmanConfig struct {
+	// N is the number of nodes (publisher + proxies). Must be >= 1.
+	N int
+	// Alpha scales the overall edge probability, in (0, 1].
+	Alpha float64
+	// Beta controls the relative likelihood of long edges, in (0, 1].
+	Beta float64
+	// PlaneSize is the side of the square the nodes are placed in.
+	PlaneSize float64
+}
+
+// DefaultWaxman returns the Waxman parameters used by the simulator:
+// BRITE's classic defaults (alpha=0.15, beta=0.2) on a 1000x1000 plane.
+func DefaultWaxman(n int) WaxmanConfig {
+	return WaxmanConfig{N: n, Alpha: 0.15, Beta: 0.2, PlaneSize: 1000}
+}
+
+// NewWaxman generates a connected Waxman random graph.
+func NewWaxman(cfg WaxmanConfig, g *stats.RNG) (*Graph, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("topology: N must be >= 1, got %d", cfg.N)
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		return nil, fmt.Errorf("topology: Alpha must be in (0, 1], got %g", cfg.Alpha)
+	}
+	if cfg.Beta <= 0 || cfg.Beta > 1 {
+		return nil, fmt.Errorf("topology: Beta must be in (0, 1], got %g", cfg.Beta)
+	}
+	if cfg.PlaneSize <= 0 {
+		return nil, fmt.Errorf("topology: PlaneSize must be positive, got %g", cfg.PlaneSize)
+	}
+	gr := &Graph{
+		Nodes: make([]Node, cfg.N),
+		adj:   make([][]halfEdge, cfg.N),
+	}
+	for i := range gr.Nodes {
+		gr.Nodes[i] = Node{ID: i, X: g.Float64() * cfg.PlaneSize, Y: g.Float64() * cfg.PlaneSize}
+	}
+	maxDist := cfg.PlaneSize * math.Sqrt2
+	for u := 0; u < cfg.N; u++ {
+		for v := u + 1; v < cfg.N; v++ {
+			d := gr.dist(u, v)
+			p := cfg.Alpha * math.Exp(-d/(cfg.Beta*maxDist))
+			if g.Float64() < p {
+				gr.addEdge(u, v, d)
+			}
+		}
+	}
+	gr.repairConnectivity()
+	return gr, nil
+}
+
+func (gr *Graph) dist(u, v int) float64 {
+	dx := gr.Nodes[u].X - gr.Nodes[v].X
+	dy := gr.Nodes[u].Y - gr.Nodes[v].Y
+	return math.Hypot(dx, dy)
+}
+
+func (gr *Graph) addEdge(u, v int, cost float64) {
+	gr.adj[u] = append(gr.adj[u], halfEdge{to: v, cost: cost})
+	gr.adj[v] = append(gr.adj[v], halfEdge{to: u, cost: cost})
+	gr.edges = append(gr.edges, Edge{U: u, V: v, Cost: cost})
+}
+
+// repairConnectivity links every disconnected component to the nearest node
+// of the growing connected component containing node 0.
+func (gr *Graph) repairConnectivity() {
+	n := len(gr.Nodes)
+	if n <= 1 {
+		return
+	}
+	comp := gr.components()
+	for {
+		// Nodes in node 0's component.
+		root := comp[0]
+		disconnected := -1
+		for v := 0; v < n; v++ {
+			if comp[v] != root {
+				disconnected = v
+				break
+			}
+		}
+		if disconnected < 0 {
+			return
+		}
+		// Link the closest pair (a in root component, b in the other
+		// component containing `disconnected`).
+		other := comp[disconnected]
+		bestA, bestB, bestD := -1, -1, math.Inf(1)
+		for a := 0; a < n; a++ {
+			if comp[a] != root {
+				continue
+			}
+			for b := 0; b < n; b++ {
+				if comp[b] != other {
+					continue
+				}
+				if d := gr.dist(a, b); d < bestD {
+					bestA, bestB, bestD = a, b, d
+				}
+			}
+		}
+		gr.addEdge(bestA, bestB, bestD)
+		comp = gr.components()
+	}
+}
+
+// components labels each node with a component representative.
+func (gr *Graph) components() []int {
+	n := len(gr.Nodes)
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var stack []int
+	for s := 0; s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = s
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range gr.adj[u] {
+				if comp[e.to] < 0 {
+					comp[e.to] = s
+					stack = append(stack, e.to)
+				}
+			}
+		}
+	}
+	return comp
+}
+
+// NumEdges returns the number of undirected edges.
+func (gr *Graph) NumEdges() int { return len(gr.edges) }
+
+// Edges returns a copy of the edge list.
+func (gr *Graph) Edges() []Edge {
+	out := make([]Edge, len(gr.edges))
+	copy(out, gr.edges)
+	return out
+}
+
+// Degree returns the degree of node u.
+func (gr *Graph) Degree(u int) int { return len(gr.adj[u]) }
+
+// Connected reports whether the graph is connected.
+func (gr *Graph) Connected() bool {
+	if len(gr.Nodes) == 0 {
+		return true
+	}
+	comp := gr.components()
+	for _, c := range comp {
+		if c != comp[0] {
+			return false
+		}
+	}
+	return true
+}

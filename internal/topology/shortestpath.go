@@ -1,0 +1,97 @@
+package topology
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"pubsubcd/internal/stats"
+)
+
+// ShortestPaths computes single-source shortest-path distances from src
+// using Dijkstra's algorithm. Unreachable nodes get +Inf (the generator
+// repairs connectivity, so this only happens on hand-built graphs).
+func (gr *Graph) ShortestPaths(src int) ([]float64, error) {
+	n := len(gr.Nodes)
+	if src < 0 || src >= n {
+		return nil, fmt.Errorf("topology: source %d out of range [0, %d)", src, n)
+	}
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	pq := &distHeap{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(distItem)
+		if item.dist > dist[item.node] {
+			continue // stale entry
+		}
+		for _, e := range gr.adj[item.node] {
+			if nd := item.dist + e.cost; nd < dist[e.to] {
+				dist[e.to] = nd
+				heap.Push(pq, distItem{node: e.to, dist: nd})
+			}
+		}
+	}
+	return dist, nil
+}
+
+type distItem struct {
+	node int
+	dist float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// FetchCosts builds the per-proxy fetch-cost table the cache algorithms
+// use. Node 0 is the publisher; nodes 1..N-1 are the proxies. Costs are
+// shortest-path network distances normalised so that the mean cost is 1,
+// keeping c(p) dimensionless as in the paper's value functions.
+func FetchCosts(numProxies int, seed int64) ([]float64, error) {
+	if numProxies < 1 {
+		return nil, fmt.Errorf("topology: need at least one proxy, got %d", numProxies)
+	}
+	g := stats.NewRNG(seed)
+	gr, err := NewWaxman(DefaultWaxman(numProxies+1), g)
+	if err != nil {
+		return nil, err
+	}
+	dist, err := gr.ShortestPaths(0)
+	if err != nil {
+		return nil, err
+	}
+	costs := make([]float64, numProxies)
+	sum := 0.0
+	for i := 0; i < numProxies; i++ {
+		costs[i] = dist[i+1]
+		sum += costs[i]
+	}
+	if sum <= 0 {
+		// Degenerate single-point layout: fall back to unit costs.
+		for i := range costs {
+			costs[i] = 1
+		}
+		return costs, nil
+	}
+	mean := sum / float64(numProxies)
+	for i := range costs {
+		costs[i] /= mean
+		if costs[i] <= 0 {
+			costs[i] = 1e-6 // a proxy co-located with the publisher still pays a tiny cost
+		}
+	}
+	return costs, nil
+}

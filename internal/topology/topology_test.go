@@ -1,0 +1,217 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pubsubcd/internal/stats"
+)
+
+func TestNewWaxmanValidation(t *testing.T) {
+	g := stats.NewRNG(1)
+	tests := []struct {
+		name string
+		cfg  WaxmanConfig
+		ok   bool
+	}{
+		{"valid", DefaultWaxman(10), true},
+		{"zero nodes", WaxmanConfig{N: 0, Alpha: 0.15, Beta: 0.2, PlaneSize: 10}, false},
+		{"bad alpha low", WaxmanConfig{N: 5, Alpha: 0, Beta: 0.2, PlaneSize: 10}, false},
+		{"bad alpha high", WaxmanConfig{N: 5, Alpha: 1.5, Beta: 0.2, PlaneSize: 10}, false},
+		{"bad beta", WaxmanConfig{N: 5, Alpha: 0.15, Beta: 0, PlaneSize: 10}, false},
+		{"bad plane", WaxmanConfig{N: 5, Alpha: 0.15, Beta: 0.2, PlaneSize: -1}, false},
+		{"single node", WaxmanConfig{N: 1, Alpha: 0.15, Beta: 0.2, PlaneSize: 10}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewWaxman(tt.cfg, g)
+			if tt.ok && err != nil {
+				t.Errorf("unexpected error: %v", err)
+			}
+			if !tt.ok && err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestWaxmanAlwaysConnected(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		g := stats.NewRNG(seed)
+		gr, err := NewWaxman(DefaultWaxman(101), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !gr.Connected() {
+			t.Fatalf("seed %d: graph not connected", seed)
+		}
+	}
+}
+
+func TestWaxmanDeterministic(t *testing.T) {
+	a, err := NewWaxman(DefaultWaxman(50), stats.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewWaxman(DefaultWaxman(50), stats.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("same seed produced different edge counts: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	ae, be := a.Edges(), b.Edges()
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, ae[i], be[i])
+		}
+	}
+}
+
+func TestShortestPathsSimpleLine(t *testing.T) {
+	// Hand-built line graph 0 -1- 1 -2- 2.
+	gr := &Graph{
+		Nodes: []Node{{ID: 0}, {ID: 1}, {ID: 2}},
+		adj:   make([][]halfEdge, 3),
+	}
+	gr.addEdge(0, 1, 1)
+	gr.addEdge(1, 2, 2)
+	dist, err := gr.ShortestPaths(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1, 3}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Errorf("dist[%d] = %g, want %g", i, dist[i], want[i])
+		}
+	}
+}
+
+func TestShortestPathsPrefersCheaperRoute(t *testing.T) {
+	// Triangle where the direct edge is more expensive than the detour.
+	gr := &Graph{
+		Nodes: []Node{{ID: 0}, {ID: 1}, {ID: 2}},
+		adj:   make([][]halfEdge, 3),
+	}
+	gr.addEdge(0, 2, 10)
+	gr.addEdge(0, 1, 1)
+	gr.addEdge(1, 2, 1)
+	dist, err := gr.ShortestPaths(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[2] != 2 {
+		t.Errorf("dist[2] = %g, want 2 (via node 1)", dist[2])
+	}
+}
+
+func TestShortestPathsInvalidSource(t *testing.T) {
+	gr := &Graph{Nodes: []Node{{ID: 0}}, adj: make([][]halfEdge, 1)}
+	if _, err := gr.ShortestPaths(-1); err == nil {
+		t.Error("expected error for negative source")
+	}
+	if _, err := gr.ShortestPaths(1); err == nil {
+		t.Error("expected error for out-of-range source")
+	}
+}
+
+func TestShortestPathsUnreachable(t *testing.T) {
+	gr := &Graph{Nodes: []Node{{ID: 0}, {ID: 1}}, adj: make([][]halfEdge, 2)}
+	dist, err := gr.ShortestPaths(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(dist[1], 1) {
+		t.Errorf("unreachable node distance = %g, want +Inf", dist[1])
+	}
+}
+
+func TestFetchCosts(t *testing.T) {
+	costs, err := FetchCosts(100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(costs) != 100 {
+		t.Fatalf("got %d costs, want 100", len(costs))
+	}
+	sum := 0.0
+	for i, c := range costs {
+		if c <= 0 || math.IsInf(c, 0) || math.IsNaN(c) {
+			t.Fatalf("cost[%d] = %g is not a positive finite value", i, c)
+		}
+		sum += c
+	}
+	mean := sum / 100
+	if math.Abs(mean-1) > 1e-9 {
+		t.Errorf("mean cost = %g, want 1 (normalised)", mean)
+	}
+}
+
+func TestFetchCostsDeterministic(t *testing.T) {
+	a, err := FetchCosts(20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FetchCosts(20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cost %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestFetchCostsValidation(t *testing.T) {
+	if _, err := FetchCosts(0, 1); err == nil {
+		t.Error("expected error for zero proxies")
+	}
+}
+
+func TestConnectivityProperty(t *testing.T) {
+	// Property: every generated graph is connected and every node has
+	// degree >= 1 (for N >= 2).
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%60 + 2
+		gr, err := NewWaxman(DefaultWaxman(n), stats.NewRNG(seed))
+		if err != nil {
+			return false
+		}
+		if !gr.Connected() {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			if gr.Degree(u) < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequalityOnShortestPaths(t *testing.T) {
+	// Property: shortest-path distances satisfy d(0,v) <= d(0,u) + w(u,v)
+	// for every edge (u, v).
+	gr, err := NewWaxman(DefaultWaxman(80), stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := gr.ShortestPaths(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range gr.Edges() {
+		if dist[e.V] > dist[e.U]+e.Cost+1e-9 {
+			t.Fatalf("relaxation violated for edge %+v", e)
+		}
+		if dist[e.U] > dist[e.V]+e.Cost+1e-9 {
+			t.Fatalf("relaxation violated for edge %+v (reverse)", e)
+		}
+	}
+}

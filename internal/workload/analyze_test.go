@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeBasics(t *testing.T) {
+	cfg := testConfig()
+	w := mustGenerate(t, cfg)
+	a := w.Analyze()
+
+	if a.DistinctPages != cfg.DistinctPages {
+		t.Errorf("DistinctPages = %d, want %d", a.DistinctPages, cfg.DistinctPages)
+	}
+	if a.Publications != len(w.Publications) {
+		t.Errorf("Publications = %d, want %d", a.Publications, len(w.Publications))
+	}
+	if a.Requests != cfg.TotalRequests {
+		t.Errorf("Requests = %d, want %d", a.Requests, cfg.TotalRequests)
+	}
+	if a.ModifiedVersions != a.Publications-a.DistinctPages {
+		t.Errorf("ModifiedVersions = %d, want %d", a.ModifiedVersions, a.Publications-a.DistinctPages)
+	}
+	if a.ModifiedPages <= 0 || a.ModifiedPages > cfg.ModifiedPages {
+		t.Errorf("ModifiedPages = %d outside (0, %d]", a.ModifiedPages, cfg.ModifiedPages)
+	}
+	if a.TopPageShare <= 0 || a.TopPageShare > 1 {
+		t.Errorf("TopPageShare = %g", a.TopPageShare)
+	}
+	if a.Top10Share < a.TopPageShare {
+		t.Error("top-10 share below top-1 share")
+	}
+	if a.UniquePairs <= 0 || a.RequestsPerPair < 1 {
+		t.Errorf("pair stats: %d pairs, %g per pair", a.UniquePairs, a.RequestsPerPair)
+	}
+	shareSum := 0.0
+	for _, s := range a.ClassRequestShares {
+		shareSum += s
+	}
+	if math.Abs(shareSum-1) > 1e-9 {
+		t.Errorf("class shares sum to %g", shareSum)
+	}
+	if a.SubsOverRequests < 1-1e-9 {
+		t.Errorf("SQ=1: subscriptions %gx requests, want >= 1", a.SubsOverRequests)
+	}
+	if a.NotificationBacked < 0.999 {
+		t.Errorf("SQ=1: %.3f of requests backed, want ~1", a.NotificationBacked)
+	}
+	if a.FalsePositivePairs != 0 {
+		t.Errorf("SQ=1 should have no false positives, got %d", a.FalsePositivePairs)
+	}
+}
+
+func TestAnalyzeImperfectSQHasFalsePositives(t *testing.T) {
+	cfg := testConfig()
+	cfg.SQ = 0.5
+	w := mustGenerate(t, cfg)
+	a := w.Analyze()
+	if a.FalsePositivePairs == 0 {
+		t.Error("SQ=0.5 should produce false-positive subscription pairs")
+	}
+	if a.SubsOverRequests <= 1 {
+		t.Errorf("SQ=0.5 should inflate subscriptions, got %gx", a.SubsOverRequests)
+	}
+}
+
+func TestAnalysisWriteText(t *testing.T) {
+	w := mustGenerate(t, testConfig())
+	var buf bytes.Buffer
+	if err := w.Analyze().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Publishing stream", "Request stream", "Subscriptions", "top page share"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEffectiveZipfAlpha(t *testing.T) {
+	w := mustGenerate(t, testConfig())
+	counts := make([]int, len(w.Pages))
+	for _, r := range w.Requests {
+		counts[r.Page]++
+	}
+	a := w.Analyze()
+	alpha := a.EffectiveZipfAlpha(counts, 5)
+	if math.IsNaN(alpha) {
+		t.Fatal("alpha estimate is NaN")
+	}
+	// Day-local cohorts flatten the global curve below the per-cohort
+	// alpha; the estimate should still indicate a clearly skewed
+	// distribution.
+	if alpha < 0.4 || alpha > 2.5 {
+		t.Errorf("effective alpha %g outside plausible band", alpha)
+	}
+	// Degenerate inputs.
+	if !math.IsNaN(a.EffectiveZipfAlpha([]int{1}, 1)) {
+		t.Error("too few points should yield NaN")
+	}
+}

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeriveClosedLoopBasics(t *testing.T) {
+	w := mustGenerate(t, testConfig())
+	cl, err := DeriveClosedLoop(w, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At SQ=1 every subscriber reads exactly once: the closed-loop
+	// request count equals the subscription total.
+	if int64(len(cl.Requests)) != w.TotalSubscriptions() {
+		t.Errorf("closed-loop requests %d, subscriptions %d", len(cl.Requests), w.TotalSubscriptions())
+	}
+	horizon := w.Config.Horizon()
+	for i, r := range cl.Requests {
+		if r.Time < 0 || r.Time >= horizon {
+			t.Fatalf("request %d outside horizon", i)
+		}
+		if r.Time < w.Pages[r.Page].FirstPublish {
+			t.Fatalf("request %d precedes publication", i)
+		}
+		if w.Subscriptions[r.Page][r.Server] == 0 {
+			t.Fatalf("closed-loop request without a subscription at (page %d, server %d)", r.Page, r.Server)
+		}
+		if i > 0 && r.Time < cl.Requests[i-1].Time {
+			t.Fatal("closed-loop requests not sorted")
+		}
+	}
+	if cl.Config.TotalRequests != len(cl.Requests) {
+		t.Error("config TotalRequests not updated")
+	}
+}
+
+func TestDeriveClosedLoopSQScalesVolume(t *testing.T) {
+	cfg := testConfig()
+	cfg.SQ = 0.5
+	w := mustGenerate(t, cfg)
+	cl, err := DeriveClosedLoop(w, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(w.TotalSubscriptions()) * 0.5
+	got := float64(len(cl.Requests))
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("closed-loop volume %g, want ~%g (SQ x subscriptions)", got, want)
+	}
+}
+
+func TestDeriveClosedLoopDeterministic(t *testing.T) {
+	w := mustGenerate(t, testConfig())
+	a, err := DeriveClosedLoop(w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DeriveClosedLoop(w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatal("same seed produced different volumes")
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatalf("request %d differs across identical derivations", i)
+		}
+	}
+	c, err := DeriveClosedLoop(w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Requests) == len(a.Requests) {
+		same := 0
+		for i := range c.Requests {
+			if c.Requests[i] == a.Requests[i] {
+				same++
+			}
+		}
+		if same == len(c.Requests) {
+			t.Error("different seeds produced identical streams")
+		}
+	}
+}
+
+func TestDeriveClosedLoopNil(t *testing.T) {
+	if _, err := DeriveClosedLoop(nil, 1); err == nil {
+		t.Error("nil workload should error")
+	}
+}

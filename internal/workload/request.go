@@ -1,0 +1,243 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pubsubcd/internal/stats"
+)
+
+// Request is one entry of the request stream: at Time, a user behind proxy
+// Server asks for Page.
+type Request struct {
+	Time   float64
+	Page   int
+	Server int
+}
+
+// ageDistByClass are the Lomax age distributions that place request times
+// after publication, one per popularity class. Higher gamma and smaller
+// scale concentrate requests on fresh pages: class 0 (hottest) decays
+// fastest, matching the paper's observation that the more popular a page,
+// the stronger the negative correlation between access probability and
+// age — while the widening tails spread unpopular pages' few re-references
+// across days, the regime where only subscription information can keep a
+// page cached until its next use.
+var ageDistByClass = [4]stats.Lomax{
+	{Scale: 6, Gamma: 1.1},
+	{Scale: 16, Gamma: 0.5},
+	{Scale: 36, Gamma: 0.3},
+	{Scale: 48, Gamma: 0.2},
+}
+
+// assignPopularity apportions the total request volume across pages and
+// stamps ranks and classes. Popularity is day-local: the pages first
+// published on each day form a cohort with its own Zipf(alpha) popularity
+// distribution over a request budget proportional to the cohort size.
+// This reflects the observation underlying the workload (Padmanabhan &
+// Qiu) that the set of popular news pages turns over almost completely
+// from day to day: every day has its own headline stories. Within a
+// cohort, ranks are assigned randomly (popularity is independent of the
+// exact publishing time and of page size, §4.2).
+//
+// Page.Rank is the global 1-based rank by request count; Page.Class
+// groups pages so the request rate drops about one order of magnitude
+// from one class to the next.
+func assignPopularity(cfg Config, pages []Page, g *stats.RNG) ([]int, error) {
+	// Group pages into day cohorts.
+	cohorts := make(map[int][]int)
+	days := make([]int, 0, cfg.Days)
+	for i := range pages {
+		d := int(pages[i].FirstPublish / HoursPerDay)
+		if _, ok := cohorts[d]; !ok {
+			days = append(days, d)
+		}
+		cohorts[d] = append(cohorts[d], i)
+	}
+	sort.Ints(days)
+
+	counts := make([]int, len(pages))
+	assigned := 0
+	for idx, d := range days {
+		cohort := cohorts[d]
+		budget := cfg.TotalRequests * len(cohort) / len(pages)
+		if idx == len(days)-1 {
+			budget = cfg.TotalRequests - assigned
+		}
+		assigned += budget
+		z, err := stats.NewZipf(len(cohort), cfg.Alpha)
+		if err != nil {
+			return nil, fmt.Errorf("workload: cohort zipf: %w", err)
+		}
+		byRank, err := z.Counts(budget)
+		if err != nil {
+			return nil, fmt.Errorf("workload: cohort counts: %w", err)
+		}
+		perm := g.Perm(len(cohort))
+		for r, pi := range perm {
+			counts[cohort[pi]] = byRank[r]
+		}
+	}
+
+	// Global ranks by descending count; classes by rate decade.
+	order := make([]int, len(pages))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if counts[order[a]] != counts[order[b]] {
+			return counts[order[a]] > counts[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	maxCount := counts[order[0]]
+	for rank, pi := range order {
+		pages[pi].Rank = rank + 1
+		class := 3
+		if counts[pi] > 0 && maxCount > 0 {
+			class = int(math.Floor(math.Log10(float64(maxCount) / float64(counts[pi]))))
+		}
+		if class < 0 {
+			class = 0
+		}
+		if class > 3 {
+			class = 3
+		}
+		pages[pi].Class = class
+	}
+	return counts, nil
+}
+
+// generateRequests builds the time-sorted request stream from per-page
+// request counts.
+func generateRequests(cfg Config, pages []Page, counts []int, g *stats.RNG) ([]Request, error) {
+	horizon := cfg.Horizon()
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	requests := make([]Request, 0, cfg.TotalRequests)
+	for pageID, count := range counts {
+		if count == 0 {
+			continue
+		}
+		p := &pages[pageID]
+		times := requestTimes(p, count, horizon, g)
+		servers := assignServers(cfg, p, count, maxCount, times, g)
+		for i := range times {
+			requests = append(requests, Request{Time: times[i], Page: pageID, Server: servers[i]})
+		}
+	}
+	sort.Slice(requests, func(i, j int) bool {
+		if requests[i].Time != requests[j].Time {
+			return requests[i].Time < requests[j].Time
+		}
+		if requests[i].Page != requests[j].Page {
+			return requests[i].Page < requests[j].Page
+		}
+		return requests[i].Server < requests[j].Server
+	})
+	return requests, nil
+}
+
+// requestTimes draws count request times for a page. Each request arrives
+// at FirstPublish plus a truncated-Lomax age whose shape depends on the
+// page's popularity class.
+func requestTimes(p *Page, count int, horizon float64, g *stats.RNG) []float64 {
+	remaining := horizon - p.FirstPublish
+	if remaining <= 1e-6 {
+		remaining = 1e-6
+	}
+	dist := ageDistByClass[p.Class]
+	dist.Max = remaining
+	times := make([]float64, count)
+	for i := range times {
+		t := p.FirstPublish + dist.Sample(g)
+		if t >= horizon {
+			t = horizon - 1e-9
+		}
+		times[i] = t
+	}
+	sort.Float64s(times)
+	return times
+}
+
+// assignServers implements §4.2 "Splitting Requests by Server": the pool
+// size for a page is Si = ceil(Servers * (Pi/Pmax)^0.5); each request day
+// keeps cfg.ServerOverlap of the previous day's pool and replaces the rest
+// with servers outside the pool. times must be ascending.
+func assignServers(cfg Config, p *Page, count, maxCount int, times []float64, g *stats.RNG) []int {
+	poolSize := int(math.Ceil(float64(cfg.Servers) * math.Sqrt(float64(count)/float64(maxCount))))
+	if poolSize < 1 {
+		poolSize = 1
+	}
+	if poolSize > cfg.Servers {
+		poolSize = cfg.Servers
+	}
+	pool := g.Perm(cfg.Servers)[:poolSize]
+
+	servers := make([]int, count)
+	currentDay := int(times[0] / HoursPerDay)
+	for i, t := range times {
+		day := int(t / HoursPerDay)
+		for currentDay < day {
+			pool = rotatePool(cfg, pool, g)
+			currentDay++
+		}
+		servers[i] = pool[g.Intn(len(pool))]
+	}
+	return servers
+}
+
+// rotatePool replaces (1 - overlap) of the pool with servers not currently
+// in it, preserving the pool size.
+func rotatePool(cfg Config, pool []int, g *stats.RNG) []int {
+	keep := int(math.Round(cfg.ServerOverlap * float64(len(pool))))
+	if keep > len(pool) {
+		keep = len(pool)
+	}
+	replace := len(pool) - keep
+	if replace == 0 || len(pool) == cfg.Servers {
+		return pool
+	}
+	inPool := make(map[int]bool, len(pool))
+	for _, s := range pool {
+		inPool[s] = true
+	}
+	outside := make([]int, 0, cfg.Servers-len(pool))
+	for s := 0; s < cfg.Servers; s++ {
+		if !inPool[s] {
+			outside = append(outside, s)
+		}
+	}
+	g.Shuffle(len(outside), func(i, j int) { outside[i], outside[j] = outside[j], outside[i] })
+	if replace > len(outside) {
+		replace = len(outside)
+	}
+	next := make([]int, 0, len(pool))
+	perm := g.Perm(len(pool))[:keep]
+	for _, idx := range perm {
+		next = append(next, pool[idx])
+	}
+	next = append(next, outside[:replace]...)
+	// Top up if the outside population was too small to fully rotate.
+	for _, s := range pool {
+		if len(next) >= len(pool) {
+			break
+		}
+		dup := false
+		for _, n := range next {
+			if n == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			next = append(next, s)
+		}
+	}
+	return next
+}

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Format names a trace serialisation format.
+type Format string
+
+const (
+	// FormatJSON is human-readable JSON.
+	FormatJSON Format = "json"
+	// FormatGob is the compact binary encoding/gob format.
+	FormatGob Format = "gob"
+)
+
+// traceEnvelope is the on-disk representation.
+type traceEnvelope struct {
+	FormatVersion int           `json:"formatVersion"`
+	Config        Config        `json:"config"`
+	Pages         []Page        `json:"pages"`
+	Publications  []Publication `json:"publications"`
+	Requests      []Request     `json:"requests"`
+	Subscriptions [][]int32     `json:"subscriptions"`
+}
+
+const traceFormatVersion = 1
+
+// Write serialises the workload to w in the given format.
+func (w *Workload) Write(out io.Writer, format Format) error {
+	env := traceEnvelope{
+		FormatVersion: traceFormatVersion,
+		Config:        w.Config,
+		Pages:         w.Pages,
+		Publications:  w.Publications,
+		Requests:      w.Requests,
+		Subscriptions: w.Subscriptions,
+	}
+	switch format {
+	case FormatJSON:
+		enc := json.NewEncoder(out)
+		return enc.Encode(&env)
+	case FormatGob:
+		return gob.NewEncoder(out).Encode(&env)
+	default:
+		return fmt.Errorf("workload: unknown trace format %q", format)
+	}
+}
+
+// Read deserialises a workload written by Write.
+func Read(in io.Reader, format Format) (*Workload, error) {
+	var env traceEnvelope
+	switch format {
+	case FormatJSON:
+		if err := json.NewDecoder(in).Decode(&env); err != nil {
+			return nil, fmt.Errorf("workload: decode json trace: %w", err)
+		}
+	case FormatGob:
+		if err := gob.NewDecoder(in).Decode(&env); err != nil {
+			return nil, fmt.Errorf("workload: decode gob trace: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("workload: unknown trace format %q", format)
+	}
+	if env.FormatVersion != traceFormatVersion {
+		return nil, fmt.Errorf("workload: unsupported trace format version %d (want %d)", env.FormatVersion, traceFormatVersion)
+	}
+	w := &Workload{
+		Config:        env.Config,
+		Pages:         env.Pages,
+		Publications:  env.Publications,
+		Requests:      env.Requests,
+		Subscriptions: env.Subscriptions,
+	}
+	if err := w.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: trace config invalid: %w", err)
+	}
+	return w, nil
+}
+
+// SaveFile writes the workload to path. The format is chosen from the
+// extension: .json (JSON), .gob (gob); a trailing .gz adds gzip
+// compression (e.g. trace.gob.gz).
+func (w *Workload) SaveFile(path string) error {
+	format, compressed, err := formatFromPath(path)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("workload: save trace: %w", err)
+	}
+	defer f.Close()
+	var out io.Writer = f
+	var gz *gzip.Writer
+	if compressed {
+		gz = gzip.NewWriter(f)
+		out = gz
+	}
+	if err := w.Write(out, format); err != nil {
+		return err
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			return fmt.Errorf("workload: save trace: %w", err)
+		}
+	}
+	return f.Close()
+}
+
+// LoadFile reads a workload saved with SaveFile.
+func LoadFile(path string) (*Workload, error) {
+	format, compressed, err := formatFromPath(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: load trace: %w", err)
+	}
+	defer f.Close()
+	var in io.Reader = f
+	if compressed {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("workload: load trace: %w", err)
+		}
+		defer gz.Close()
+		in = gz
+	}
+	return Read(in, format)
+}
+
+func formatFromPath(path string) (Format, bool, error) {
+	name := path
+	compressed := false
+	if strings.HasSuffix(name, ".gz") {
+		compressed = true
+		name = strings.TrimSuffix(name, ".gz")
+	}
+	switch filepath.Ext(name) {
+	case ".json":
+		return FormatJSON, compressed, nil
+	case ".gob":
+		return FormatGob, compressed, nil
+	default:
+		return "", false, fmt.Errorf("workload: cannot infer trace format from %q (want .json, .gob, optionally .gz)", path)
+	}
+}

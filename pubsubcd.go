@@ -1,0 +1,229 @@
+// Package pubsubcd is a content distribution library for
+// publish/subscribe services, reproducing Chen, LaPaugh and Singh,
+// "Content Distribution for Publish/Subscribe Services" (Middleware
+// 2003).
+//
+// The library provides:
+//
+//   - the paper's content placement/replacement strategies (GD*, SUB,
+//     SG1, SG2, SR, DM, DC-FP, DC-AP, DC-LAP) plus classic baselines;
+//   - a publish/subscribe matching engine with per-proxy subscription
+//     aggregation;
+//   - a working broker (in-process and over TCP) whose proxies cache
+//     content under any of the strategies;
+//   - the paper's synthetic news workload (publishing stream, request
+//     streams, subscriptions) and the discrete-event simulator;
+//   - drivers that regenerate every table and figure of the paper's
+//     evaluation.
+//
+// This root package re-exports the public API of the internal
+// implementation packages, so downstream users only import pubsubcd.
+//
+// Quick start:
+//
+//	w, _ := pubsubcd.GenerateWorkload(pubsubcd.DefaultWorkloadConfig(pubsubcd.TraceNEWS))
+//	f, _ := pubsubcd.LookupStrategy("SG2")
+//	res, _ := pubsubcd.Simulate(w, f, pubsubcd.DefaultSimOptions())
+//	fmt.Println(res.HitRatio())
+package pubsubcd
+
+import (
+	"pubsubcd/internal/broker"
+	"pubsubcd/internal/core"
+	"pubsubcd/internal/experiments"
+	"pubsubcd/internal/match"
+	"pubsubcd/internal/sim"
+	"pubsubcd/internal/workload"
+)
+
+// Strategy layer (the paper's contribution).
+type (
+	// Strategy is a per-proxy content placement and replacement policy.
+	Strategy = core.Strategy
+	// StrategyParams configures strategy construction.
+	StrategyParams = core.Params
+	// StrategyFactory builds per-proxy strategy instances.
+	StrategyFactory = core.Factory
+	// PageMeta describes a page to a strategy.
+	PageMeta = core.PageMeta
+)
+
+// Strategy constructors, one per scheme in the paper plus the classic
+// baselines.
+var (
+	NewGDStar = core.NewGDStar
+	NewSUB    = core.NewSUB
+	NewSG1    = core.NewSG1
+	NewSG2    = core.NewSG2
+	NewSR     = core.NewSR
+	NewDM     = core.NewDM
+	NewDCFP   = core.NewDCFP
+	NewDCAP   = core.NewDCAP
+	NewDCLAP  = core.NewDCLAP
+	NewLRU    = core.NewLRU
+	NewGDS    = core.NewGDS
+	NewLFUDA  = core.NewLFUDA
+)
+
+// OpStats exposes a strategy's placement-decision counters; strategies
+// implementing StatsProvider (the single-cache family) report them.
+type (
+	OpStats       = core.OpStats
+	StatsProvider = core.StatsProvider
+)
+
+// StrategyCatalog returns every available strategy factory (Table 1).
+func StrategyCatalog() []StrategyFactory { return core.Catalog() }
+
+// LookupStrategy finds a strategy factory by name (e.g. "DC-LAP").
+func LookupStrategy(name string) (StrategyFactory, error) { return core.Lookup(name) }
+
+// Matching engine.
+type (
+	// Subscription is a stored user interest.
+	Subscription = match.Subscription
+	// Event is published content as seen by the matching engine.
+	Event = match.Event
+	// MatchEngine matches events against subscriptions.
+	MatchEngine = match.Engine
+)
+
+// NewMatchEngine returns an empty matching engine.
+func NewMatchEngine() *MatchEngine { return match.NewEngine() }
+
+// Workload generation (§4 of the paper).
+type (
+	// WorkloadConfig parameterises workload generation.
+	WorkloadConfig = workload.Config
+	// Workload is a generated workload.
+	Workload = workload.Workload
+	// TraceName names the NEWS and ALTERNATIVE traces.
+	TraceName = workload.TraceName
+)
+
+// Trace names.
+const (
+	TraceNEWS        = workload.TraceNEWS
+	TraceALTERNATIVE = workload.TraceALTERNATIVE
+)
+
+// DefaultWorkloadConfig returns the paper's full-scale workload
+// configuration for a trace.
+func DefaultWorkloadConfig(trace TraceName) WorkloadConfig { return workload.DefaultConfig(trace) }
+
+// ScaledWorkloadConfig shrinks the workload by a factor for quick runs.
+func ScaledWorkloadConfig(trace TraceName, factor int) WorkloadConfig {
+	return workload.ScaledConfig(trace, factor)
+}
+
+// GenerateWorkload builds a workload deterministically from its config.
+func GenerateWorkload(cfg WorkloadConfig) (*Workload, error) { return workload.Generate(cfg) }
+
+// LoadWorkload reads a workload trace saved with Workload.SaveFile.
+func LoadWorkload(path string) (*Workload, error) { return workload.LoadFile(path) }
+
+// WorkloadAnalysis summarises a workload's distributional properties.
+type WorkloadAnalysis = workload.Analysis
+
+// DeriveClosedLoop regenerates a workload's request stream from its
+// subscriptions (each subscriber reads with probability SQ after being
+// notified).
+var DeriveClosedLoop = workload.DeriveClosedLoop
+
+// Simulation.
+type (
+	// SimOptions configures a simulation run.
+	SimOptions = sim.Options
+	// SimResult summarises one run.
+	SimResult = sim.Result
+	// PushScheme selects Always-Pushing vs Pushing-When-Necessary.
+	PushScheme = sim.PushScheme
+)
+
+// Push schemes (§5.6).
+const (
+	AlwaysPush        = sim.AlwaysPush
+	PushWhenNecessary = sim.PushWhenNecessary
+)
+
+// LatencyModel maps cache outcomes to response-time estimates.
+type LatencyModel = sim.LatencyModel
+
+// DefaultLatencyModel returns representative WAN latency parameters.
+func DefaultLatencyModel() LatencyModel { return sim.DefaultLatencyModel() }
+
+// DefaultSimOptions returns the paper's most common setting (5 %
+// capacity, β = 2).
+func DefaultSimOptions() SimOptions { return sim.DefaultOptions() }
+
+// Simulate runs a workload under a strategy.
+func Simulate(w *Workload, f StrategyFactory, opts SimOptions) (*SimResult, error) {
+	return sim.Run(w, f, opts)
+}
+
+// Broker (live publish/subscribe system).
+type (
+	// Broker is the in-process publish/subscribe broker.
+	Broker = broker.Broker
+	// BrokerServer exposes a broker over TCP.
+	BrokerServer = broker.Server
+	// BrokerClient is the TCP client.
+	BrokerClient = broker.Client
+	// Proxy is a caching content-distribution proxy.
+	Proxy = broker.Proxy
+	// Content is a published page.
+	Content = broker.Content
+	// Notification announces a matched page to a subscriber.
+	Notification = broker.Notification
+)
+
+// NewBroker returns an empty in-process broker.
+func NewBroker() *Broker { return broker.New() }
+
+// NewBrokerServer serves a broker over TCP on addr.
+func NewBrokerServer(b *Broker, addr string) (*BrokerServer, error) {
+	return broker.NewServer(b, addr)
+}
+
+// DialBroker connects to a broker server.
+var DialBroker = broker.Dial
+
+// NewProxy attaches a caching proxy to a broker.
+func NewProxy(id int, b *Broker, s Strategy, cost float64) (*Proxy, error) {
+	return broker.NewProxy(id, b, s, cost)
+}
+
+// NotifierFunc adapts a function into a broker notifier.
+type NotifierFunc = broker.NotifierFunc
+
+// FederationNode is one broker of a federated (distributed) broker
+// overlay with Siena-style subscription forwarding.
+type FederationNode = broker.Node
+
+// NewFederationNode creates a federation node wrapping a fresh broker.
+func NewFederationNode(name string) *FederationNode { return broker.NewNode(name) }
+
+// ConnectNodes links two federation nodes (the overlay must stay a tree).
+var ConnectNodes = broker.Connect
+
+// Experiments (the paper's evaluation).
+type (
+	// ExperimentHarness caches workloads and swept β values across
+	// experiment drivers.
+	ExperimentHarness = experiments.Harness
+	// ExperimentConfig parameterises the harness.
+	ExperimentConfig = experiments.Config
+)
+
+// NewExperimentHarness returns a harness.
+func NewExperimentHarness(cfg ExperimentConfig) *ExperimentHarness { return experiments.New(cfg) }
+
+// DefaultExperimentConfig is the paper's full-scale setup.
+func DefaultExperimentConfig() ExperimentConfig { return experiments.DefaultConfig() }
+
+// ExperimentNames lists the runnable experiments (table1, beta, fig3,
+// fig4, table2, fig5, fig6, fig7, baselines, dclap-bounds, mixed).
+var ExperimentNames = experiments.Names
+
+// RunExperiment runs a named experiment, writing its text rendering.
+var RunExperiment = experiments.RunByName
