@@ -4,6 +4,12 @@
 // Usage:
 //
 //	broker -addr 127.0.0.1:7070
+//	broker -addr 127.0.0.1:7070 -metrics-addr 127.0.0.1:7071
+//
+// With -metrics-addr, an HTTP admin endpoint serves /metrics (JSON
+// counters, gauges and latency histograms), /trace (the most recent
+// publish→match→push→fetch events, filterable with ?page=) and
+// /debug/pprof/.
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"syscall"
 
 	"pubsubcd/internal/broker"
+	"pubsubcd/internal/telemetry"
 )
 
 func main() {
@@ -34,11 +41,26 @@ func main() {
 func run(args []string, stop <-chan struct{}, out *os.File) error {
 	fs := flag.NewFlagSet("broker", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
+	metricsAddr := fs.String("metrics-addr", "", "HTTP admin address for /metrics, /trace and /debug/pprof (empty disables)")
+	traceCap := fs.Int("trace-events", 4096, "event tracer ring-buffer capacity")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	b := broker.New()
-	srv, err := broker.NewServer(b, *addr)
+	var opts broker.ServerOptions
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		tracer := telemetry.NewTracer(*traceCap)
+		b.EnableTelemetry(reg, tracer)
+		opts.Telemetry = reg
+		admin, err := telemetry.NewAdminServer(*metricsAddr, reg, tracer)
+		if err != nil {
+			return err
+		}
+		defer admin.Close()
+		fmt.Fprintf(out, "metrics on http://%s/metrics\n", admin.Addr())
+	}
+	srv, err := broker.NewServerWith(b, *addr, opts)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"pubsubcd/internal/broker"
+)
+
+// TestMetricsEndpoint boots the command with -metrics-addr, drives real
+// traffic through the TCP transport, and asserts the admin endpoint
+// serves live transport + match counters, latency histograms, the event
+// trace, and pprof.
+func TestMetricsEndpoint(t *testing.T) {
+	const (
+		brokerAddr  = "127.0.0.1:39919"
+		metricsAddr = "127.0.0.1:39921"
+	)
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	go func() {
+		defer wg.Done()
+		errc <- run([]string{"-addr", brokerAddr, "-metrics-addr", metricsAddr}, stop, devnull)
+	}()
+	defer func() {
+		close(stop)
+		wg.Wait()
+		if err := <-errc; err != nil {
+			t.Errorf("run returned error: %v", err)
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var client *broker.Client
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		client, err = broker.Dial(ctx, brokerAddr, func(broker.Notification) {})
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer client.Close()
+	if _, err := client.Subscribe(ctx, 1, []string{"news"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Publish(ctx, broker.Content{ID: "p1", Topics: []string{"news"}, Body: []byte("body")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Fetch(ctx, "p1"); err != nil {
+		t.Fatal(err)
+	}
+
+	base := fmt.Sprintf("http://%s", metricsAddr)
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		return body
+	}
+
+	var snap struct {
+		Counters   map[string]int64 `json:"counters"`
+		Histograms map[string]struct {
+			Count int64 `json:"count"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(get("/metrics"), &snap); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	for name, want := range map[string]int64{
+		"broker.publishes":              1,
+		"broker.subscribes":             1,
+		"broker.fetches":                1,
+		"transport.server.conns_opened": 1,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("counter %s = %d, want %d", name, got, want)
+		}
+	}
+	if snap.Counters["transport.server.bytes_in"] == 0 {
+		t.Error("transport bytes_in stayed zero")
+	}
+	for _, h := range []string{"broker.match_ns", "transport.server.handle_ns.publish"} {
+		if snap.Histograms[h].Count == 0 {
+			t.Errorf("histogram %s saw no samples", h)
+		}
+	}
+
+	var events []struct {
+		Kind string `json:"kind"`
+		Page string `json:"page"`
+	}
+	if err := json.Unmarshal(get("/trace?page=p1"), &events); err != nil {
+		t.Fatalf("trace JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace for p1 is empty")
+	}
+	if events[0].Kind != "publish" || events[0].Page != "p1" {
+		t.Errorf("first trace event = %+v, want publish of p1", events[0])
+	}
+
+	if body := get("/debug/pprof/"); len(body) == 0 {
+		t.Error("pprof index is empty")
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"pubsubcd/internal/core"
 	"pubsubcd/internal/sim"
+	"pubsubcd/internal/telemetry"
 	"pubsubcd/internal/topology"
 	"pubsubcd/internal/workload"
 )
@@ -42,6 +43,7 @@ func run(args []string) error {
 	analyze := fs.Bool("analyze", false, "print workload distribution analysis")
 	latency := fs.Bool("latency", true, "print the estimated mean response time")
 	catalog := fs.Bool("catalog", false, "list strategies and exit")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address during the run and print a telemetry summary (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -85,7 +87,17 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := sim.Run(w, f, sim.Options{CapacityFraction: *capacity, Beta: *beta, FetchCosts: costs})
+	var reg *telemetry.Registry
+	if *metricsAddr != "" {
+		reg = telemetry.NewRegistry()
+		admin, err := telemetry.NewAdminServer(*metricsAddr, reg, nil)
+		if err != nil {
+			return err
+		}
+		defer admin.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", admin.Addr())
+	}
+	res, err := sim.Run(w, f, sim.Options{CapacityFraction: *capacity, Beta: *beta, FetchCosts: costs, Telemetry: reg})
 	if err != nil {
 		return err
 	}
@@ -117,6 +129,12 @@ func run(args []string) error {
 			} else {
 				fmt.Printf("%4d  %.4f\n", hr, v)
 			}
+		}
+	}
+	if reg != nil {
+		fmt.Println("\ntelemetry summary")
+		if err := reg.Snapshot().WriteSummary(os.Stdout); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -13,8 +13,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"pubsubcd/internal/match"
+	"pubsubcd/internal/telemetry"
 )
 
 // Content is a published page at a specific version.
@@ -69,6 +72,10 @@ var ErrUnknownPage = errors.New("broker: unknown page")
 type Broker struct {
 	engine *match.Engine
 
+	// tel holds the telemetry handles; nil until EnableTelemetry.
+	// Atomic so telemetry can be attached while traffic is flowing.
+	tel atomic.Pointer[brokerTelemetry]
+
 	mu        sync.RWMutex
 	store     map[string]Content
 	notifiers map[int64]Notifier
@@ -98,6 +105,10 @@ func (b *Broker) Subscribe(sub match.Subscription, n Notifier) (int64, error) {
 	b.mu.Lock()
 	b.notifiers[id] = n
 	b.mu.Unlock()
+	if bt := b.telemetryHandles(); bt != nil {
+		bt.subscribes.Inc()
+		bt.liveSubs.Set(int64(b.engine.Len()))
+	}
 	return id, nil
 }
 
@@ -109,6 +120,10 @@ func (b *Broker) Unsubscribe(id int64) error {
 	b.mu.Lock()
 	delete(b.notifiers, id)
 	b.mu.Unlock()
+	if bt := b.telemetryHandles(); bt != nil {
+		bt.unsubscribes.Inc()
+		bt.liveSubs.Set(int64(b.engine.Len()))
+	}
 	return nil
 }
 
@@ -138,19 +153,42 @@ func (b *Broker) DetachProxy(proxy int) {
 // pushes the content to each attached proxy with at least one matching
 // subscription. It returns the number of matched subscriptions.
 func (b *Broker) Publish(c Content) (int, error) {
+	bt := b.telemetryHandles()
+	var start time.Time
+	if bt != nil {
+		start = time.Now()
+	}
 	if c.ID == "" {
+		if bt != nil {
+			bt.publishErrors.Inc()
+		}
 		return 0, errors.New("broker: content needs an ID")
 	}
 	b.mu.Lock()
 	if prev, ok := b.store[c.ID]; ok && c.Version <= prev.Version {
 		b.mu.Unlock()
+		if bt != nil {
+			bt.publishErrors.Inc()
+		}
 		return 0, fmt.Errorf("broker: page %q version %d not newer than stored %d", c.ID, c.Version, prev.Version)
 	}
 	b.store[c.ID] = c
 	b.mu.Unlock()
+	if bt != nil {
+		bt.publishes.Inc()
+		bt.trace(telemetry.KindPublish, c.ID, -1, fmt.Sprintf("version=%d size=%d", c.Version, len(c.Body)))
+	}
 
 	ev := match.Event{ID: c.ID, Topics: c.Topics, Keywords: c.Keywords}
+	var matchStart time.Time
+	if bt != nil {
+		matchStart = time.Now()
+	}
 	matched := b.engine.Match(ev)
+	if bt != nil {
+		bt.matchNanos.Observe(sinceNanos(matchStart))
+		bt.matchFanout.Observe(int64(len(matched)))
+	}
 
 	b.mu.RLock()
 	notifiers := make(map[int64]Notifier, len(matched))
@@ -169,6 +207,9 @@ func (b *Broker) Publish(c Content) (int, error) {
 	}
 	b.mu.RUnlock()
 
+	if bt != nil {
+		bt.trace(telemetry.KindMatch, c.ID, -1, fmtMatched(len(matched), len(perProxy)))
+	}
 	for _, sub := range matched {
 		if n, ok := notifiers[sub.ID]; ok {
 			n.Notify(Notification{
@@ -177,10 +218,22 @@ func (b *Broker) Publish(c Content) (int, error) {
 				Size:           int64(len(c.Body)),
 				SubscriptionID: sub.ID,
 			})
+			if bt != nil {
+				bt.notifications.Inc()
+				bt.trace(telemetry.KindNotify, c.ID, -1, fmt.Sprintf("sub=%d", sub.ID))
+			}
 		}
 	}
 	for proxy, sink := range sinks {
 		sink.Push(c, perProxy[proxy])
+		if bt != nil {
+			bt.pushes.Inc()
+			bt.trace(telemetry.KindPush, c.ID, proxy, fmt.Sprintf("subs=%d", perProxy[proxy]))
+		}
+	}
+	if bt != nil {
+		bt.pushFanout.Observe(int64(len(sinks)))
+		bt.publishNanos.Observe(sinceNanos(start))
 	}
 	return len(matched), nil
 }
@@ -188,11 +241,25 @@ func (b *Broker) Publish(c Content) (int, error) {
 // Fetch returns the current content of a page (the origin fetch a proxy
 // performs on a cache miss).
 func (b *Broker) Fetch(pageID string) (Content, error) {
+	bt := b.telemetryHandles()
+	var start time.Time
+	if bt != nil {
+		start = time.Now()
+		bt.fetches.Inc()
+	}
 	b.mu.RLock()
-	defer b.mu.RUnlock()
 	c, ok := b.store[pageID]
+	b.mu.RUnlock()
 	if !ok {
+		if bt != nil {
+			bt.fetchMisses.Inc()
+			bt.trace(telemetry.KindFetch, pageID, -1, "unknown page")
+		}
 		return Content{}, fmt.Errorf("%w: %q", ErrUnknownPage, pageID)
+	}
+	if bt != nil {
+		bt.fetchNanos.Observe(sinceNanos(start))
+		bt.trace(telemetry.KindFetch, pageID, -1, fmt.Sprintf("version=%d size=%d", c.Version, len(c.Body)))
 	}
 	return c, nil
 }

@@ -1,0 +1,79 @@
+package broker
+
+import (
+	"fmt"
+	"time"
+
+	"pubsubcd/internal/telemetry"
+)
+
+// brokerTelemetry bundles the broker's pre-resolved metric handles and
+// the event tracer. A nil *brokerTelemetry means telemetry is off.
+type brokerTelemetry struct {
+	tracer *telemetry.Tracer
+
+	publishes     *telemetry.Counter
+	publishErrors *telemetry.Counter
+	notifications *telemetry.Counter
+	pushes        *telemetry.Counter
+	fetches       *telemetry.Counter
+	fetchMisses   *telemetry.Counter
+	subscribes    *telemetry.Counter
+	unsubscribes  *telemetry.Counter
+	liveSubs      *telemetry.Gauge
+
+	publishNanos *telemetry.Histogram
+	matchNanos   *telemetry.Histogram
+	fetchNanos   *telemetry.Histogram
+	matchFanout  *telemetry.Histogram
+	pushFanout   *telemetry.Histogram
+}
+
+// EnableTelemetry wires the broker to a metrics registry and an
+// optional event tracer. Call before serving traffic; counters cover
+// publishes, notifications, pushes, fetches and subscription lifecycle,
+// histograms cover match/publish/fetch latency and fan-out, and the
+// tracer records the publish→match→push→fetch causality of every page.
+// Either argument may be nil.
+func (b *Broker) EnableTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) {
+	lat := telemetry.LatencyBuckets()
+	fan := telemetry.CountBuckets()
+	b.tel.Store(&brokerTelemetry{
+		tracer:        tracer,
+		publishes:     reg.Counter("broker.publishes"),
+		publishErrors: reg.Counter("broker.publish_errors"),
+		notifications: reg.Counter("broker.notifications"),
+		pushes:        reg.Counter("broker.pushes"),
+		fetches:       reg.Counter("broker.fetches"),
+		fetchMisses:   reg.Counter("broker.fetch_misses"),
+		subscribes:    reg.Counter("broker.subscribes"),
+		unsubscribes:  reg.Counter("broker.unsubscribes"),
+		liveSubs:      reg.Gauge("broker.live_subscriptions"),
+		publishNanos:  reg.Histogram("broker.publish_ns", lat),
+		matchNanos:    reg.Histogram("broker.match_ns", lat),
+		fetchNanos:    reg.Histogram("broker.fetch_ns", lat),
+		matchFanout:   reg.Histogram("broker.match_fanout", fan),
+		pushFanout:    reg.Histogram("broker.push_fanout", fan),
+	})
+}
+
+// telemetryHandles returns the current handles, or nil when telemetry
+// is off.
+func (b *Broker) telemetryHandles() *brokerTelemetry {
+	return b.tel.Load()
+}
+
+// sinceNanos is time.Since in the histogram's unit.
+func sinceNanos(t0 time.Time) int64 { return time.Since(t0).Nanoseconds() }
+
+// trace records an event when a tracer is attached.
+func (bt *brokerTelemetry) trace(kind, page string, proxy int, detail string) {
+	if bt != nil && bt.tracer != nil {
+		bt.tracer.Record(kind, page, proxy, detail)
+	}
+}
+
+// fmtMatched renders the standard match-detail string.
+func fmtMatched(subs, proxies int) string {
+	return fmt.Sprintf("subs=%d proxies=%d", subs, proxies)
+}

@@ -1,0 +1,243 @@
+package broker
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"pubsubcd/internal/match"
+	"pubsubcd/internal/telemetry"
+)
+
+// waitFor polls until cond returns true or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestBrokerTelemetryCountersAndTrace(t *testing.T) {
+	b := New()
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer(64)
+	b.EnableTelemetry(reg, tr)
+
+	var notified int
+	id, err := b.Subscribe(match.Subscription{Proxy: 2, Topics: []string{"news"}},
+		NotifierFunc(func(Notification) { notified++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AttachProxy(2, pushSinkFunc(func(Content, int) {})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Publish(Content{ID: "p1", Version: 1, Topics: []string{"news"}, Body: []byte("abc")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Publish(Content{ID: "p1", Version: 1, Topics: []string{"news"}}); err == nil {
+		t.Fatal("stale republish should error")
+	}
+	if _, err := b.Fetch("p1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Fetch("ghost"); err == nil {
+		t.Fatal("fetch of unknown page should error")
+	}
+	if err := b.Unsubscribe(id); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	for name, want := range map[string]int64{
+		"broker.publishes":      1,
+		"broker.publish_errors": 1,
+		"broker.notifications":  1,
+		"broker.pushes":         1,
+		"broker.fetches":        2,
+		"broker.fetch_misses":   1,
+		"broker.subscribes":     1,
+		"broker.unsubscribes":   1,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := snap.Gauges["broker.live_subscriptions"]; got != 0 {
+		t.Errorf("live_subscriptions = %d after unsubscribe, want 0", got)
+	}
+	for _, h := range []string{"broker.publish_ns", "broker.match_ns", "broker.fetch_ns"} {
+		if snap.Histograms[h].Count == 0 {
+			t.Errorf("%s saw no samples", h)
+		}
+	}
+	if notified != 1 {
+		t.Errorf("notifier invoked %d times, want 1", notified)
+	}
+
+	// The tracer must carry the publish→match→notify→push→fetch
+	// causality of p1.
+	events := tr.DumpPage("p1")
+	var kinds []string
+	for _, e := range events {
+		kinds = append(kinds, e.Kind)
+	}
+	wantKinds := []string{telemetry.KindPublish, telemetry.KindMatch,
+		telemetry.KindNotify, telemetry.KindPush, telemetry.KindFetch}
+	if len(kinds) != len(wantKinds) {
+		t.Fatalf("trace kinds = %v, want %v", kinds, wantKinds)
+	}
+	for i, k := range wantKinds {
+		if kinds[i] != k {
+			t.Fatalf("trace kinds = %v, want %v", kinds, wantKinds)
+		}
+	}
+	if events[3].Proxy != 2 {
+		t.Errorf("push trace proxy = %d, want 2", events[3].Proxy)
+	}
+}
+
+// pushSinkFunc adapts a function to PushSink for tests.
+type pushSinkFunc func(c Content, matched int)
+
+func (f pushSinkFunc) Push(c Content, matched int) { f(c, matched) }
+
+func TestTransportMetricsRoundTrip(t *testing.T) {
+	b := New()
+	reg := telemetry.NewRegistry()
+	s, err := NewServerWith(b, "127.0.0.1:0", ServerOptions{Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+
+	clientReg := telemetry.NewRegistry()
+	ctx := context.Background()
+	c, err := DialWith(ctx, s.Addr(), func(Notification) {}, ClientOptions{Telemetry: clientReg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+
+	if _, err := c.Subscribe(ctx, 0, []string{"t"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Publish(ctx, Content{ID: "p", Topics: []string{"t"}, Body: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Fetch(ctx, "p"); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["transport.server.conns_opened"]; got != 1 {
+		t.Errorf("conns_opened = %d, want 1", got)
+	}
+	for _, name := range []string{
+		"transport.server.recv.subscribe",
+		"transport.server.recv.publish",
+		"transport.server.recv.fetch",
+	} {
+		if got := snap.Counters[name]; got != 1 {
+			t.Errorf("%s = %d, want 1", name, got)
+		}
+	}
+	if snap.Counters["transport.server.bytes_in"] == 0 {
+		t.Error("server bytes_in stayed zero")
+	}
+	if snap.Counters["transport.server.bytes_out"] == 0 {
+		t.Error("server bytes_out stayed zero")
+	}
+	// The subscribing connection received its own notification.
+	waitFor(t, "notify send counter", func() bool {
+		return reg.Snapshot().Counters["transport.server.notify_sends"] == 1
+	})
+	for _, h := range []string{
+		"transport.server.handle_ns.subscribe",
+		"transport.server.handle_ns.publish",
+		"transport.server.handle_ns.fetch",
+	} {
+		if snap.Histograms[h].Count != 1 {
+			t.Errorf("%s count = %d, want 1", h, snap.Histograms[h].Count)
+		}
+	}
+
+	csnap := clientReg.Snapshot()
+	if csnap.Counters["transport.client.bytes_out"] == 0 {
+		t.Error("client bytes_out stayed zero")
+	}
+	if csnap.Counters["transport.client.bytes_in"] == 0 {
+		t.Error("client bytes_in stayed zero")
+	}
+	for _, h := range []string{
+		"transport.client.rtt_ns.subscribe",
+		"transport.client.rtt_ns.publish",
+		"transport.client.rtt_ns.fetch",
+	} {
+		if csnap.Histograms[h].Count != 1 {
+			t.Errorf("%s count = %d, want 1", h, csnap.Histograms[h].Count)
+		}
+	}
+
+	_ = c.Close()
+	waitFor(t, "connection close accounting", func() bool {
+		s := reg.Snapshot()
+		return s.Counters["transport.server.conns_closed"] == 1 &&
+			s.Gauges["transport.server.active_conns"] == 0
+	})
+}
+
+func TestServerIdleTimeoutClosesSilentConnection(t *testing.T) {
+	b := New()
+	reg := telemetry.NewRegistry()
+	s, err := NewServerWith(b, "127.0.0.1:0", ServerOptions{
+		IdleTimeout: 30 * time.Millisecond,
+		Telemetry:   reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+
+	ctx := context.Background()
+	c, err := Dial(ctx, s.Addr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+
+	// Stay completely silent: the server must cut the connection and
+	// account the idle timeout.
+	waitFor(t, "idle timeout disconnect", func() bool {
+		snap := reg.Snapshot()
+		return snap.Counters["transport.server.read_timeouts"] >= 1 &&
+			snap.Counters["transport.server.conns_closed"] >= 1
+	})
+}
+
+func TestServerBadMessageCounted(t *testing.T) {
+	b := New()
+	reg := telemetry.NewRegistry()
+	s, err := NewServerWith(b, "127.0.0.1:0", ServerOptions{Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	if _, err := conn.Write([]byte("this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "bad message counter", func() bool {
+		return reg.Snapshot().Counters["transport.server.bad_messages"] == 1
+	})
+}

@@ -9,8 +9,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"pubsubcd/internal/match"
+	"pubsubcd/internal/telemetry"
 )
 
 // The wire protocol is line-delimited JSON over TCP. Each request line is
@@ -46,10 +48,90 @@ const (
 	msgResponse    = "response"
 )
 
+// Default connection deadlines. A stalled or vanished peer must not
+// wedge a handler goroutine forever: every write is bounded by the
+// write timeout, and a connection that stays completely silent longer
+// than the idle timeout is closed.
+const (
+	DefaultIdleTimeout  = 10 * time.Minute
+	DefaultWriteTimeout = 30 * time.Second
+)
+
+// ServerOptions tunes a transport server. The zero value uses the
+// defaults with telemetry disabled.
+type ServerOptions struct {
+	// IdleTimeout bounds how long a connection may stay silent (no
+	// inbound messages) before the server closes it. 0 means
+	// DefaultIdleTimeout; negative disables the read deadline.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each outbound message write (responses and
+	// notifications). 0 means DefaultWriteTimeout; negative disables.
+	WriteTimeout time.Duration
+	// Telemetry, when non-nil, receives transport metrics (connection
+	// lifecycle, bytes in/out, per-message-type counts and handle
+	// latency, timeout counters).
+	Telemetry *telemetry.Registry
+}
+
+// serverMetrics are the server's pre-resolved metric handles; nil means
+// telemetry is off.
+type serverMetrics struct {
+	connsOpened   *telemetry.Counter
+	connsClosed   *telemetry.Counter
+	activeConns   *telemetry.Gauge
+	bytesIn       *telemetry.Counter
+	bytesOut      *telemetry.Counter
+	readTimeouts  *telemetry.Counter
+	writeTimeouts *telemetry.Counter
+	badMessages   *telemetry.Counter
+	notifySends   *telemetry.Counter
+	recv          map[string]*telemetry.Counter
+	handleNanos   map[string]*telemetry.Histogram
+}
+
+// wireTypes are the request types the server accounts per-type.
+var wireTypes = []string{msgSubscribe, msgUnsubscribe, msgPublish, msgFetch}
+
+func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &serverMetrics{
+		connsOpened:   reg.Counter("transport.server.conns_opened"),
+		connsClosed:   reg.Counter("transport.server.conns_closed"),
+		activeConns:   reg.Gauge("transport.server.active_conns"),
+		bytesIn:       reg.Counter("transport.server.bytes_in"),
+		bytesOut:      reg.Counter("transport.server.bytes_out"),
+		readTimeouts:  reg.Counter("transport.server.read_timeouts"),
+		writeTimeouts: reg.Counter("transport.server.write_timeouts"),
+		badMessages:   reg.Counter("transport.server.bad_messages"),
+		notifySends:   reg.Counter("transport.server.notify_sends"),
+		recv:          make(map[string]*telemetry.Counter, len(wireTypes)+1),
+		handleNanos:   make(map[string]*telemetry.Histogram, len(wireTypes)+1),
+	}
+	lat := telemetry.LatencyBuckets()
+	for _, t := range append([]string{"unknown"}, wireTypes...) {
+		m.recv[t] = reg.Counter("transport.server.recv." + t)
+		m.handleNanos[t] = reg.Histogram("transport.server.handle_ns."+t, lat)
+	}
+	return m
+}
+
+// key maps a wire type to its metric key.
+func (m *serverMetrics) key(msgType string) string {
+	if _, ok := m.recv[msgType]; ok {
+		return msgType
+	}
+	return "unknown"
+}
+
 // Server exposes a Broker over TCP.
 type Server struct {
-	broker *Broker
-	ln     net.Listener
+	broker       *Broker
+	ln           net.Listener
+	idleTimeout  time.Duration
+	writeTimeout time.Duration
+	metrics      *serverMetrics
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -58,8 +140,14 @@ type Server struct {
 }
 
 // NewServer starts a TCP server for the broker on addr (e.g.
-// "127.0.0.1:0"). The returned server is already accepting connections.
+// "127.0.0.1:0") with default options. The returned server is already
+// accepting connections.
 func NewServer(b *Broker, addr string) (*Server, error) {
+	return NewServerWith(b, addr, ServerOptions{})
+}
+
+// NewServerWith starts a TCP server with explicit options.
+func NewServerWith(b *Broker, addr string, opts ServerOptions) (*Server, error) {
 	if b == nil {
 		return nil, errors.New("broker: nil broker")
 	}
@@ -67,10 +155,28 @@ func NewServer(b *Broker, addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("broker: listen: %w", err)
 	}
-	s := &Server{broker: b, ln: ln, conns: make(map[net.Conn]struct{})}
+	s := &Server{
+		broker:       b,
+		ln:           ln,
+		idleTimeout:  defaultTimeout(opts.IdleTimeout, DefaultIdleTimeout),
+		writeTimeout: defaultTimeout(opts.WriteTimeout, DefaultWriteTimeout),
+		metrics:      newServerMetrics(opts.Telemetry),
+		conns:        make(map[net.Conn]struct{}),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// defaultTimeout resolves the 0=default / negative=disabled convention.
+func defaultTimeout(v, def time.Duration) time.Duration {
+	if v == 0 {
+		return def
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
 }
 
 // Addr returns the server's listen address.
@@ -118,28 +224,83 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// connWriter serialises concurrent writes (responses vs notifications).
+// countingWriter counts bytes written through it into a telemetry
+// counter (nil counter counts nothing).
+type countingWriter struct {
+	w net.Conn
+	c *telemetry.Counter
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	if cw.c != nil && n > 0 {
+		cw.c.Add(int64(n))
+	}
+	return n, err
+}
+
+// connWriter serialises concurrent writes (responses vs notifications)
+// and bounds each write with a deadline so a stalled peer cannot wedge
+// the writing goroutine.
 type connWriter struct {
-	mu  sync.Mutex
-	enc *json.Encoder
+	mu           sync.Mutex
+	conn         net.Conn
+	enc          *json.Encoder
+	writeTimeout time.Duration
+	timeouts     *telemetry.Counter // nil when telemetry is off
+}
+
+func newConnWriter(conn net.Conn, writeTimeout time.Duration, bytesOut, timeouts *telemetry.Counter) *connWriter {
+	return &connWriter{
+		conn:         conn,
+		enc:          json.NewEncoder(&countingWriter{w: conn, c: bytesOut}),
+		writeTimeout: writeTimeout,
+		timeouts:     timeouts,
+	}
 }
 
 func (cw *connWriter) send(m wireMessage) error {
 	cw.mu.Lock()
 	defer cw.mu.Unlock()
-	return cw.enc.Encode(m)
+	if cw.writeTimeout > 0 {
+		_ = cw.conn.SetWriteDeadline(time.Now().Add(cw.writeTimeout))
+	}
+	err := cw.enc.Encode(m)
+	if err != nil && cw.timeouts != nil && isTimeout(err) {
+		cw.timeouts.Inc()
+	}
+	return err
+}
+
+// isTimeout reports whether err is a network timeout.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
+	sm := s.metrics
+	if sm != nil {
+		sm.connsOpened.Inc()
+		sm.activeConns.Add(1)
+	}
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		_ = conn.Close()
+		if sm != nil {
+			sm.connsClosed.Inc()
+			sm.activeConns.Add(-1)
+		}
 	}()
 
-	cw := &connWriter{enc: json.NewEncoder(conn)}
+	var bytesOut, writeTimeouts *telemetry.Counter
+	if sm != nil {
+		bytesOut, writeTimeouts = sm.bytesOut, sm.writeTimeouts
+	}
+	cw := newConnWriter(conn, s.writeTimeout, bytesOut, writeTimeouts)
 	var subIDs []int64
 	defer func() {
 		for _, id := range subIDs {
@@ -149,13 +310,34 @@ func (s *Server) handle(conn net.Conn) {
 
 	scanner := bufio.NewScanner(conn)
 	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	for scanner.Scan() {
+	for {
+		if s.idleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+		}
+		if !scanner.Scan() {
+			if sm != nil && isTimeout(scanner.Err()) {
+				sm.readTimeouts.Inc()
+			}
+			return
+		}
 		var m wireMessage
 		if err := json.Unmarshal(scanner.Bytes(), &m); err != nil {
+			if sm != nil {
+				sm.badMessages.Inc()
+			}
 			_ = cw.send(wireMessage{Type: msgResponse, Error: "malformed message: " + err.Error()})
 			continue
 		}
+		var start time.Time
+		if sm != nil {
+			sm.bytesIn.Add(int64(len(scanner.Bytes()) + 1))
+			sm.recv[sm.key(m.Type)].Inc()
+			start = time.Now()
+		}
 		resp := s.dispatch(&m, cw, &subIDs)
+		if sm != nil {
+			sm.handleNanos[sm.key(m.Type)].Observe(time.Since(start).Nanoseconds())
+		}
 		if err := cw.send(resp); err != nil {
 			return
 		}
@@ -170,7 +352,11 @@ func (s *Server) dispatch(m *wireMessage, cw *connWriter, subIDs *[]int64) wireM
 			Topics:   m.Topics,
 			Keywords: m.Keywords,
 		}, NotifierFunc(func(n Notification) {
-			_ = cw.send(wireMessage{Type: msgNotify, Notification: &n})
+			if err := cw.send(wireMessage{Type: msgNotify, Notification: &n}); err == nil {
+				if sm := s.metrics; sm != nil {
+					sm.notifySends.Inc()
+				}
+			}
 		}))
 		if err != nil {
 			return wireMessage{Type: msgResponse, Error: err.Error()}
@@ -212,10 +398,48 @@ func (s *Server) dispatch(m *wireMessage, cw *connWriter, subIDs *[]int64) wireM
 	}
 }
 
+// ClientOptions tunes a transport client. The zero value uses the
+// defaults with telemetry disabled.
+type ClientOptions struct {
+	// WriteTimeout bounds each request write. 0 means
+	// DefaultWriteTimeout; negative disables.
+	WriteTimeout time.Duration
+	// Telemetry, when non-nil, receives client metrics (per-message-type
+	// round-trip latency, bytes in/out, timeouts).
+	Telemetry *telemetry.Registry
+}
+
+// clientMetrics are the client's pre-resolved handles; nil when off.
+type clientMetrics struct {
+	bytesIn  *telemetry.Counter
+	bytesOut *telemetry.Counter
+	timeouts *telemetry.Counter
+	rtt      map[string]*telemetry.Histogram
+}
+
+func newClientMetrics(reg *telemetry.Registry) *clientMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &clientMetrics{
+		bytesIn:  reg.Counter("transport.client.bytes_in"),
+		bytesOut: reg.Counter("transport.client.bytes_out"),
+		timeouts: reg.Counter("transport.client.timeouts"),
+		rtt:      make(map[string]*telemetry.Histogram, len(wireTypes)),
+	}
+	lat := telemetry.LatencyBuckets()
+	for _, t := range wireTypes {
+		m.rtt[t] = reg.Histogram("transport.client.rtt_ns."+t, lat)
+	}
+	return m
+}
+
 // Client is a TCP client for a broker Server.
 type Client struct {
-	conn net.Conn
-	enc  *json.Encoder
+	conn         net.Conn
+	enc          *json.Encoder
+	writeTimeout time.Duration
+	metrics      *clientMetrics
 
 	mu      sync.Mutex
 	pending chan wireMessage
@@ -224,20 +448,33 @@ type Client struct {
 	readErr error
 }
 
-// Dial connects to a broker server. onNotify, if non-nil, is invoked for
-// every notification delivered to this connection's subscriptions.
+// Dial connects to a broker server with default options. onNotify, if
+// non-nil, is invoked for every notification delivered to this
+// connection's subscriptions.
 func Dial(ctx context.Context, addr string, onNotify func(Notification)) (*Client, error) {
+	return DialWith(ctx, addr, onNotify, ClientOptions{})
+}
+
+// DialWith connects to a broker server with explicit options.
+func DialWith(ctx context.Context, addr string, onNotify func(Notification), opts ClientOptions) (*Client, error) {
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("broker: dial: %w", err)
 	}
+	cm := newClientMetrics(opts.Telemetry)
+	var bytesOut *telemetry.Counter
+	if cm != nil {
+		bytesOut = cm.bytesOut
+	}
 	c := &Client{
-		conn:    conn,
-		enc:     json.NewEncoder(conn),
-		pending: make(chan wireMessage, 1),
-		notify:  onNotify,
-		done:    make(chan struct{}),
+		conn:         conn,
+		enc:          json.NewEncoder(&countingWriter{w: conn, c: bytesOut}),
+		writeTimeout: defaultTimeout(opts.WriteTimeout, DefaultWriteTimeout),
+		metrics:      cm,
+		pending:      make(chan wireMessage, 1),
+		notify:       onNotify,
+		done:         make(chan struct{}),
 	}
 	go c.readLoop()
 	return c, nil
@@ -248,6 +485,9 @@ func (c *Client) readLoop() {
 	scanner := bufio.NewScanner(c.conn)
 	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	for scanner.Scan() {
+		if cm := c.metrics; cm != nil {
+			cm.bytesIn.Add(int64(len(scanner.Bytes()) + 1))
+		}
 		var m wireMessage
 		if err := json.Unmarshal(scanner.Bytes(), &m); err != nil {
 			continue
@@ -279,11 +519,27 @@ func (c *Client) Close() error {
 func (c *Client) roundTrip(ctx context.Context, m wireMessage) (wireMessage, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	cm := c.metrics
+	var start time.Time
+	if cm != nil {
+		start = time.Now()
+	}
+	if c.writeTimeout > 0 {
+		_ = c.conn.SetWriteDeadline(time.Now().Add(c.writeTimeout))
+	}
 	if err := c.enc.Encode(m); err != nil {
+		if cm != nil && isTimeout(err) {
+			cm.timeouts.Inc()
+		}
 		return wireMessage{}, fmt.Errorf("broker: send: %w", err)
 	}
 	select {
 	case resp := <-c.pending:
+		if cm != nil {
+			if h, ok := cm.rtt[m.Type]; ok {
+				h.Observe(time.Since(start).Nanoseconds())
+			}
+		}
 		if resp.Error != "" {
 			return resp, errors.New(resp.Error)
 		}
@@ -291,6 +547,9 @@ func (c *Client) roundTrip(ctx context.Context, m wireMessage) (wireMessage, err
 	case <-c.done:
 		return wireMessage{}, errors.New("broker: connection closed")
 	case <-ctx.Done():
+		if cm != nil && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			cm.timeouts.Inc()
+		}
 		return wireMessage{}, ctx.Err()
 	}
 }

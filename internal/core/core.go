@@ -63,6 +63,10 @@ type Params struct {
 	// strategies that don't use the GD* framework). Must be positive
 	// for strategies that use it.
 	Beta float64
+	// Metrics, when non-nil, receives live telemetry from the
+	// strategy's hot path (decision counters and sampled latencies).
+	// Nil disables instrumentation at the cost of one branch per op.
+	Metrics *StrategyMetrics
 }
 
 func (p Params) validate() error {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"time"
 )
 
 // dm implements Dual-Methods (§3.3): the push-time module runs SUB and
@@ -17,6 +18,10 @@ type dm struct {
 	byID     map[int]*dmEntry
 	gdHeap   dmHeap // ordered by gdValue
 	subHeap  dmHeap // ordered by subValue
+
+	stats   OpStats
+	metrics *StrategyMetrics
+	flushed OpStats
 }
 
 type dmEntry struct {
@@ -38,6 +43,7 @@ func NewDM(params Params) (Strategy, error) {
 		capacity: params.Capacity,
 		beta:     params.Beta,
 		byID:     make(map[int]*dmEntry),
+		metrics:  params.Metrics,
 	}
 	d.gdHeap = dmHeap{value: func(e *dmEntry) float64 { return e.gdValue },
 		index: func(e *dmEntry) *int { return &e.gdIdx }}
@@ -61,6 +67,17 @@ func (d *dm) subEval(e *dmEntry) float64 {
 
 // Push runs the SUB placement module.
 func (d *dm) Push(p PageMeta, version, subs int) bool {
+	m := d.metrics
+	if m == nil || !sampleOp(d.seq) {
+		return d.push(p, version, subs)
+	}
+	t0 := time.Now()
+	stored := d.push(p, version, subs)
+	m.pushDone(t0, &d.flushed, &d.stats)
+	return stored
+}
+
+func (d *dm) push(p PageMeta, version, subs int) bool {
 	d.seq++
 	if e, ok := d.byID[p.ID]; ok {
 		if version > e.Version {
@@ -71,6 +88,7 @@ func (d *dm) Push(p PageMeta, version, subs int) bool {
 		heap.Fix(&d.subHeap, e.subIdx)
 		return true
 	}
+	d.stats.PushOffers++
 	if p.Size > d.capacity {
 		return false
 	}
@@ -94,18 +112,36 @@ func (d *dm) Push(p PageMeta, version, subs int) bool {
 		if min.subValue >= e.subValue {
 			return false // unreachable after the candidate check
 		}
-		d.remove(min)
+		d.evict(min)
 	}
 	e.gdValue = d.gdEval(e)
 	d.add(e)
+	d.stats.PushStores++
 	return true
 }
 
 // Request runs the GD* caching module.
 func (d *dm) Request(p PageMeta, version, subs int) (hit, stored bool) {
+	m := d.metrics
+	if m == nil || !sampleOp(d.seq) {
+		return d.request(p, version, subs)
+	}
+	t0 := time.Now()
+	hit, stored = d.request(p, version, subs)
+	m.requestDone(t0, &d.flushed, &d.stats)
+	return hit, stored
+}
+
+func (d *dm) request(p PageMeta, version, subs int) (hit, stored bool) {
 	d.seq++
+	d.stats.Requests++
 	if e, ok := d.byID[p.ID]; ok {
 		fresh := e.Version >= version
+		if fresh {
+			d.stats.Hits++
+		} else {
+			d.stats.StaleRefreshes++
+		}
 		if version > e.Version {
 			e.Version = version
 		}
@@ -117,13 +153,14 @@ func (d *dm) Request(p PageMeta, version, subs int) (hit, stored bool) {
 		return fresh, true
 	}
 	if p.Size > d.capacity {
+		d.stats.AccessRejects++
 		return false, false
 	}
 	// Classic GD* replacement: evict ascending gdValue until room.
 	for d.free() < p.Size {
 		min := d.gdHeap.items[0]
 		d.l = min.gdValue
-		d.remove(min)
+		d.evict(min)
 	}
 	e := &dmEntry{Entry: Entry{
 		ID: p.ID, Version: version, Size: p.Size, Cost: p.Cost,
@@ -132,10 +169,18 @@ func (d *dm) Request(p PageMeta, version, subs int) (hit, stored bool) {
 	e.gdValue = d.gdEval(e)
 	e.subValue = d.subEval(e)
 	d.add(e)
+	d.stats.AccessAdmits++
 	return false, true
 }
 
 func (d *dm) free() int64 { return d.capacity - d.used }
+
+// evict removes a replacement victim and accounts it.
+func (d *dm) evict(e *dmEntry) {
+	d.remove(e)
+	d.stats.Evictions++
+	d.stats.EvictedBytes += e.Size
+}
 
 func (d *dm) add(e *dmEntry) {
 	d.byID[e.ID] = e

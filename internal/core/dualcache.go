@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // dualCache implements the Dual-Caches family (§3.3): the proxy's storage
@@ -34,6 +35,10 @@ type dualCache struct {
 
 	pc *Store
 	ac *Store
+
+	stats   OpStats
+	metrics *StrategyMetrics
+	flushed OpStats
 }
 
 var _ Strategy = (*dualCache)(nil)
@@ -90,6 +95,7 @@ func newDualCache(name string, params Params, adaptive bool, minPC, maxPC float6
 		beta:     params.Beta,
 		pc:       pc,
 		ac:       ac,
+		metrics:  params.Metrics,
 	}, nil
 }
 
@@ -114,6 +120,17 @@ func (d *dualCache) subEval(e *Entry) float64 {
 
 // Push implements the placing algorithm.
 func (d *dualCache) Push(p PageMeta, version, subs int) bool {
+	m := d.metrics
+	if m == nil || !sampleOp(d.seq) {
+		return d.push(p, version, subs)
+	}
+	t0 := time.Now()
+	stored := d.push(p, version, subs)
+	m.pushDone(t0, &d.flushed, &d.stats)
+	return stored
+}
+
+func (d *dualCache) push(p PageMeta, version, subs int) bool {
 	d.seq++
 	// A resident page (in either cache) is refreshed in place.
 	if e, ok := d.pc.Get(p.ID); ok {
@@ -137,17 +154,36 @@ func (d *dualCache) Push(p PageMeta, version, subs int) bool {
 		Subs: subs, LastAccessSeq: d.seq,
 	}
 	e.Value = d.subEval(e)
+	d.stats.PushOffers++
 	// Run SUB on the push cache.
 	if p.Size <= d.pc.Capacity() && d.pc.CanAdmit(p.Size, e.Value) {
-		if _, ok := d.pc.EvictFor(p.Size, e.Value); !ok {
+		evicted, ok := d.pc.EvictFor(p.Size, e.Value)
+		d.countEvictions(evicted)
+		if !ok {
 			return false
 		}
-		return d.pc.Add(e) == nil
+		if d.pc.Add(e) != nil {
+			return false
+		}
+		d.stats.PushStores++
+		return true
 	}
 	if !d.adaptive {
 		return false
 	}
-	return d.reclaimAndStore(e)
+	if d.reclaimAndStore(e) {
+		d.stats.PushStores++
+		return true
+	}
+	return false
+}
+
+// countEvictions accounts replacement victims.
+func (d *dualCache) countEvictions(evicted []*Entry) {
+	for _, ev := range evicted {
+		d.stats.Evictions++
+		d.stats.EvictedBytes += ev.Size
+	}
 }
 
 // reclaimAndStore implements DC-AP's placing fallback: storage of AC
@@ -192,6 +228,7 @@ func (d *dualCache) reclaimAndStore(e *Entry) bool {
 	for _, c := range chosen {
 		d.ac.Remove(c.ID)
 	}
+	d.countEvictions(chosen)
 	if err := d.ac.SetCapacity(d.ac.Capacity() - freed); err != nil {
 		return false
 	}
@@ -203,9 +240,22 @@ func (d *dualCache) reclaimAndStore(e *Entry) bool {
 
 // Request implements the locating algorithm.
 func (d *dualCache) Request(p PageMeta, version, subs int) (hit, stored bool) {
+	m := d.metrics
+	if m == nil || !sampleOp(d.seq) {
+		return d.request(p, version, subs)
+	}
+	t0 := time.Now()
+	hit, stored = d.request(p, version, subs)
+	m.requestDone(t0, &d.flushed, &d.stats)
+	return hit, stored
+}
+
+func (d *dualCache) request(p PageMeta, version, subs int) (hit, stored bool) {
 	d.seq++
+	d.stats.Requests++
 	if e, ok := d.pc.Get(p.ID); ok {
 		fresh := e.Version >= version
+		d.countOutcome(fresh)
 		if version > e.Version {
 			e.Version = version
 		}
@@ -218,6 +268,7 @@ func (d *dualCache) Request(p PageMeta, version, subs int) (hit, stored bool) {
 	}
 	if e, ok := d.ac.Get(p.ID); ok {
 		fresh := e.Version >= version
+		d.countOutcome(fresh)
 		if version > e.Version {
 			e.Version = version
 		}
@@ -230,9 +281,11 @@ func (d *dualCache) Request(p PageMeta, version, subs int) (hit, stored bool) {
 	}
 	// Miss: standard GD* replacement on AC.
 	if p.Size > d.ac.Capacity() {
+		d.stats.AccessRejects++
 		return false, false
 	}
 	evicted, ok := d.ac.EvictFor(p.Size, math.Inf(1))
+	d.countEvictions(evicted)
 	for _, ev := range evicted {
 		d.l = ev.Value
 	}
@@ -240,6 +293,7 @@ func (d *dualCache) Request(p PageMeta, version, subs int) (hit, stored bool) {
 		d.lastACRepl = d.seq
 	}
 	if !ok {
+		d.stats.AccessRejects++
 		return false, false
 	}
 	e := &Entry{
@@ -248,9 +302,21 @@ func (d *dualCache) Request(p PageMeta, version, subs int) (hit, stored bool) {
 	}
 	e.Value = d.gdEval(e)
 	if err := d.ac.Add(e); err != nil {
+		d.stats.AccessRejects++
 		return false, false
 	}
+	d.stats.AccessAdmits++
 	return false, true
+}
+
+// countOutcome accounts a resident request as a fresh hit or a stale
+// refresh.
+func (d *dualCache) countOutcome(fresh bool) {
+	if fresh {
+		d.stats.Hits++
+	} else {
+		d.stats.StaleRefreshes++
+	}
 }
 
 // moveToAC transfers a first-accessed PC page to the access cache. DC-AP
@@ -277,6 +343,7 @@ func (d *dualCache) moveToAC(e *Entry) {
 		return // page cannot live in AC; drop it
 	}
 	evicted, ok := d.ac.EvictFor(e.Size, math.Inf(1))
+	d.countEvictions(evicted)
 	for _, ev := range evicted {
 		d.l = ev.Value
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"time"
 )
 
 // policy describes the behaviour of a single-cache, single-replacement
@@ -37,6 +38,12 @@ type engine struct {
 	beta  float64
 	seq   uint64
 	stats OpStats
+
+	// metrics, when non-nil, mirrors stats into a telemetry registry
+	// and samples op/eval latencies; flushed tracks what was mirrored.
+	metrics *StrategyMetrics
+	flushed OpStats
+	sampled bool // current op measures latency
 }
 
 var _ Strategy = (*engine)(nil)
@@ -46,7 +53,7 @@ func newEngine(p policy, params Params) (*engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &engine{policy: p, store: st, beta: params.Beta}, nil
+	return &engine{policy: p, store: st, beta: params.Beta, metrics: params.Metrics}, nil
 }
 
 func (g *engine) Name() string    { return g.name }
@@ -54,8 +61,22 @@ func (g *engine) Used() int64     { return g.store.Used() }
 func (g *engine) Capacity() int64 { return g.store.Capacity() }
 func (g *engine) Len() int        { return g.store.Len() }
 
-// Push implements Strategy.
+// Push implements Strategy. The wrapper keeps the uninstrumented and
+// unsampled paths down to two predictable branches.
 func (g *engine) Push(p PageMeta, version, subs int) bool {
+	m := g.metrics
+	if m == nil || !sampleOp(g.seq) {
+		return g.push(p, version, subs)
+	}
+	t0 := time.Now()
+	g.sampled = true
+	stored := g.push(p, version, subs)
+	g.sampled = false
+	m.pushDone(t0, &g.flushed, &g.stats)
+	return stored
+}
+
+func (g *engine) push(p PageMeta, version, subs int) bool {
 	if !g.pushEnabled {
 		// Access-time-only schemes do not participate in content
 		// pushing at all; resident copies stay stale until a request
@@ -83,8 +104,21 @@ func (g *engine) Push(p PageMeta, version, subs int) bool {
 	return false
 }
 
-// Request implements Strategy.
+// Request implements Strategy; see Push for the instrumentation shape.
 func (g *engine) Request(p PageMeta, version, subs int) (hit, stored bool) {
+	m := g.metrics
+	if m == nil || !sampleOp(g.seq) {
+		return g.request(p, version, subs)
+	}
+	t0 := time.Now()
+	g.sampled = true
+	hit, stored = g.request(p, version, subs)
+	g.sampled = false
+	m.requestDone(t0, &g.flushed, &g.stats)
+	return hit, stored
+}
+
+func (g *engine) request(p PageMeta, version, subs int) (hit, stored bool) {
 	g.seq++
 	g.stats.Requests++
 	if e, ok := g.store.Get(p.ID); ok {
@@ -135,7 +169,13 @@ func (g *engine) admit(p PageMeta, version, subs, refs int) bool {
 	}
 	limit := math.Inf(1)
 	if g.gatedAdmission {
-		limit = g.eval(g, e)
+		if g.sampled { // sampled implies g.metrics != nil
+			t0 := time.Now()
+			limit = g.eval(g, e)
+			g.metrics.evalDone(t0)
+		} else {
+			limit = g.eval(g, e)
+		}
 		if !g.store.CanAdmit(p.Size, limit) {
 			return false
 		}

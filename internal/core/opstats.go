@@ -2,8 +2,18 @@ package core
 
 // OpStats counts a strategy's placement decisions, exposing why a cache
 // behaves the way it does (admission rejections vs evictions vs stale
-// refreshes). The single-cache engine family implements StatsProvider;
-// composite strategies (DM, DC-*) aggregate their modules.
+// refreshes). Every strategy in the catalog implements StatsProvider:
+// the single-cache engine family directly, and the composite strategies
+// (DM, DC-*) by aggregating the decisions of their push-time and
+// access-time modules into one OpStats.
+//
+// Invariants every implementation maintains (asserted by
+// TestEveryStrategyProvidesReconcilingStats):
+//
+//	PushStores   <= PushOffers
+//	Hits + StaleRefreshes <= Requests
+//	AccessAdmits + AccessRejects <= Requests - Hits - StaleRefreshes
+//	EvictedBytes >= Evictions (pages are at least one byte)
 type OpStats struct {
 	// PushOffers counts Push calls for non-resident pages;
 	// PushStores how many were stored.
@@ -44,7 +54,37 @@ type StatsProvider interface {
 
 var (
 	_ StatsProvider = (*engine)(nil)
+	_ StatsProvider = (*dm)(nil)
+	_ StatsProvider = (*dualCache)(nil)
 )
 
 // OpStats implements StatsProvider for the single-cache engine family.
-func (g *engine) OpStats() OpStats { return g.stats }
+// Reading it also flushes any counter deltas the sampled telemetry path
+// has not yet mirrored, so an attached registry is exact afterwards.
+func (g *engine) OpStats() OpStats {
+	if g.metrics != nil {
+		g.metrics.record(&g.flushed, &g.stats)
+	}
+	return g.stats
+}
+
+// OpStats implements StatsProvider for Dual-Methods: the SUB push-time
+// module and GD* access-time module write into one aggregate. Reading
+// it flushes pending telemetry deltas.
+func (d *dm) OpStats() OpStats {
+	if d.metrics != nil {
+		d.metrics.record(&d.flushed, &d.stats)
+	}
+	return d.stats
+}
+
+// OpStats implements StatsProvider for the Dual-Caches family (DC-FP,
+// DC-AP, DC-LAP): push-cache and access-cache decisions aggregate into
+// one OpStats, with partition moves and DC-AP reclamations counted as
+// evictions. Reading it flushes pending telemetry deltas.
+func (d *dualCache) OpStats() OpStats {
+	if d.metrics != nil {
+		d.metrics.record(&d.flushed, &d.stats)
+	}
+	return d.stats
+}

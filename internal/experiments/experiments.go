@@ -278,7 +278,7 @@ func DCLAPBoundsSweep(h *Harness) (*Grid, error) {
 				return core.NewDCLAPBounded(p, lo, 1-lo)
 			},
 		}
-		res, err := sim.Run(w, f, sim.Options{CapacityFraction: 0.05, Beta: beta, FetchCosts: costs})
+		res, err := sim.Run(w, f, sim.Options{CapacityFraction: 0.05, Beta: beta, FetchCosts: costs, Telemetry: h.cfg.Telemetry})
 		if err != nil {
 			return nil, err
 		}
@@ -327,7 +327,7 @@ func MixedRequests(h *Harness) (*Grid, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := sim.Run(w, f, sim.Options{CapacityFraction: 0.05, Beta: beta, FetchCosts: costs})
+			res, err := sim.Run(w, f, sim.Options{CapacityFraction: 0.05, Beta: beta, FetchCosts: costs, Telemetry: h.cfg.Telemetry})
 			if err != nil {
 				return nil, err
 			}
@@ -373,7 +373,7 @@ func ClosedLoop(h *Harness) (*Grid, error) {
 		}
 		row := make([]float64, 2)
 		for i, w := range []*workload.Workload{open, closed} {
-			res, err := sim.Run(w, f, sim.Options{CapacityFraction: 0.05, Beta: beta, FetchCosts: costs})
+			res, err := sim.Run(w, f, sim.Options{CapacityFraction: 0.05, Beta: beta, FetchCosts: costs, Telemetry: h.cfg.Telemetry})
 			if err != nil {
 				return nil, err
 			}
@@ -413,7 +413,7 @@ func ResponseTimes(h *Harness) (*Grid, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := sim.Run(w, f, sim.Options{CapacityFraction: 0.05, Beta: beta, FetchCosts: costs})
+		res, err := sim.Run(w, f, sim.Options{CapacityFraction: 0.05, Beta: beta, FetchCosts: costs, Telemetry: h.cfg.Telemetry})
 		if err != nil {
 			return nil, err
 		}

@@ -14,6 +14,7 @@ import (
 
 	"pubsubcd/internal/core"
 	"pubsubcd/internal/sim"
+	"pubsubcd/internal/telemetry"
 	"pubsubcd/internal/topology"
 	"pubsubcd/internal/workload"
 )
@@ -38,6 +39,10 @@ type Config struct {
 	Seed int64
 	// TopologySeed drives the Waxman topology for fetch costs.
 	TopologySeed int64
+	// Telemetry, when non-nil, is passed to every simulation run, so
+	// the registry accumulates outcome counters across the whole
+	// experiment matrix.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig is the full-scale configuration.
@@ -79,6 +84,10 @@ func New(cfg Config) *Harness {
 		bestBeta:  make(map[bkey]float64),
 	}
 }
+
+// Telemetry returns the registry every run is instrumented with, or nil
+// when the harness runs uninstrumented.
+func (h *Harness) Telemetry() *telemetry.Registry { return h.cfg.Telemetry }
 
 // Workload returns the (cached) workload for a trace and SQ.
 func (h *Harness) Workload(trace workload.TraceName, sq float64) (*workload.Workload, error) {
@@ -132,6 +141,7 @@ func (h *Harness) Run(algo string, trace workload.TraceName, capacity, sq, beta 
 		CapacityFraction: capacity,
 		Beta:             beta,
 		FetchCosts:       costs,
+		Telemetry:        h.cfg.Telemetry,
 	})
 }
 

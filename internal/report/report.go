@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"pubsubcd/internal/experiments"
+	"pubsubcd/internal/telemetry"
 	"pubsubcd/internal/workload"
 )
 
@@ -28,6 +29,9 @@ type Data struct {
 	// Extensions beyond the paper's evaluation.
 	ClosedLoop *experiments.Grid
 	Latency    *experiments.Grid
+	// Telemetry is the harness registry's snapshot after the full
+	// matrix ran; nil when the harness was uninstrumented.
+	Telemetry *telemetry.Snapshot
 }
 
 // Collect runs every experiment needed for the report.
@@ -60,6 +64,10 @@ func Collect(h *experiments.Harness, scale int) (*Data, error) {
 	}
 	if d.Latency, err = experiments.ResponseTimes(h); err != nil {
 		return nil, fmt.Errorf("report: latency: %w", err)
+	}
+	if reg := h.Telemetry(); reg != nil {
+		snap := reg.Snapshot()
+		d.Telemetry = &snap
 	}
 	return d, nil
 }
@@ -654,6 +662,18 @@ paper-level staleness losses.
 	}
 	if err := p("```\n\nThe closed-loop grid validates the workload construction: strategy\nrankings agree whether requests come from the open-loop trace or are\nregenerated from the subscriptions themselves. The response-time grid\ntranslates hit ratios into the paper's motivating metric under a 10 ms\nhit / ~200 ms origin-fetch model.\n\nHourly series (Figs. 6–7) are omitted here for size; regenerate with\n`go run ./cmd/experiments -run fig6,fig7`.\n"); err != nil {
 		return err
+	}
+
+	if d.Telemetry != nil {
+		if err := p("\n## Telemetry summary\n\nLive counters accumulated by `internal/telemetry` across every\nsimulation of the matrix (sim.* are run outcomes, sim.strategy.* the\nproxies' placement decisions with sampled latencies in ns):\n\n```\n"); err != nil {
+			return err
+		}
+		if err := d.Telemetry.WriteSummary(w); err != nil {
+			return err
+		}
+		if err := p("```\n"); err != nil {
+			return err
+		}
 	}
 	return nil
 }

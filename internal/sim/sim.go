@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"pubsubcd/internal/core"
+	"pubsubcd/internal/telemetry"
 	"pubsubcd/internal/topology"
 	"pubsubcd/internal/workload"
 )
@@ -32,6 +33,11 @@ type Options struct {
 	// FetchCosts optionally supplies precomputed per-proxy fetch costs
 	// (len == servers); when nil they are generated from TopologySeed.
 	FetchCosts []float64
+	// Telemetry, when non-nil, receives live counters from the run
+	// (sim.* outcome tallies and a shared sim.strategy.* view of the
+	// proxies' placement decisions and sampled latencies). Nil keeps
+	// the run uninstrumented.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultOptions returns the paper's most common setting: 5 % capacity,
@@ -67,6 +73,11 @@ type Result struct {
 
 	PerServerHits     []int64 `json:"perServerHits"`
 	PerServerRequests []int64 `json:"perServerRequests"`
+	// PerServerHourlyHits and PerServerHourlyRequests are the full
+	// [server][hour] matrices behind the marginals above, so a proxy's
+	// cache warm-up can be read off directly.
+	PerServerHourlyHits     [][]int64 `json:"perServerHourlyHits"`
+	PerServerHourlyRequests [][]int64 `json:"perServerHourlyRequests"`
 
 	// ColdMisses counts first requests of a (page, server) pair —
 	// avoidable only by pushing. WarmMisses counts repeat-request misses
@@ -188,9 +199,15 @@ func Run(w *workload.Workload, factory core.Factory, opts Options) (*Result, err
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
+	// All proxies share one StrategyMetrics: the handles are atomic, so
+	// the registry exposes a fleet-wide view of placement decisions.
+	var stratMetrics *core.StrategyMetrics
+	if opts.Telemetry != nil {
+		stratMetrics = core.NewStrategyMetrics(opts.Telemetry, "sim.strategy")
+	}
 	strategies := make([]core.Strategy, servers)
 	for i := range strategies {
-		s, err := factory.New(core.Params{Capacity: capacities[i], Beta: opts.Beta})
+		s, err := factory.New(core.Params{Capacity: capacities[i], Beta: opts.Beta, Metrics: stratMetrics})
 		if err != nil {
 			return nil, fmt.Errorf("sim: server %d: %w", i, err)
 		}
@@ -212,9 +229,16 @@ func Run(w *workload.Workload, factory core.Factory, opts Options) (*Result, err
 		PushedBytesAP:     make([]int64, hours),
 		PushedBytesPWN:    make([]int64, hours),
 		FetchedBytes:      make([]int64, hours),
-		PerServerHits:     make([]int64, servers),
-		PerServerRequests: make([]int64, servers),
+		PerServerHits:           make([]int64, servers),
+		PerServerRequests:       make([]int64, servers),
+		PerServerHourlyHits:     make([][]int64, servers),
+		PerServerHourlyRequests: make([][]int64, servers),
 	}
+	for i := 0; i < servers; i++ {
+		res.PerServerHourlyHits[i] = make([]int64, hours)
+		res.PerServerHourlyRequests[i] = make([]int64, hours)
+	}
+	rec := newTally(res, opts.Telemetry)
 	hourOf := func(t float64) int {
 		h := int(t)
 		if h < 0 {
@@ -257,12 +281,7 @@ func Run(w *workload.Workload, factory core.Factory, opts Options) (*Result, err
 				}
 				meta := core.PageMeta{ID: p.Page, Size: page.Size, Cost: costs[server]}
 				stored := strategies[server].Push(meta, p.Version, subs)
-				res.PushedPagesAP[hour]++
-				res.PushedBytesAP[hour] += page.Size
-				if stored {
-					res.PushedPagesPWN[hour]++
-					res.PushedBytesPWN[hour] += page.Size
-				}
+				rec.push(hour, page.Size, stored)
 			}
 			continue
 		}
@@ -279,24 +298,16 @@ func Run(w *workload.Workload, factory core.Factory, opts Options) (*Result, err
 		meta := core.PageMeta{ID: r.Page, Size: page.Size, Cost: costs[r.Server]}
 		hit, _ := strategies[r.Server].Request(meta, version, subs)
 		hour := hourOf(r.Time)
-		res.Requests++
-		res.HourlyRequests[hour]++
-		res.PerServerRequests[r.Server]++
-		res.ClassRequests[page.Class]++
 		first := !seen[r.Page*servers+r.Server]
 		seen[r.Page*servers+r.Server] = true
-		if hit {
-			res.Hits++
-			res.HourlyHits[hour]++
-			res.PerServerHits[r.Server]++
-			res.ClassHits[page.Class]++
-		} else {
-			res.FetchedPages[hour]++
-			res.FetchedBytes[hour] += page.Size
-			if first {
-				res.ColdMisses++
-			} else {
-				res.WarmMisses++
+		rec.request(hour, r.Server, page.Class, page.Size, hit, first)
+	}
+	if stratMetrics != nil {
+		// Reading OpStats flushes each strategy's pending telemetry
+		// deltas, so the registry is exact when the run returns.
+		for _, s := range strategies {
+			if sp, ok := s.(core.StatsProvider); ok {
+				sp.OpStats()
 			}
 		}
 	}

@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"pubsubcd/internal/telemetry"
+)
+
+// runMetrics are the simulator's pre-resolved telemetry handles; a nil
+// *runMetrics means telemetry is off and recording is a no-op.
+type runMetrics struct {
+	requests   *telemetry.Counter
+	hits       *telemetry.Counter
+	coldMisses *telemetry.Counter
+	warmMisses *telemetry.Counter
+
+	pushedPagesAP  *telemetry.Counter
+	pushedPagesPWN *telemetry.Counter
+	pushedBytesAP  *telemetry.Counter
+	pushedBytesPWN *telemetry.Counter
+	fetchedPages   *telemetry.Counter
+	fetchedBytes   *telemetry.Counter
+}
+
+func newRunMetrics(reg *telemetry.Registry) *runMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &runMetrics{
+		requests:       reg.Counter("sim.requests"),
+		hits:           reg.Counter("sim.hits"),
+		coldMisses:     reg.Counter("sim.cold_misses"),
+		warmMisses:     reg.Counter("sim.warm_misses"),
+		pushedPagesAP:  reg.Counter("sim.pushed_pages_ap"),
+		pushedPagesPWN: reg.Counter("sim.pushed_pages_pwn"),
+		pushedBytesAP:  reg.Counter("sim.pushed_bytes_ap"),
+		pushedBytesPWN: reg.Counter("sim.pushed_bytes_pwn"),
+		fetchedPages:   reg.Counter("sim.fetched_pages"),
+		fetchedBytes:   reg.Counter("sim.fetched_bytes"),
+	}
+}
+
+// tally is the single recorder for every accounting dimension of a run:
+// the global and hourly series, the per-server totals, the per-server
+// per-hour matrices, the popularity-class breakdown and the cold/warm
+// miss split. Run calls exactly two methods — push and request — so the
+// accounting rules live in one place instead of being scattered through
+// the event loop.
+type tally struct {
+	res     *Result
+	metrics *runMetrics
+}
+
+func newTally(res *Result, reg *telemetry.Registry) *tally {
+	return &tally{res: res, metrics: newRunMetrics(reg)}
+}
+
+// push records one push offer of size bytes during hour. stored reports
+// whether the proxy kept the page, which is what separates the
+// Always-Pushing from the Pushing-When-Necessary traffic accounting
+// (§5.6): AP pays for every offer, PWN only for stored ones. Pushes are
+// charged to the publisher link, so there is no per-server dimension.
+func (t *tally) push(hour int, size int64, stored bool) {
+	res := t.res
+	res.PushedPagesAP[hour]++
+	res.PushedBytesAP[hour] += size
+	if stored {
+		res.PushedPagesPWN[hour]++
+		res.PushedBytesPWN[hour] += size
+	}
+	if m := t.metrics; m != nil {
+		m.pushedPagesAP.Inc()
+		m.pushedBytesAP.Add(size)
+		if stored {
+			m.pushedPagesPWN.Inc()
+			m.pushedBytesPWN.Add(size)
+		}
+	}
+}
+
+// request records one user request for a page of the given popularity
+// class and size at server during hour. hit reports a fresh local hit;
+// first reports the first request of this (page, server) pair, which
+// classifies a miss as cold (avoidable only by pushing) vs warm.
+func (t *tally) request(hour, server, class int, size int64, hit, first bool) {
+	res := t.res
+	res.Requests++
+	res.HourlyRequests[hour]++
+	res.PerServerRequests[server]++
+	res.PerServerHourlyRequests[server][hour]++
+	res.ClassRequests[class]++
+	if hit {
+		res.Hits++
+		res.HourlyHits[hour]++
+		res.PerServerHits[server]++
+		res.PerServerHourlyHits[server][hour]++
+		res.ClassHits[class]++
+	} else {
+		res.FetchedPages[hour]++
+		res.FetchedBytes[hour] += size
+		if first {
+			res.ColdMisses++
+		} else {
+			res.WarmMisses++
+		}
+	}
+	if m := t.metrics; m != nil {
+		m.requests.Inc()
+		if hit {
+			m.hits.Inc()
+		} else {
+			m.fetchedPages.Inc()
+			m.fetchedBytes.Add(size)
+			if first {
+				m.coldMisses.Inc()
+			} else {
+				m.warmMisses.Inc()
+			}
+		}
+	}
+}

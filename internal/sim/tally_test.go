@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"testing"
+
+	"pubsubcd/internal/telemetry"
+	"pubsubcd/internal/workload"
+)
+
+func TestPerServerHourlyMatricesReconcile(t *testing.T) {
+	w := testWorkload(t, workload.TraceNEWS, 1)
+	res := runStrategy(t, w, "DC-LAP", DefaultOptions())
+
+	servers := w.Config.Servers
+	hours := len(res.HourlyHits)
+	if len(res.PerServerHourlyHits) != servers || len(res.PerServerHourlyRequests) != servers {
+		t.Fatalf("matrix has %d/%d server rows, want %d",
+			len(res.PerServerHourlyHits), len(res.PerServerHourlyRequests), servers)
+	}
+	for s := 0; s < servers; s++ {
+		if len(res.PerServerHourlyHits[s]) != hours {
+			t.Fatalf("server %d row has %d hours, want %d", s, len(res.PerServerHourlyHits[s]), hours)
+		}
+		var hits, reqs int64
+		for h := 0; h < hours; h++ {
+			if res.PerServerHourlyHits[s][h] > res.PerServerHourlyRequests[s][h] {
+				t.Fatalf("server %d hour %d: hits exceed requests", s, h)
+			}
+			hits += res.PerServerHourlyHits[s][h]
+			reqs += res.PerServerHourlyRequests[s][h]
+		}
+		if hits != res.PerServerHits[s] || reqs != res.PerServerRequests[s] {
+			t.Errorf("server %d: matrix sums (%d, %d) != marginals (%d, %d)",
+				s, hits, reqs, res.PerServerHits[s], res.PerServerRequests[s])
+		}
+	}
+	for h := 0; h < hours; h++ {
+		var hits, reqs int64
+		for s := 0; s < servers; s++ {
+			hits += res.PerServerHourlyHits[s][h]
+			reqs += res.PerServerHourlyRequests[s][h]
+		}
+		if hits != res.HourlyHits[h] || reqs != res.HourlyRequests[h] {
+			t.Errorf("hour %d: matrix sums (%d, %d) != hourly series (%d, %d)",
+				h, hits, reqs, res.HourlyHits[h], res.HourlyRequests[h])
+		}
+	}
+}
+
+func TestRunTelemetryMatchesResult(t *testing.T) {
+	w := testWorkload(t, workload.TraceNEWS, 1)
+	reg := telemetry.NewRegistry()
+	opts := DefaultOptions()
+	opts.Telemetry = reg
+	res := runStrategy(t, w, "SG2", opts)
+
+	var pushedAP, pushedPWN, fetched, fetchedBytes int64
+	for i := range res.PushedPagesAP {
+		pushedAP += res.PushedPagesAP[i]
+		pushedPWN += res.PushedPagesPWN[i]
+		fetched += res.FetchedPages[i]
+		fetchedBytes += res.FetchedBytes[i]
+	}
+	snap := reg.Snapshot()
+	for name, want := range map[string]int64{
+		"sim.requests":         res.Requests,
+		"sim.hits":             res.Hits,
+		"sim.cold_misses":      res.ColdMisses,
+		"sim.warm_misses":      res.WarmMisses,
+		"sim.pushed_pages_ap":  pushedAP,
+		"sim.pushed_pages_pwn": pushedPWN,
+		"sim.fetched_pages":    fetched,
+		"sim.fetched_bytes":    fetchedBytes,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d (Result)", name, got, want)
+		}
+	}
+	// The shared strategy view must agree with the run outcome: every
+	// user request reaches exactly one proxy strategy.
+	if got := snap.Counters["sim.strategy.requests"]; got != res.Requests {
+		t.Errorf("sim.strategy.requests = %d, want %d", got, res.Requests)
+	}
+	hitsAndRefreshes := snap.Counters["sim.strategy.hits"] + snap.Counters["sim.strategy.stale_refreshes"]
+	if snap.Counters["sim.strategy.hits"] != res.Hits {
+		t.Errorf("sim.strategy.hits = %d, want %d", snap.Counters["sim.strategy.hits"], res.Hits)
+	}
+	if hitsAndRefreshes > res.Requests {
+		t.Errorf("strategy hits+refreshes %d exceed requests %d", hitsAndRefreshes, res.Requests)
+	}
+	if snap.Histograms["sim.strategy.request_ns"].Count == 0 {
+		t.Error("sampled request latency histogram stayed empty")
+	}
+	// Telemetry must not perturb the simulation outcome.
+	plain := runStrategy(t, w, "SG2", DefaultOptions())
+	if plain.Hits != res.Hits || plain.Requests != res.Requests {
+		t.Errorf("instrumented run diverged: %d/%d vs %d/%d",
+			res.Hits, res.Requests, plain.Hits, plain.Requests)
+	}
+}

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// AdminServer exposes a registry and tracer over HTTP for live
+// inspection of a running process:
+//
+//	/metrics        registry snapshot as JSON (expvar-style)
+//	/metrics?text=1 plain-text summary
+//	/trace          retained trace events as JSON
+//	/trace?page=X   events for one page ID
+//	/trace?n=100    at most the last 100 matching events
+//	/debug/pprof/   the standard pprof index (profile, heap, goroutine…)
+type AdminServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewAdminServer starts the admin endpoint on addr (e.g.
+// "127.0.0.1:6060"; use port 0 for an ephemeral port). reg and tr may
+// be nil; the corresponding endpoints then serve empty data.
+func NewAdminServer(addr string, reg *Registry, tr *Tracer) (*AdminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := reg.Snapshot()
+		if r.URL.Query().Get("text") != "" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = snap.WriteSummary(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		events := tr.DumpPage(r.URL.Query().Get("page"))
+		if nStr := r.URL.Query().Get("n"); nStr != "" {
+			n, err := strconv.Atoi(nStr)
+			if err != nil || n < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			if n < len(events) {
+				events = events[len(events)-n:]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(events)
+	})
+	// pprof must be mounted explicitly: the package's init only touches
+	// http.DefaultServeMux, which this server does not use.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &AdminServer{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 10 * time.Second,
+		},
+	}
+	go func() {
+		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			// The listener is owned by this server; Serve only fails
+			// after Close, so there is nobody to report to.
+			_ = err
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *AdminServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *AdminServer) Close() error { return s.srv.Close() }

@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func adminGet(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestAdminServerMetricsAndTrace(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("broker.publishes").Add(42)
+	reg.Histogram("broker.match_ns", LatencyBuckets()).Observe(1500)
+	tr := NewTracer(16)
+	tr.Record(KindPublish, "page-1", -1, "v0")
+	tr.Record(KindPush, "page-1", 2, "stored")
+	tr.Record(KindPublish, "page-2", -1, "v0")
+
+	s, err := NewAdminServer("127.0.0.1:0", reg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	code, body := adminGet(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics not JSON: %v\n%s", err, body)
+	}
+	if snap.Counters["broker.publishes"] != 42 {
+		t.Errorf("metrics counter = %d, want 42", snap.Counters["broker.publishes"])
+	}
+	if snap.Histograms["broker.match_ns"].Count != 1 {
+		t.Errorf("metrics histogram count = %d", snap.Histograms["broker.match_ns"].Count)
+	}
+
+	code, body = adminGet(t, base+"/metrics?text=1")
+	if code != http.StatusOK || !strings.Contains(string(body), "broker.publishes") {
+		t.Errorf("/metrics?text=1 status %d body %q", code, body)
+	}
+
+	code, body = adminGet(t, base+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace status %d", code)
+	}
+	var events []TraceEvent
+	if err := json.Unmarshal(body, &events); err != nil {
+		t.Fatalf("/trace not JSON: %v", err)
+	}
+	if len(events) != 3 {
+		t.Errorf("/trace returned %d events, want 3", len(events))
+	}
+
+	code, body = adminGet(t, base+"/trace?page=page-1&n=1")
+	if code != http.StatusOK {
+		t.Fatalf("/trace filtered status %d", code)
+	}
+	if err := json.Unmarshal(body, &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Kind != KindPush {
+		t.Errorf("filtered trace = %+v, want single push event", events)
+	}
+
+	code, _ = adminGet(t, base+"/trace?n=bogus")
+	if code != http.StatusBadRequest {
+		t.Errorf("bad n should 400, got %d", code)
+	}
+}
+
+func TestAdminServerPprof(t *testing.T) {
+	s, err := NewAdminServer("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+	code, body := adminGet(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+	code, _ = adminGet(t, base+"/debug/pprof/goroutine?debug=1")
+	if code != http.StatusOK {
+		t.Errorf("goroutine profile status %d", code)
+	}
+	// Nil registry/tracer endpoints still answer.
+	code, _ = adminGet(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Errorf("/metrics with nil registry status %d", code)
+	}
+	code, _ = adminGet(t, base+"/trace")
+	if code != http.StatusOK {
+		t.Errorf("/trace with nil tracer status %d", code)
+	}
+}
+
+func TestAdminServerBadAddr(t *testing.T) {
+	if _, err := NewAdminServer("256.256.256.256:1", nil, nil); err == nil {
+		t.Error("bad address should error")
+	}
+}

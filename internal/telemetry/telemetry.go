@@ -1,0 +1,233 @@
+// Package telemetry is the measurement substrate of the system: a
+// lock-cheap metrics registry (atomic counters, gauges and fixed-bucket
+// log-scale histograms), a bounded ring-buffer event tracer, and an HTTP
+// admin endpoint exposing live snapshots plus pprof.
+//
+// The registry is designed for hot paths: metric handles are resolved
+// once (a mutex-guarded map lookup at registration time) and then
+// updated with single atomic operations. Snapshots read the same atomics
+// without stopping writers, so a running broker or simulation can be
+// inspected at any time.
+//
+// Metric names are dot-separated paths, e.g. "broker.publishes" or
+// "transport.server.bytes_in". Histogram names conventionally end in a
+// unit suffix ("_ns" for nanoseconds, "_bytes" for sizes).
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for the counter to stay monotone;
+// this is not enforced).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (may go up and down).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Registry holds named metrics. The zero value is not usable; call
+// NewRegistry. All methods are safe for concurrent use. Re-registering
+// an existing name returns the existing metric, so independent
+// components can share counters by name.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter with the given name, creating it if
+// needed. Safe to call on a nil registry (returns a detached counter),
+// so instrumented components can run without a registry wired up.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it if needed.
+// Safe on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it with
+// the given bucket upper bounds if needed. If the name exists, the
+// existing histogram is returned and bounds are ignored. Safe on a nil
+// registry.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return NewHistogram(bounds)
+	}
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	h = NewHistogram(bounds)
+	r.histograms[name] = h
+	return h
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the current value of every metric. Writers are not
+// stopped; the snapshot is per-metric atomic, not globally consistent.
+// A nil registry yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// CounterNames returns the registered counter names, sorted.
+func (r *Registry) CounterNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteSummary renders a sorted plain-text summary of the snapshot, used
+// by the CLI tools and the report's telemetry section.
+func (s Snapshot) WriteSummary(w interface{ Write([]byte) (int, error) }) error {
+	p := func(format string, args ...interface{}) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := p("%-44s %d\n", name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := p("%-44s %d (gauge)\n", name, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		if h.Count == 0 {
+			continue
+		}
+		if err := p("%-44s n=%d mean=%.0f p50=%d p99=%d max<=%d\n",
+			name, h.Count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Quantile(1)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

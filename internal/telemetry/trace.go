@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Event kinds recorded by the system's components. Kinds are plain
+// strings so components can add their own, but the causality chain of a
+// page through the broker uses these:
+//
+//	publish → match → notify → push → fetch
+//
+// together with the proxy-side "access" events, which is enough to
+// reconstruct why a page was (or was not) resident when a user asked
+// for it.
+const (
+	KindPublish = "publish"
+	KindMatch   = "match"
+	KindNotify  = "notify"
+	KindPush    = "push"
+	KindFetch   = "fetch"
+	KindAccess  = "access"
+)
+
+// TraceEvent is one record in the tracer's ring buffer.
+type TraceEvent struct {
+	// Seq is a global monotone sequence number (causality order even
+	// when wall clocks collide).
+	Seq uint64 `json:"seq"`
+	// At is the wall-clock time of the event.
+	At time.Time `json:"at"`
+	// Kind classifies the event (see the Kind constants).
+	Kind string `json:"kind"`
+	// Page is the page/content ID the event concerns ("" when not
+	// page-scoped).
+	Page string `json:"page,omitempty"`
+	// Proxy is the proxy ID involved (-1 when not proxy-scoped).
+	Proxy int `json:"proxy"`
+	// Detail is free-form context (matched counts, outcomes, sizes).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Tracer is a bounded ring buffer of TraceEvents. When full, new events
+// overwrite the oldest. All methods are safe for concurrent use; a nil
+// Tracer discards records, so components can be wired unconditionally.
+type Tracer struct {
+	mu   sync.Mutex
+	buf  []TraceEvent
+	next uint64 // total events ever recorded; buf index is next % len(buf)
+}
+
+// NewTracer returns a tracer keeping the last capacity events.
+// capacity must be positive.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		panic("telemetry: tracer capacity must be positive")
+	}
+	return &Tracer{buf: make([]TraceEvent, capacity)}
+}
+
+// Record appends an event. No-op on a nil tracer.
+func (t *Tracer) Record(kind, page string, proxy int, detail string) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	t.buf[t.next%uint64(len(t.buf))] = TraceEvent{
+		Seq: t.next, At: now, Kind: kind, Page: page, Proxy: proxy, Detail: detail,
+	}
+	t.next++
+	t.mu.Unlock()
+}
+
+// Len returns the number of events currently retained.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.next < uint64(len(t.buf)) {
+		return int(t.next)
+	}
+	return len(t.buf)
+}
+
+// Cap returns the ring capacity.
+func (t *Tracer) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.buf)
+}
+
+// Recorded returns the total number of events ever recorded (retained
+// or overwritten).
+func (t *Tracer) Recorded() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
+
+// Dump returns the retained events in causality (Seq) order.
+func (t *Tracer) Dump() []TraceEvent {
+	return t.DumpPage("")
+}
+
+// DumpPage returns the retained events for one page ID in causality
+// order; page "" matches every event.
+func (t *Tracer) DumpPage(page string) []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := uint64(len(t.buf))
+	start := uint64(0)
+	if t.next > n {
+		start = t.next - n
+	}
+	out := make([]TraceEvent, 0, t.next-start)
+	for seq := start; seq < t.next; seq++ {
+		ev := t.buf[seq%n]
+		if page != "" && ev.Page != page {
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out
+}

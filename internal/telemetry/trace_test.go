@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTracerRecordAndDump(t *testing.T) {
+	tr := NewTracer(8)
+	if tr.Cap() != 8 || tr.Len() != 0 {
+		t.Fatalf("fresh tracer cap/len = %d/%d", tr.Cap(), tr.Len())
+	}
+	tr.Record(KindPublish, "p1", -1, "v0")
+	tr.Record(KindMatch, "p1", -1, "matched=2")
+	tr.Record(KindPush, "p1", 3, "stored")
+	events := tr.Dump()
+	if len(events) != 3 {
+		t.Fatalf("dump returned %d events, want 3", len(events))
+	}
+	for i, ev := range events {
+		if ev.Seq != uint64(i) {
+			t.Errorf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+	if events[0].Kind != KindPublish || events[2].Proxy != 3 {
+		t.Errorf("unexpected events: %+v", events)
+	}
+}
+
+func TestTracerRingWraps(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(KindAccess, fmt.Sprintf("p%d", i), i, "")
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want 4", tr.Len())
+	}
+	if tr.Recorded() != 10 {
+		t.Fatalf("recorded = %d, want 10", tr.Recorded())
+	}
+	events := tr.Dump()
+	if len(events) != 4 {
+		t.Fatalf("dump returned %d events", len(events))
+	}
+	// The retained window is the newest 4, in order.
+	for i, ev := range events {
+		if want := uint64(6 + i); ev.Seq != want {
+			t.Errorf("event %d seq = %d, want %d", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestTracerDumpPageFilter(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Record(KindPublish, "a", -1, "")
+	tr.Record(KindPublish, "b", -1, "")
+	tr.Record(KindAccess, "a", 0, "hit")
+	got := tr.DumpPage("a")
+	if len(got) != 2 {
+		t.Fatalf("page filter returned %d events, want 2", len(got))
+	}
+	if got[0].Kind != KindPublish || got[1].Detail != "hit" {
+		t.Errorf("unexpected filtered events: %+v", got)
+	}
+}
+
+func TestNilTracerIsUsable(t *testing.T) {
+	var tr *Tracer
+	tr.Record(KindPublish, "x", -1, "")
+	if tr.Len() != 0 || tr.Cap() != 0 || tr.Recorded() != 0 {
+		t.Error("nil tracer should report zero sizes")
+	}
+	if tr.Dump() != nil {
+		t.Error("nil tracer dump should be nil")
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				tr.Record(KindAccess, "p", n, "")
+				_ = tr.Dump()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if tr.Recorded() != 4000 {
+		t.Errorf("recorded = %d, want 4000", tr.Recorded())
+	}
+}

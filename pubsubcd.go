@@ -33,6 +33,7 @@ import (
 	"pubsubcd/internal/experiments"
 	"pubsubcd/internal/match"
 	"pubsubcd/internal/sim"
+	"pubsubcd/internal/telemetry"
 	"pubsubcd/internal/workload"
 )
 
@@ -65,12 +66,19 @@ var (
 	NewLFUDA  = core.NewLFUDA
 )
 
-// OpStats exposes a strategy's placement-decision counters; strategies
-// implementing StatsProvider (the single-cache family) report them.
+// OpStats exposes a strategy's placement-decision counters; every
+// strategy in the catalog implements StatsProvider.
 type (
 	OpStats       = core.OpStats
 	StatsProvider = core.StatsProvider
+	// StrategyMetrics streams a strategy's hot-path decisions and
+	// sampled latencies into a telemetry registry (StrategyParams.Metrics).
+	StrategyMetrics = core.StrategyMetrics
 )
+
+// NewStrategyMetrics resolves strategy metric handles under the given
+// name prefix (e.g. "proxy3.strategy").
+var NewStrategyMetrics = core.NewStrategyMetrics
 
 // StrategyCatalog returns every available strategy factory (Table 1).
 func StrategyCatalog() []StrategyFactory { return core.Catalog() }
@@ -161,6 +169,36 @@ func Simulate(w *Workload, f StrategyFactory, opts SimOptions) (*SimResult, erro
 	return sim.Run(w, f, opts)
 }
 
+// Telemetry (metrics registry, latency histograms, event tracing).
+type (
+	// MetricsRegistry is a lock-cheap registry of named counters,
+	// gauges and histograms, snapshot-able without stopping writers.
+	MetricsRegistry = telemetry.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry.
+	MetricsSnapshot = telemetry.Snapshot
+	// EventTracer is a bounded ring buffer of causality events
+	// (publish→match→push→access), taggable by page ID.
+	EventTracer = telemetry.Tracer
+	// TraceEvent is one recorded tracer event.
+	TraceEvent = telemetry.TraceEvent
+	// AdminServer serves /metrics, /trace and /debug/pprof over HTTP.
+	AdminServer = telemetry.AdminServer
+)
+
+// Telemetry constructors and helpers.
+var (
+	NewMetricsRegistry = telemetry.NewRegistry
+	NewEventTracer     = telemetry.NewTracer
+	// NewAdminServer starts the HTTP admin endpoint on addr; the
+	// registry and tracer may each be nil to disable their routes' data.
+	NewAdminServer = telemetry.NewAdminServer
+	// LatencyBuckets, SizeBuckets and CountBuckets are the standard
+	// log-scale histogram layouts.
+	LatencyBuckets = telemetry.LatencyBuckets
+	SizeBuckets    = telemetry.SizeBuckets
+	CountBuckets   = telemetry.CountBuckets
+)
+
 // Broker (live publish/subscribe system).
 type (
 	// Broker is the in-process publish/subscribe broker.
@@ -175,6 +213,10 @@ type (
 	Content = broker.Content
 	// Notification announces a matched page to a subscriber.
 	Notification = broker.Notification
+	// BrokerServerOptions tunes the TCP server (deadlines, telemetry).
+	BrokerServerOptions = broker.ServerOptions
+	// BrokerClientOptions tunes the TCP client (deadlines, telemetry).
+	BrokerClientOptions = broker.ClientOptions
 )
 
 // NewBroker returns an empty in-process broker.
@@ -185,8 +227,14 @@ func NewBrokerServer(b *Broker, addr string) (*BrokerServer, error) {
 	return broker.NewServer(b, addr)
 }
 
+// NewBrokerServerWith serves a broker over TCP with explicit options.
+var NewBrokerServerWith = broker.NewServerWith
+
 // DialBroker connects to a broker server.
 var DialBroker = broker.Dial
+
+// DialBrokerWith connects to a broker server with explicit options.
+var DialBrokerWith = broker.DialWith
 
 // NewProxy attaches a caching proxy to a broker.
 func NewProxy(id int, b *Broker, s Strategy, cost float64) (*Proxy, error) {
