@@ -2,6 +2,7 @@ package pubsubcd
 
 import (
 	"io"
+	"runtime"
 	"testing"
 )
 
@@ -56,6 +57,28 @@ func BenchmarkWorkloadGeneration(b *testing.B) {
 }
 
 func BenchmarkSimulationRun(b *testing.B) {
+	benchSimulationParallelism(b, 0)
+}
+
+// The Sequential/Parallel pair measures the per-proxy sharding speedup
+// in isolation: identical workload (event view pre-warmed outside the
+// timed region), identical strategy, only Options.Parallelism differs.
+// CI's bench smoke step feeds both through cmd/benchjson to publish the
+// sequential-vs-parallel ratio as a workflow artifact.
+
+func BenchmarkSimulationRunSequential(b *testing.B) {
+	benchSimulationParallelism(b, 1)
+}
+
+func BenchmarkSimulationRunParallel(b *testing.B) {
+	benchSimulationParallelism(b, runtime.GOMAXPROCS(0))
+}
+
+// benchSimulationParallelism runs the SG2 simulation at a fixed shard
+// parallelism (0 = the facade default, GOMAXPROCS). One untimed warm-up
+// run builds the workload's cached event view so the timed iterations
+// measure pure simulation, not view construction.
+func benchSimulationParallelism(b *testing.B, parallelism int) {
 	w, err := GenerateWorkload(ScaledWorkloadConfig(TraceNEWS, benchScale))
 	if err != nil {
 		b.Fatal(err)
@@ -65,6 +88,10 @@ func BenchmarkSimulationRun(b *testing.B) {
 		b.Fatal(err)
 	}
 	opts := DefaultSimOptions()
+	opts.Parallelism = parallelism
+	if _, err := Simulate(w, f, opts); err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

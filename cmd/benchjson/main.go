@@ -1,0 +1,179 @@
+// Command benchjson converts `go test -bench` text output into a small
+// JSON document suitable for publishing as a CI artifact. It reads the
+// benchmark output on stdin and writes JSON to stdout (or -out).
+//
+// When both BenchmarkSimulationRunSequential and
+// BenchmarkSimulationRunParallel appear in the input, the document also
+// carries a "speedup" block with the sequential/parallel ns-per-op
+// ratio — the headline number for the per-proxy sharding work.
+//
+// Usage:
+//
+//	go test -bench='BenchmarkSimulationRun' -benchtime=1x . | benchjson -out bench.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Speedup compares the sequential and parallel simulation benches.
+type Speedup struct {
+	SequentialNsPerOp float64 `json:"sequential_ns_per_op"`
+	ParallelNsPerOp   float64 `json:"parallel_ns_per_op"`
+	Ratio             float64 `json:"ratio"`
+}
+
+// Report is the artifact document.
+type Report struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Speedup    *Speedup    `json:"speedup,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("out", "", "write JSON to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark result lines found on stdin")
+	}
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// parse scans `go test -bench` output. Result lines look like
+//
+//	BenchmarkSimulationRun-8   12   98765432 ns/op   1234 B/op   56 allocs/op
+//
+// Header lines (goos/goarch/cpu) are captured when present; everything
+// else (pkg lines, PASS, ok) is ignored.
+func parse(in io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		b, ok := parseResultLine(line)
+		if !ok {
+			continue
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	rep.Speedup = speedup(rep.Benchmarks)
+	return rep, nil
+}
+
+func parseResultLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[3] != "ns/op" {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	ns, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: baseName(fields[0]), Iterations: iters, NsPerOp: ns}
+	for i := 4; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseInt(fields[i], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		}
+	}
+	return b, true
+}
+
+// baseName strips the trailing -GOMAXPROCS suffix Go appends to
+// benchmark names ("BenchmarkFoo-8" → "BenchmarkFoo").
+func baseName(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func speedup(benches []Benchmark) *Speedup {
+	var seq, par float64
+	for _, b := range benches {
+		switch b.Name {
+		case "BenchmarkSimulationRunSequential":
+			seq = b.NsPerOp
+		case "BenchmarkSimulationRunParallel":
+			par = b.NsPerOp
+		}
+	}
+	if seq == 0 || par == 0 {
+		return nil
+	}
+	return &Speedup{SequentialNsPerOp: seq, ParallelNsPerOp: par, Ratio: seq / par}
+}

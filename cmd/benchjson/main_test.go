@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: pubsubcd
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkSimulationRun-8                 	       3	 400000000 ns/op	 1024 B/op	      12 allocs/op
+BenchmarkSimulationRunSequential-8       	       2	 600000000 ns/op
+BenchmarkSimulationRunParallel-8         	       6	 200000000 ns/op	  512 B/op	       8 allocs/op
+PASS
+ok  	pubsubcd	4.212s
+`
+
+func TestParseSample(t *testing.T) {
+	rep, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" {
+		t.Errorf("header parse: goos=%q goarch=%q", rep.GOOS, rep.GOARCH)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkSimulationRun" || b.Iterations != 3 || b.NsPerOp != 4e8 {
+		t.Errorf("first bench parsed wrong: %+v", b)
+	}
+	if b.BytesPerOp != 1024 || b.AllocsPerOp != 12 {
+		t.Errorf("alloc stats parsed wrong: %+v", b)
+	}
+	if rep.Speedup == nil {
+		t.Fatal("speedup block missing")
+	}
+	if math.Abs(rep.Speedup.Ratio-3.0) > 1e-9 {
+		t.Errorf("speedup ratio = %g, want 3.0", rep.Speedup.Ratio)
+	}
+}
+
+func TestParseWithoutPair(t *testing.T) {
+	rep, err := parse(strings.NewReader("BenchmarkFoo-4   10   123 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Speedup != nil {
+		t.Error("speedup block present without the sequential/parallel pair")
+	}
+	if rep.Benchmarks[0].Name != "BenchmarkFoo" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", rep.Benchmarks[0].Name)
+	}
+}
+
+func TestRunEmitsJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(sampleOutput), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if rep.Speedup == nil || rep.Speedup.Ratio != 3.0 {
+		t.Errorf("round-tripped speedup wrong: %+v", rep.Speedup)
+	}
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader("PASS\n"), &out); err == nil {
+		t.Error("expected an error for input with no benchmark lines")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -32,10 +33,17 @@ func run(args []string) error {
 	scale := fs.Int("scale", 1, "workload scale divisor (1 = paper's full scale)")
 	seed := fs.Int64("seed", 1, "workload random seed")
 	topoSeed := fs.Int64("toposeed", 7, "topology random seed")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "simulation cells run concurrently (≥ 1); results are identical at any level")
 	list := fs.Bool("list", false, "list experiment names and exit")
 	quiet := fs.Bool("q", false, "suppress progress messages")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *scale < 1 {
+		return fmt.Errorf("-scale must be ≥ 1, got %d", *scale)
+	}
+	if *parallel < 1 {
+		return fmt.Errorf("-parallel must be ≥ 1, got %d", *parallel)
 	}
 	if *list {
 		for _, name := range experiments.Names() {
@@ -50,7 +58,7 @@ func run(args []string) error {
 			names[i] = strings.TrimSpace(names[i])
 		}
 	}
-	h := experiments.New(experiments.Config{Scale: *scale, Seed: *seed, TopologySeed: *topoSeed})
+	h := experiments.New(experiments.Config{Scale: *scale, Seed: *seed, TopologySeed: *topoSeed, Parallelism: *parallel})
 	for _, name := range names {
 		start := time.Now()
 		if err := experiments.RunByName(h, name, os.Stdout); err != nil {

@@ -7,13 +7,16 @@
 //	pubsubsim -strategy SG2 -trace NEWS -capacity 0.05 -beta 0.5
 //	pubsubsim -strategy DC-LAP -trace ALTERNATIVE -sq 0.5 -hourly
 //	pubsubsim -strategy GD* -load trace.gob.gz
+//	pubsubsim -strategy SG2 -scale 50 -parallel 8 -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 
 	"pubsubcd/internal/core"
 	"pubsubcd/internal/sim"
@@ -33,15 +36,17 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("pubsubsim", flag.ContinueOnError)
 	strategy := fs.String("strategy", "SG2", "strategy name (see -catalog)")
 	trace := fs.String("trace", "NEWS", "trace: NEWS (α=1.5) or ALTERNATIVE (α=1.0)")
-	capacity := fs.Float64("capacity", 0.05, "cache capacity as a fraction of unique bytes per server")
+	capacity := fs.Float64("capacity", 0.05, "cache capacity as a fraction of unique bytes per server, in (0, 1]")
 	beta := fs.Float64("beta", 2, "GD* balance parameter β")
 	sq := fs.Float64("sq", 1, "subscription quality SQ in (0, 1]")
-	scale := fs.Int("scale", 1, "workload scale divisor")
+	scale := fs.Int("scale", 1, "workload scale divisor (≥ 1)")
 	seed := fs.Int64("seed", 1, "workload random seed")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "proxy shards simulated concurrently (≥ 1); results are identical at any level")
 	load := fs.String("load", "", "load workload trace from file instead of generating")
 	hourly := fs.Bool("hourly", false, "print the hourly hit-ratio series")
 	analyze := fs.Bool("analyze", false, "print workload distribution analysis")
 	latency := fs.Bool("latency", true, "print the estimated mean response time")
+	jsonOut := fs.Bool("json", false, "emit the full simulation result as JSON instead of text")
 	catalog := fs.Bool("catalog", false, "list strategies and exit")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address during the run and print a telemetry summary (empty disables)")
 	if err := fs.Parse(args); err != nil {
@@ -52,6 +57,20 @@ func run(args []string) error {
 			fmt.Printf("%-8s when=%-12s how=%s\n", f.Name, f.When, f.How)
 		}
 		return nil
+	}
+	// Validate flags up front with actionable messages instead of
+	// clamping silently or failing deep inside the simulator.
+	if *capacity <= 0 || *capacity > 1 {
+		return fmt.Errorf("-capacity must be in (0, 1], got %g", *capacity)
+	}
+	if *scale < 1 {
+		return fmt.Errorf("-scale must be ≥ 1, got %d", *scale)
+	}
+	if *parallel < 1 {
+		return fmt.Errorf("-parallel must be ≥ 1, got %d", *parallel)
+	}
+	if *sq <= 0 || *sq > 1 {
+		return fmt.Errorf("-sq must be in (0, 1], got %g", *sq)
 	}
 
 	var w *workload.Workload
@@ -72,7 +91,7 @@ func run(args []string) error {
 		return err
 	}
 
-	if *analyze {
+	if *analyze && !*jsonOut {
 		if err := w.Analyze().WriteText(os.Stdout); err != nil {
 			return err
 		}
@@ -95,11 +114,23 @@ func run(args []string) error {
 			return err
 		}
 		defer admin.Close()
-		fmt.Printf("metrics on http://%s/metrics\n", admin.Addr())
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", admin.Addr())
 	}
-	res, err := sim.Run(w, f, sim.Options{CapacityFraction: *capacity, Beta: *beta, FetchCosts: costs, Telemetry: reg})
+	res, err := sim.Run(w, f, sim.Options{
+		CapacityFraction: *capacity,
+		Beta:             *beta,
+		FetchCosts:       costs,
+		Telemetry:        reg,
+		Parallelism:      *parallel,
+	})
 	if err != nil {
 		return err
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
 	}
 
 	fmt.Printf("strategy           %s\n", res.Strategy)

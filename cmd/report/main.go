@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"pubsubcd/internal/experiments"
 	"pubsubcd/internal/report"
@@ -30,10 +31,14 @@ func run(args []string) error {
 	scale := fs.Int("scale", 1, "workload scale divisor (1 = paper's full scale)")
 	seed := fs.Int64("seed", 1, "workload random seed")
 	topoSeed := fs.Int64("toposeed", 7, "topology random seed")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "simulation cells run concurrently (≥ 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	h := experiments.New(experiments.Config{Scale: *scale, Seed: *seed, TopologySeed: *topoSeed})
+	if *parallel < 1 {
+		return fmt.Errorf("-parallel must be ≥ 1, got %d", *parallel)
+	}
+	h := experiments.New(experiments.Config{Scale: *scale, Seed: *seed, TopologySeed: *topoSeed, Parallelism: *parallel})
 	data, err := report.Collect(h, *scale)
 	if err != nil {
 		return err

@@ -6,10 +6,18 @@
 // balance parameter β chosen by sweeping β ∈ {0.0625 … 4} per trace and
 // capacity and keeping the value with the highest hit ratio; the other
 // strategies that embed a GD* module (DM, DC-*) inherit GD*'s best β.
+//
+// The harness schedules independent matrix cells on a bounded worker
+// pool (Config.Parallelism) and deduplicates shared work — workload
+// generation and β sweeps are single-flight — so the full suite
+// saturates every core without ever running the same sweep twice.
+// Every cell result is deterministic, so the rendered tables are
+// identical at any parallelism level.
 package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"pubsubcd/internal/core"
@@ -43,6 +51,10 @@ type Config struct {
 	// the registry accumulates outcome counters across the whole
 	// experiment matrix.
 	Telemetry *telemetry.Registry
+	// Parallelism bounds how many simulation cells run concurrently;
+	// 0 selects GOMAXPROCS, 1 serialises the matrix. Results are
+	// identical at any level — only wall-clock time changes.
+	Parallelism int
 }
 
 // DefaultConfig is the full-scale configuration.
@@ -51,14 +63,21 @@ func DefaultConfig() Config {
 }
 
 // Harness caches workloads, fetch costs and swept β values across
-// experiments so the full suite reuses work.
+// experiments so the full suite reuses work, and bounds how many
+// simulation cells execute at once.
 type Harness struct {
 	cfg Config
 
+	// slots is the cell-level admission semaphore: every simulation run
+	// acquires one slot for its duration. Only leaf work holds a slot —
+	// single-flight waiters block on entry channels slot-free — so the
+	// scheduler cannot deadlock however drivers nest.
+	slots chan struct{}
+
 	mu        sync.Mutex
-	workloads map[wkey]*workload.Workload
+	workloads map[wkey]*workloadEntry
 	costs     map[int][]float64
-	bestBeta  map[bkey]float64
+	sweeps    map[bkey]*sweepEntry
 }
 
 type wkey struct {
@@ -72,16 +91,38 @@ type bkey struct {
 	cap   float64
 }
 
+// workloadEntry is a single-flight cell of the workload cache: the
+// first requester generates, everyone else waits on done.
+type workloadEntry struct {
+	done chan struct{}
+	w    *workload.Workload
+	err  error
+}
+
+// sweepEntry is a single-flight cell of the β-sweep cache: one full
+// 7-point sweep per (algo, trace, capacity), shared by every caller
+// that needs the best β or the whole curve.
+type sweepEntry struct {
+	done  chan struct{}
+	beta  float64
+	curve []float64
+	err   error
+}
+
 // New returns a harness.
 func New(cfg Config) *Harness {
 	if cfg.Scale < 1 {
 		cfg.Scale = 1
 	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	return &Harness{
 		cfg:       cfg,
-		workloads: make(map[wkey]*workload.Workload),
+		slots:     make(chan struct{}, cfg.Parallelism),
+		workloads: make(map[wkey]*workloadEntry),
 		costs:     make(map[int][]float64),
-		bestBeta:  make(map[bkey]float64),
+		sweeps:    make(map[bkey]*sweepEntry),
 	}
 }
 
@@ -89,23 +130,59 @@ func New(cfg Config) *Harness {
 // when the harness runs uninstrumented.
 func (h *Harness) Telemetry() *telemetry.Registry { return h.cfg.Telemetry }
 
-// Workload returns the (cached) workload for a trace and SQ.
-func (h *Harness) Workload(trace workload.TraceName, sq float64) (*workload.Workload, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	key := wkey{trace: trace, sq: sq}
-	if w, ok := h.workloads[key]; ok {
-		return w, nil
+// gather runs fn(0), …, fn(n-1) concurrently and returns the
+// lowest-index error (deterministic regardless of completion order).
+// Concurrency is bounded downstream: only simulation leaves acquire
+// harness slots, so fan-out here stays cheap goroutines.
+func gather(n int, fn func(int) error) error {
+	if n == 1 {
+		return fn(0)
 	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Workload returns the (cached) workload for a trace and SQ. Generation
+// is single-flight: concurrent callers for the same cell wait for the
+// first instead of generating duplicates.
+func (h *Harness) Workload(trace workload.TraceName, sq float64) (*workload.Workload, error) {
+	key := wkey{trace: trace, sq: sq}
+	h.mu.Lock()
+	e, ok := h.workloads[key]
+	if ok {
+		h.mu.Unlock()
+		<-e.done
+		return e.w, e.err
+	}
+	e = &workloadEntry{done: make(chan struct{})}
+	h.workloads[key] = e
+	h.mu.Unlock()
+
 	cfg := workload.ScaledConfig(trace, h.cfg.Scale)
 	cfg.Seed = h.cfg.Seed
 	cfg.SQ = sq
 	w, err := workload.Generate(cfg)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: generate %s/SQ=%g: %w", trace, sq, err)
+		e.err = fmt.Errorf("experiments: generate %s/SQ=%g: %w", trace, sq, err)
+	} else {
+		e.w = w
 	}
-	h.workloads[key] = w
-	return w, nil
+	close(e.done)
+	return e.w, e.err
 }
 
 // fetchCosts returns cached per-proxy fetch costs for a server count.
@@ -123,7 +200,8 @@ func (h *Harness) fetchCosts(servers int) ([]float64, error) {
 	return c, nil
 }
 
-// Run simulates one (strategy, trace, capacity, sq, beta) cell.
+// Run simulates one (strategy, trace, capacity, sq, beta) cell. It
+// occupies one scheduler slot for the duration of the simulation.
 func (h *Harness) Run(algo string, trace workload.TraceName, capacity, sq, beta float64) (*sim.Result, error) {
 	w, err := h.Workload(trace, sq)
 	if err != nil {
@@ -137,6 +215,8 @@ func (h *Harness) Run(algo string, trace workload.TraceName, capacity, sq, beta 
 	if err != nil {
 		return nil, err
 	}
+	h.slots <- struct{}{}
+	defer func() { <-h.slots }()
 	return sim.Run(w, f, sim.Options{
 		CapacityFraction: capacity,
 		Beta:             beta,
@@ -162,43 +242,78 @@ func betaSource(algo string) string {
 	}
 }
 
-// BestBeta returns the swept best β for an algorithm at a trace/capacity,
-// sweeping (and caching) on demand. Algorithms without a β return 1.
+// sweep returns the β sweep for an algorithm at a trace/capacity,
+// running it at most once however many callers race for it: the first
+// caller performs the 7-point sweep while the rest wait on the entry.
+// This is what keeps concurrent RunTuned cells from multiplying the
+// most expensive shared work in the suite.
+func (h *Harness) sweep(algo string, trace workload.TraceName, capacity float64) (*sweepEntry, error) {
+	key := bkey{algo: algo, trace: trace, cap: capacity}
+	h.mu.Lock()
+	e, ok := h.sweeps[key]
+	if ok {
+		h.mu.Unlock()
+		<-e.done
+		return e, e.err
+	}
+	e = &sweepEntry{done: make(chan struct{})}
+	h.sweeps[key] = e
+	h.mu.Unlock()
+
+	e.beta, e.curve, e.err = h.runBetaGrid(algo, trace, capacity)
+	close(e.done)
+	return e, e.err
+}
+
+// runBetaGrid evaluates the β grid for one algorithm, with the seven
+// cells scheduled concurrently, and returns the best β (first maximum,
+// matching the sequential sweep's tie-breaking) plus the full curve.
+func (h *Harness) runBetaGrid(algo string, trace workload.TraceName, capacity float64) (float64, []float64, error) {
+	curve := make([]float64, len(BetaGrid))
+	err := gather(len(BetaGrid), func(i int) error {
+		res, err := h.Run(algo, trace, capacity, 1, BetaGrid[i])
+		if err != nil {
+			return err
+		}
+		curve[i] = res.HitRatio()
+		return nil
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	bestBeta, bestH := BetaGrid[0], -1.0
+	for i, hr := range curve {
+		if hr > bestH {
+			bestH = hr
+			bestBeta = BetaGrid[i]
+		}
+	}
+	return bestBeta, curve, nil
+}
+
+// sweepBeta runs (or reuses) the β sweep for one algorithm and returns
+// the best β and the full curve.
+func (h *Harness) sweepBeta(algo string, trace workload.TraceName, capacity float64) (float64, []float64, error) {
+	e, err := h.sweep(algo, trace, capacity)
+	if err != nil {
+		return 0, nil, err
+	}
+	return e.beta, e.curve, nil
+}
+
+// BestBeta returns the swept best β for an algorithm at a
+// trace/capacity, sweeping (single-flight) on demand. Algorithms
+// without a β return 1.
 func (h *Harness) BestBeta(algo string, trace workload.TraceName, capacity float64) (float64, error) {
 	src := betaSource(algo)
 	if src == "" {
 		return 1, nil
 	}
-	h.mu.Lock()
-	if b, ok := h.bestBeta[bkey{algo: src, trace: trace, cap: capacity}]; ok {
-		h.mu.Unlock()
-		return b, nil
+	e, err := h.sweep(src, trace, capacity)
+	if err != nil {
+		return 0, err
 	}
-	h.mu.Unlock()
-	best, _, err := h.sweepBeta(src, trace, capacity)
-	return best, err
-}
-
-// sweepBeta runs the β grid for one algorithm and returns the best β and
-// the full curve.
-func (h *Harness) sweepBeta(algo string, trace workload.TraceName, capacity float64) (float64, []float64, error) {
-	curve := make([]float64, len(BetaGrid))
-	bestBeta, bestH := BetaGrid[0], -1.0
-	for i, beta := range BetaGrid {
-		res, err := h.Run(algo, trace, capacity, 1, beta)
-		if err != nil {
-			return 0, nil, err
-		}
-		curve[i] = res.HitRatio()
-		if curve[i] > bestH {
-			bestH = curve[i]
-			bestBeta = beta
-		}
-	}
-	h.mu.Lock()
-	h.bestBeta[bkey{algo: algo, trace: trace, cap: capacity}] = bestBeta
-	h.mu.Unlock()
-	return bestBeta, curve, nil
+	return e.beta, nil
 }
 
 // RunTuned simulates a cell using the swept best β for the algorithm.

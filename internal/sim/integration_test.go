@@ -79,9 +79,16 @@ func TestSimulationMatchesLiveMatchingCounts(t *testing.T) {
 			rebuilt[page][server] = int32(n)
 		}
 	}
-	w2 := *w
-	w2.Subscriptions = rebuilt
-	viaEngine := runStrategy(t, &w2, "SG2", DefaultOptions())
+	// A fresh Workload (not a value copy of w) so the swapped
+	// subscription table gets its own event view.
+	w2 := &workload.Workload{
+		Config:        w.Config,
+		Pages:         w.Pages,
+		Publications:  w.Publications,
+		Requests:      w.Requests,
+		Subscriptions: rebuilt,
+	}
+	viaEngine := runStrategy(t, w2, "SG2", DefaultOptions())
 
 	if direct.Hits != viaEngine.Hits || direct.Requests != viaEngine.Requests {
 		t.Errorf("results diverge: direct %d/%d, via engine %d/%d",

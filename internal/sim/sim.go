@@ -13,6 +13,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"pubsubcd/internal/core"
 	"pubsubcd/internal/telemetry"
@@ -38,6 +39,11 @@ type Options struct {
 	// proxies' placement decisions and sampled latencies). Nil keeps
 	// the run uninstrumented.
 	Telemetry *telemetry.Registry
+	// Parallelism bounds how many per-proxy shards replay concurrently.
+	// 0 selects GOMAXPROCS; 1 forces a sequential replay. The Result is
+	// bit-identical for every value: shards share no mutable state and
+	// are merged in fixed server order.
+	Parallelism int
 }
 
 // DefaultOptions returns the paper's most common setting: 5 % capacity,
@@ -176,12 +182,23 @@ func (s PushScheme) String() string {
 }
 
 // Run simulates the workload under the named strategy.
+//
+// The run is sharded by proxy: each server's private event stream (from
+// the workload's cached EventView) replays through its own strategy
+// instance on a bounded worker pool of opts.Parallelism goroutines, and
+// the per-shard tallies are merged into the Result in ascending server
+// order. Because shards share no mutable state — publication versions
+// are pre-resolved into the event view — the Result is bit-identical
+// for every parallelism level, including the sequential replay at 1.
 func Run(w *workload.Workload, factory core.Factory, opts Options) (*Result, error) {
 	if w == nil {
 		return nil, fmt.Errorf("sim: nil workload")
 	}
 	if opts.CapacityFraction <= 0 || opts.CapacityFraction > 1 {
 		return nil, fmt.Errorf("sim: capacity fraction must be in (0, 1], got %g", opts.CapacityFraction)
+	}
+	if opts.Parallelism < 0 {
+		return nil, fmt.Errorf("sim: parallelism must be non-negative, got %d", opts.Parallelism)
 	}
 	servers := w.Config.Servers
 	costs := opts.FetchCosts
@@ -195,12 +212,11 @@ func Run(w *workload.Workload, factory core.Factory, opts Options) (*Result, err
 	if len(costs) != servers {
 		return nil, fmt.Errorf("sim: got %d fetch costs for %d servers", len(costs), servers)
 	}
-	capacities, err := w.CacheCapacities(opts.CapacityFraction)
-	if err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
-	}
+	view := w.Events()
+	capacities := view.CacheCapacities(opts.CapacityFraction)
 	// All proxies share one StrategyMetrics: the handles are atomic, so
-	// the registry exposes a fleet-wide view of placement decisions.
+	// the registry exposes a fleet-wide view of placement decisions even
+	// while shards replay concurrently.
 	var stratMetrics *core.StrategyMetrics
 	if opts.Telemetry != nil {
 		stratMetrics = core.NewStrategyMetrics(opts.Telemetry, "sim.strategy")
@@ -215,92 +231,50 @@ func Run(w *workload.Workload, factory core.Factory, opts Options) (*Result, err
 	}
 
 	hours := int(math.Ceil(w.Config.Horizon()))
+	metrics := newRunMetrics(opts.Telemetry)
+	usesPush := factory.UsesPush()
+	shards := make([]*shard, servers)
+	for i := 0; i < servers; i++ {
+		shards[i] = &shard{
+			server:   i,
+			strategy: strategies[i],
+			cost:     costs[i],
+			usesPush: usesPush,
+			pages:    w.Pages,
+			stream:   view.Streams[i],
+			tally:    newShardTally(hours, metrics),
+			hours:    hours,
+			seen:     make([]bool, len(w.Pages)),
+		}
+	}
+	parallelism := opts.Parallelism
+	if parallelism == 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	runShards(shards, parallelism)
+
 	res := &Result{
-		Strategy:          factory.Name,
-		Trace:             string(w.Config.Trace()),
-		CapacityFraction:  opts.CapacityFraction,
-		Beta:              opts.Beta,
-		SQ:                w.Config.SQ,
-		HourlyHits:        make([]int64, hours),
-		HourlyRequests:    make([]int64, hours),
-		PushedPagesAP:     make([]int64, hours),
-		PushedPagesPWN:    make([]int64, hours),
-		FetchedPages:      make([]int64, hours),
-		PushedBytesAP:     make([]int64, hours),
-		PushedBytesPWN:    make([]int64, hours),
-		FetchedBytes:      make([]int64, hours),
+		Strategy:         factory.Name,
+		Trace:            string(w.Config.Trace()),
+		CapacityFraction: opts.CapacityFraction,
+		Beta:             opts.Beta,
+		SQ:               w.Config.SQ,
+		HourlyHits:       make([]int64, hours),
+		HourlyRequests:   make([]int64, hours),
+		PushedPagesAP:    make([]int64, hours),
+		PushedPagesPWN:   make([]int64, hours),
+		FetchedPages:     make([]int64, hours),
+		PushedBytesAP:    make([]int64, hours),
+		PushedBytesPWN:   make([]int64, hours),
+		FetchedBytes:     make([]int64, hours),
 		PerServerHits:           make([]int64, servers),
 		PerServerRequests:       make([]int64, servers),
 		PerServerHourlyHits:     make([][]int64, servers),
 		PerServerHourlyRequests: make([][]int64, servers),
 	}
+	// Deterministic merge: ascending server order, integer sums only.
 	for i := 0; i < servers; i++ {
-		res.PerServerHourlyHits[i] = make([]int64, hours)
-		res.PerServerHourlyRequests[i] = make([]int64, hours)
-	}
-	rec := newTally(res, opts.Telemetry)
-	hourOf := func(t float64) int {
-		h := int(t)
-		if h < 0 {
-			h = 0
-		}
-		if h >= hours {
-			h = hours - 1
-		}
-		return h
-	}
-
-	currentVersion := make([]int, len(w.Pages))
-	for i := range currentVersion {
-		currentVersion[i] = -1 // not yet published
-	}
-	usesPush := factory.UsesPush()
-	seen := make([]bool, len(w.Pages)*servers)
-
-	pubs, reqs := w.Publications, w.Requests
-	pi, ri := 0, 0
-	for pi < len(pubs) || ri < len(reqs) {
-		// Publications at the same timestamp are processed before
-		// requests (content becomes available, then is read).
-		if pi < len(pubs) && (ri >= len(reqs) || pubs[pi].Time <= reqs[ri].Time) {
-			p := pubs[pi]
-			pi++
-			if p.Version > currentVersion[p.Page] {
-				currentVersion[p.Page] = p.Version
-			}
-			if !usesPush {
-				continue
-			}
-			page := &w.Pages[p.Page]
-			hour := hourOf(p.Time)
-			row := w.Subscriptions[p.Page]
-			for server := 0; server < servers; server++ {
-				subs := int(row[server])
-				if subs == 0 {
-					continue
-				}
-				meta := core.PageMeta{ID: p.Page, Size: page.Size, Cost: costs[server]}
-				stored := strategies[server].Push(meta, p.Version, subs)
-				rec.push(hour, page.Size, stored)
-			}
-			continue
-		}
-		r := reqs[ri]
-		ri++
-		page := &w.Pages[r.Page]
-		version := currentVersion[r.Page]
-		if version < 0 {
-			// Requests are generated after first publication, so this
-			// only guards float boundary artifacts.
-			version = 0
-		}
-		subs := int(w.Subscriptions[r.Page][r.Server])
-		meta := core.PageMeta{ID: r.Page, Size: page.Size, Cost: costs[r.Server]}
-		hit, _ := strategies[r.Server].Request(meta, version, subs)
-		hour := hourOf(r.Time)
-		first := !seen[r.Page*servers+r.Server]
-		seen[r.Page*servers+r.Server] = true
-		rec.request(hour, r.Server, page.Class, page.Size, hit, first)
+		shards[i].tally.mergeInto(res, i)
 	}
 	if stratMetrics != nil {
 		// Reading OpStats flushes each strategy's pending telemetry

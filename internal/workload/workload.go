@@ -20,6 +20,11 @@ type Workload struct {
 	// Subscriptions[page][server] is the number of end-user
 	// subscriptions matching the page aggregated at the server.
 	Subscriptions [][]int32
+
+	// eventsCache memoises the per-server event view (see Events). The
+	// embedded sync.Once also makes `go vet` flag value copies of
+	// Workload, which would silently drop the cache.
+	eventsCache
 }
 
 // Generate builds a workload from cfg. It is deterministic in cfg.Seed.
@@ -68,19 +73,12 @@ func (w *Workload) SubCount(page, server int) int {
 
 // UniqueBytesPerServer returns, for each server, the total size of the
 // distinct pages it requests over the whole trace. The paper sizes each
-// proxy cache as a percentage of this quantity (§5.1).
+// proxy cache as a percentage of this quantity (§5.1). The totals come
+// from the cached event view, so repeated calls are free.
 func (w *Workload) UniqueBytesPerServer() []int64 {
-	seen := make([]map[int]bool, w.Config.Servers)
-	for i := range seen {
-		seen[i] = make(map[int]bool)
-	}
-	out := make([]int64, w.Config.Servers)
-	for _, r := range w.Requests {
-		if !seen[r.Server][r.Page] {
-			seen[r.Server][r.Page] = true
-			out[r.Server] += w.Pages[r.Page].Size
-		}
-	}
+	unique := w.Events().UniqueBytes
+	out := make([]int64, len(unique))
+	copy(out, unique)
 	return out
 }
 
@@ -122,16 +120,7 @@ func (w *Workload) CacheCapacities(fraction float64) ([]int64, error) {
 	if fraction <= 0 || fraction > 1 {
 		return nil, fmt.Errorf("workload: capacity fraction must be in (0, 1], got %g", fraction)
 	}
-	unique := w.UniqueBytesPerServer()
-	out := make([]int64, len(unique))
-	for i, u := range unique {
-		c := int64(float64(u) * fraction)
-		if c < 1 {
-			c = 1
-		}
-		out[i] = c
-	}
-	return out, nil
+	return w.Events().CacheCapacities(fraction), nil
 }
 
 // RequestsPerServer returns the number of requests issued at each server.
