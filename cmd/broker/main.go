@@ -5,19 +5,31 @@
 //
 //	broker -addr 127.0.0.1:7070
 //	broker -addr 127.0.0.1:7070 -metrics-addr 127.0.0.1:7071
+//	broker -addr 127.0.0.1:7070 -uplink hub.example:7070 -uplink-topics news,sports
 //
 // With -metrics-addr, an HTTP admin endpoint serves /metrics (JSON
 // counters, gauges and latency histograms), /trace (the most recent
 // publish→match→push→fetch events, filterable with ?page=) and
 // /debug/pprof/.
+//
+// With -uplink, the broker bridges itself into a remote broker: it
+// subscribes there for the -uplink-topics / -uplink-keywords interests
+// and republishes matching pages locally. The bridge rides the
+// resilient client, so it redials with backoff (-backoff-initial,
+// -backoff-max), probes liveness (-heartbeat, -heartbeat-timeout) and
+// retries idempotent requests (-retry-budget, -request-timeout) across
+// remote restarts.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
+	"time"
 
 	"pubsubcd/internal/broker"
 	"pubsubcd/internal/telemetry"
@@ -37,22 +49,52 @@ func main() {
 	}
 }
 
+// splitList parses a comma-separated flag value into a clean slice.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
 // run starts the broker server and blocks until stop is closed.
 func run(args []string, stop <-chan struct{}, out *os.File) error {
 	fs := flag.NewFlagSet("broker", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
 	metricsAddr := fs.String("metrics-addr", "", "HTTP admin address for /metrics, /trace and /debug/pprof (empty disables)")
 	traceCap := fs.Int("trace-events", 4096, "event tracer ring-buffer capacity")
+	idleTimeout := fs.Duration("idle-timeout", 0, "close connections silent for this long (0 = default, negative disables)")
+	writeTimeout := fs.Duration("write-timeout", 0, "bound each outbound write (0 = default, negative disables)")
+	uplink := fs.String("uplink", "", "remote broker address to bridge into this one (empty disables)")
+	uplinkTopics := fs.String("uplink-topics", "", "comma-separated topics to subscribe for on the uplink")
+	uplinkKeywords := fs.String("uplink-keywords", "", "comma-separated keywords to subscribe for on the uplink")
+	backoffInitial := fs.Duration("backoff-initial", 0, "first reconnect delay for the uplink (0 = default)")
+	backoffMax := fs.Duration("backoff-max", 0, "reconnect delay cap for the uplink (0 = default)")
+	heartbeat := fs.Duration("heartbeat", 0, "uplink liveness probe interval (0 = default, negative disables)")
+	heartbeatTimeout := fs.Duration("heartbeat-timeout", 0, "declare the uplink dead after this much silence (0 = 3x interval)")
+	retryBudget := fs.Int("retry-budget", -1, "retries per idempotent uplink request (-1 = default)")
+	maxReconnects := fs.Int("max-reconnects", 0, "consecutive failed uplink redials before giving up (0 = forever)")
+	requestTimeout := fs.Duration("request-timeout", 0, "per-attempt deadline for uplink requests (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	b := broker.New()
-	var opts broker.ServerOptions
+	serverOpts := []broker.ServerOption{
+		broker.WithIdleTimeout(*idleTimeout),
+		broker.WithWriteTimeout(*writeTimeout),
+	}
+	var reg *telemetry.Registry
 	if *metricsAddr != "" {
-		reg := telemetry.NewRegistry()
+		reg = telemetry.NewRegistry()
 		tracer := telemetry.NewTracer(*traceCap)
 		b.EnableTelemetry(reg, tracer)
-		opts.Telemetry = reg
+		serverOpts = append(serverOpts, broker.WithServerTelemetry(reg))
 		admin, err := telemetry.NewAdminServer(*metricsAddr, reg, tracer)
 		if err != nil {
 			return err
@@ -60,11 +102,40 @@ func run(args []string, stop <-chan struct{}, out *os.File) error {
 		defer admin.Close()
 		fmt.Fprintf(out, "metrics on http://%s/metrics\n", admin.Addr())
 	}
-	srv, err := broker.NewServerWith(b, *addr, opts)
+	srv, err := broker.NewServer(b, *addr, serverOpts...)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "broker listening on %s\n", srv.Addr())
+
+	if *uplink != "" {
+		topics, keywords := splitList(*uplinkTopics), splitList(*uplinkKeywords)
+		if len(topics) == 0 && len(keywords) == 0 {
+			_ = srv.Close()
+			return fmt.Errorf("-uplink needs -uplink-topics and/or -uplink-keywords")
+		}
+		clientOpts := []broker.ClientOption{
+			broker.WithReconnect(broker.BackoffPolicy{Initial: *backoffInitial, Max: *backoffMax}),
+			broker.WithHeartbeat(*heartbeat, *heartbeatTimeout),
+			broker.WithRetryBudget(*retryBudget),
+			broker.WithMaxReconnectAttempts(*maxReconnects),
+			broker.WithRequestTimeout(*requestTimeout),
+			broker.WithClientTelemetry(reg),
+			broker.WithConnStateHook(func(s broker.ConnState) {
+				fmt.Fprintf(out, "uplink %s: %s\n", *uplink, s)
+			}),
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		link, err := broker.NewRemoteLink(ctx, b, *uplink, topics, keywords, clientOpts...)
+		cancel()
+		if err != nil {
+			_ = srv.Close()
+			return fmt.Errorf("uplink: %w", err)
+		}
+		defer link.Close()
+		fmt.Fprintf(out, "uplink bridged to %s (topics=%v keywords=%v)\n", *uplink, topics, keywords)
+	}
+
 	<-stop
 	fmt.Fprintln(out, "shutting down")
 	return srv.Close()

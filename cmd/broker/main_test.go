@@ -31,7 +31,7 @@ func TestRunServesUntilStopped(t *testing.T) {
 	var client *broker.Client
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		client, err = broker.Dial(ctx, "127.0.0.1:39917", nil)
+		client, err = broker.Dial(ctx, "127.0.0.1:39917")
 		if err == nil {
 			break
 		}
@@ -50,6 +50,86 @@ func TestRunServesUntilStopped(t *testing.T) {
 	wg.Wait()
 	if err := <-errc; err != nil {
 		t.Fatalf("run returned error: %v", err)
+	}
+}
+
+func TestRunWithUplinkBridgesRemotePublications(t *testing.T) {
+	// Upstream broker the command will bridge into.
+	upstream := broker.New()
+	upServer, err := broker.NewServer(upstream, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer upServer.Close()
+
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	const localAddr = "127.0.0.1:39919"
+	go func() {
+		defer wg.Done()
+		errc <- run([]string{
+			"-addr", localAddr,
+			"-uplink", upServer.Addr(),
+			"-uplink-topics", "news",
+			"-backoff-initial", "5ms",
+			"-backoff-max", "50ms",
+		}, stop, devnull)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	notified := make(chan broker.Notification, 4)
+	var client *broker.Client
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		client, err = broker.Dial(ctx, localAddr, broker.WithNotify(func(n broker.Notification) { notified <- n }))
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			close(stop)
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer client.Close()
+	if _, err := client.Subscribe(ctx, 1, []string{"news"}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Publish upstream: the uplink must republish into the local broker,
+	// which notifies our local subscriber.
+	if _, err := upstream.Publish(broker.Content{ID: "story", Topics: []string{"news"}, Body: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-notified:
+		if n.PageID != "story" {
+			t.Errorf("notified page = %q, want story", n.PageID)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("publication never crossed the uplink")
+	}
+
+	close(stop)
+	wg.Wait()
+	if err := <-errc; err != nil {
+		t.Fatalf("run returned error: %v", err)
+	}
+}
+
+func TestRunUplinkRequiresInterests(t *testing.T) {
+	stop := make(chan struct{})
+	close(stop)
+	if err := run([]string{"-addr", "127.0.0.1:0", "-uplink", "127.0.0.1:1"}, stop, os.Stdout); err == nil {
+		t.Error("uplink without topics or keywords should error")
 	}
 }
 

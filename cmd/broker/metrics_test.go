@@ -49,7 +49,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	var client *broker.Client
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		client, err = broker.Dial(ctx, brokerAddr, func(broker.Notification) {})
+		client, err = broker.Dial(ctx, brokerAddr, broker.WithNotify(func(broker.Notification) {}))
 		if err == nil {
 			break
 		}

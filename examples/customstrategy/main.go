@@ -85,9 +85,11 @@ func main() {
 
 	custom := pubsubcd.StrategyFactory{
 		Name: "push-TTL",
-		When: "push-time",
-		How:  "arrival order",
-		New:  newPushTTL,
+		When: pubsubcd.PlaceAtPush,
+		// push-TTL values pages by arrival recency; of the paper's value
+		// sources, that is closest to the access axis.
+		How: pubsubcd.ValueFromAccess,
+		New: newPushTTL,
 	}
 	gd, err := pubsubcd.LookupStrategy("GD*")
 	if err != nil {

@@ -50,11 +50,11 @@ func run() error {
 	defer cancel()
 	var mu sync.Mutex
 	var inbox []pubsubcd.Notification
-	client, err := pubsubcd.DialBroker(ctx, server.Addr(), func(n pubsubcd.Notification) {
+	client, err := pubsubcd.DialBroker(ctx, server.Addr(), pubsubcd.WithNotify(func(n pubsubcd.Notification) {
 		mu.Lock()
 		inbox = append(inbox, n)
 		mu.Unlock()
-	})
+	}))
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,93 @@
+package broker
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BackoffPolicy shapes the delay between reconnection attempts: a
+// jittered exponential backoff, as used by wide-area event notification
+// systems to avoid reconnection storms when a broker restarts and its
+// whole client population redials at once.
+type BackoffPolicy struct {
+	// Initial is the base delay before the first retry. 0 means
+	// DefaultBackoff().Initial.
+	Initial time.Duration
+	// Max caps the delay. 0 means DefaultBackoff().Max.
+	Max time.Duration
+	// Multiplier grows the delay per attempt. 0 means
+	// DefaultBackoff().Multiplier; values <= 1 disable growth.
+	Multiplier float64
+	// Jitter is the +/- fraction of random spread applied to each
+	// delay, in [0, 1]. 0 means DefaultBackoff().Jitter; negative
+	// disables jitter entirely.
+	Jitter float64
+	// Seed seeds the jitter source so chaos tests are reproducible.
+	// 0 picks a fixed default seed.
+	Seed int64
+}
+
+// DefaultBackoff returns the default reconnection backoff: 50 ms
+// doubling to a 5 s cap with 20 % jitter.
+func DefaultBackoff() BackoffPolicy {
+	return BackoffPolicy{
+		Initial:    50 * time.Millisecond,
+		Max:        5 * time.Second,
+		Multiplier: 2,
+		Jitter:     0.2,
+		Seed:       1,
+	}
+}
+
+// normalized fills zero fields from DefaultBackoff.
+func (p BackoffPolicy) normalized() BackoffPolicy {
+	def := DefaultBackoff()
+	if p.Initial <= 0 {
+		p.Initial = def.Initial
+	}
+	if p.Max <= 0 {
+		p.Max = def.Max
+	}
+	if p.Max < p.Initial {
+		p.Max = p.Initial
+	}
+	if p.Multiplier == 0 {
+		p.Multiplier = def.Multiplier
+	}
+	if p.Jitter == 0 {
+		p.Jitter = def.Jitter
+	} else if p.Jitter < 0 {
+		p.Jitter = 0
+	} else if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	if p.Seed == 0 {
+		p.Seed = def.Seed
+	}
+	return p
+}
+
+// delay computes the jittered delay for the given 1-based attempt.
+// rng may be nil to disable jitter.
+func (p BackoffPolicy) delay(attempt int, rng *rand.Rand) time.Duration {
+	d := float64(p.Initial)
+	for i := 1; i < attempt; i++ {
+		if p.Multiplier > 1 {
+			d *= p.Multiplier
+		}
+		if d >= float64(p.Max) {
+			break
+		}
+	}
+	if d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	if rng != nil && p.Jitter > 0 {
+		// Spread uniformly over [d*(1-j), d*(1+j)].
+		d *= 1 + p.Jitter*(2*rng.Float64()-1)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}

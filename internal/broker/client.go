@@ -1,0 +1,730 @@
+package broker
+
+import (
+	"bufio"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pubsubcd/internal/telemetry"
+)
+
+// The resilient TCP client. A Client owns at most one live connection
+// at a time; requests are correlated with responses by sequence number,
+// so concurrent round trips share the connection. When reconnection is
+// enabled (WithReconnect), a supervisor goroutine watches the
+// connection, redials with jittered exponential backoff when it dies
+// (read-loop error or heartbeat timeout), and re-establishes the
+// client-side subscription registry on the new connection — so the
+// subscription IDs handed out by Subscribe stay valid across broker
+// restarts, and notifications keep flowing after recovery.
+
+// Errors reported by the client's request path.
+var (
+	// ErrClientClosed is returned once Close has been called or the
+	// client has permanently given up reconnecting.
+	ErrClientClosed = errors.New("broker: client closed")
+	// ErrConnectionLost is returned when the connection died while a
+	// request was in flight (and the retry budget, if any, was
+	// exhausted).
+	ErrConnectionLost = errors.New("broker: connection lost")
+	// ErrUnknownSubscription is returned by Unsubscribe for IDs this
+	// client never issued (or already unsubscribed).
+	ErrUnknownSubscription = errors.New("broker: unknown subscription")
+)
+
+// clientMetrics are the client's pre-resolved handles; nil when off.
+type clientMetrics struct {
+	bytesIn           *telemetry.Counter
+	bytesOut          *telemetry.Counter
+	timeouts          *telemetry.Counter
+	disconnects       *telemetry.Counter
+	reconnects        *telemetry.Counter
+	reconnectFailures *telemetry.Counter
+	retries           *telemetry.Counter
+	resubscribes      *telemetry.Counter
+	heartbeatTimeouts *telemetry.Counter
+	rtt               map[string]*telemetry.Histogram
+}
+
+func newClientMetrics(reg *telemetry.Registry) *clientMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &clientMetrics{
+		bytesIn:           reg.Counter("transport.client.bytes_in"),
+		bytesOut:          reg.Counter("transport.client.bytes_out"),
+		timeouts:          reg.Counter("transport.client.timeouts"),
+		disconnects:       reg.Counter("transport.client.disconnects"),
+		reconnects:        reg.Counter("transport.client.reconnects"),
+		reconnectFailures: reg.Counter("transport.client.reconnect_failures"),
+		retries:           reg.Counter("transport.client.retries"),
+		resubscribes:      reg.Counter("transport.client.resubscribes"),
+		heartbeatTimeouts: reg.Counter("transport.client.heartbeat_timeouts"),
+		rtt:               make(map[string]*telemetry.Histogram, len(wireTypes)),
+	}
+	lat := telemetry.LatencyBuckets()
+	for _, t := range wireTypes {
+		m.rtt[t] = reg.Histogram("transport.client.rtt_ns."+t, lat)
+	}
+	return m
+}
+
+// clientConn is one live connection of a Client. Its read loop runs in
+// its own goroutine and closes done when the connection dies.
+type clientConn struct {
+	conn net.Conn
+	enc  *json.Encoder
+	wmu  sync.Mutex // serialises writes
+
+	done     chan struct{}
+	lastRead atomic.Int64 // UnixNano of the last successful read
+	stopHB   chan struct{}
+}
+
+// send writes one message, bounded by the write deadline. A failed
+// write severs the connection: a stream in an unknown state cannot be
+// trusted for framing again.
+func (cc *clientConn) send(m wireMessage, writeTimeout time.Duration) error {
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	if writeTimeout > 0 {
+		_ = cc.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+	}
+	if err := cc.enc.Encode(m); err != nil {
+		_ = cc.conn.Close()
+		return err
+	}
+	return nil
+}
+
+// clientSub is a registry entry: the client-side view of one live
+// subscription, re-established on every reconnect.
+type clientSub struct {
+	id       int64 // client-side ID, stable across reconnects
+	proxy    int
+	topics   []string
+	keywords []string
+	serverID int64 // broker-side ID on the current connection
+}
+
+// Client is a TCP client for a broker Server.
+type Client struct {
+	addr         string
+	cfg          clientConfig
+	writeTimeout time.Duration
+	metrics      *clientMetrics
+
+	mu             sync.Mutex
+	cur            *clientConn
+	connWait       chan struct{} // closed while cur != nil or the client is dead
+	connWaitClosed bool
+	seq            uint64
+	pending        map[uint64]chan wireMessage
+	subs           map[int64]*clientSub
+	byServer       map[int64]int64 // server sub ID -> client sub ID
+	nextSubID      int64
+	closed         bool
+	dead           bool
+
+	closeCh   chan struct{} // closed by Close to wake the supervisor
+	closeOnce sync.Once
+	done      chan struct{} // closed when the supervisor exits
+	rng       *rand.Rand    // backoff jitter; supervisor-only
+}
+
+// Dial connects to a broker server, configured by functional options
+// (WithNotify for the notification callback, WithReconnect for a
+// self-healing connection, WithClientTelemetry for metrics, ...). The
+// initial dial is synchronous: Dial fails if the broker is unreachable,
+// and reconnection — when enabled — takes over only after the first
+// connection is up.
+func Dial(ctx context.Context, addr string, opts ...ClientOption) (*Client, error) {
+	cfg := defaultClientConfig()
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	cfg.resolve()
+	c := &Client{
+		addr:         addr,
+		cfg:          cfg,
+		writeTimeout: defaultTimeout(cfg.writeTimeout, DefaultWriteTimeout),
+		metrics:      newClientMetrics(cfg.telemetry),
+		connWait:     make(chan struct{}),
+		pending:      make(map[uint64]chan wireMessage),
+		subs:         make(map[int64]*clientSub),
+		byServer:     make(map[int64]int64),
+		closeCh:      make(chan struct{}),
+		done:         make(chan struct{}),
+		rng:          rand.New(rand.NewSource(cfg.backoff.Seed)),
+	}
+	conn, err := cfg.dialFunc(ctx, addr)
+	if err != nil {
+		close(c.done)
+		return nil, fmt.Errorf("broker: dial: %w", err)
+	}
+	cc := c.startConn(conn)
+	c.install(cc)
+	go c.supervise(cc)
+	return c, nil
+}
+
+// startConn wraps a fresh net.Conn: starts its read loop and heartbeat.
+func (c *Client) startConn(conn net.Conn) *clientConn {
+	var bytesOut *telemetry.Counter
+	if cm := c.metrics; cm != nil {
+		bytesOut = cm.bytesOut
+	}
+	cc := &clientConn{
+		conn:   conn,
+		enc:    json.NewEncoder(&countingWriter{w: conn, c: bytesOut}),
+		done:   make(chan struct{}),
+		stopHB: make(chan struct{}),
+	}
+	cc.lastRead.Store(time.Now().UnixNano())
+	go func() {
+		defer close(cc.done)
+		c.readLoop(cc)
+	}()
+	if c.cfg.heartbeatInterval > 0 {
+		go c.heartbeat(cc)
+	}
+	return cc
+}
+
+// install publishes cc as the current connection and wakes waiters. If
+// the client was closed in the meantime the connection is severed
+// instead, so the supervisor unwinds on the next iteration.
+func (c *Client) install(cc *clientConn) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		_ = cc.conn.Close()
+		return
+	}
+	c.cur = cc
+	if !c.connWaitClosed {
+		close(c.connWait)
+		c.connWaitClosed = true
+	}
+	c.mu.Unlock()
+	c.notifyState(StateConnected)
+}
+
+// drop retires cc as the current connection; future waiters block until
+// the next install (or markDead).
+func (c *Client) drop(cc *clientConn) {
+	c.mu.Lock()
+	if c.cur == cc {
+		c.cur = nil
+		c.connWait = make(chan struct{})
+		c.connWaitClosed = false
+	}
+	c.mu.Unlock()
+}
+
+// markDead ends the client's life: no further connections will come.
+func (c *Client) markDead() {
+	c.mu.Lock()
+	c.dead = true
+	if !c.connWaitClosed {
+		close(c.connWait)
+		c.connWaitClosed = true
+	}
+	c.mu.Unlock()
+	c.notifyState(StateClosed)
+}
+
+func (c *Client) notifyState(s ConnState) {
+	if c.cfg.onState != nil {
+		c.cfg.onState(s)
+	}
+}
+
+// supervise owns the connection lifecycle: it waits for the current
+// connection to die, then — when reconnection is enabled — redials with
+// backoff and re-establishes the subscription registry.
+func (c *Client) supervise(cc *clientConn) {
+	defer close(c.done)
+	for {
+		<-cc.done
+		close(cc.stopHB)
+		_ = cc.conn.Close()
+		c.drop(cc)
+		if cm := c.metrics; cm != nil {
+			cm.disconnects.Inc()
+		}
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed || !c.cfg.reconnect {
+			c.markDead()
+			return
+		}
+		c.notifyState(StateReconnecting)
+		next := c.redial()
+		if next == nil {
+			c.markDead()
+			return
+		}
+		c.install(next)
+		cc = next
+	}
+}
+
+// redial loops dial attempts under the backoff policy until a
+// connection is up and resubscribed, the attempt limit is exhausted, or
+// the client is closed. It returns nil when the client should die.
+func (c *Client) redial() *clientConn {
+	for attempt := 1; ; attempt++ {
+		if c.cfg.maxReconnects > 0 && attempt > c.cfg.maxReconnects {
+			return nil
+		}
+		select {
+		case <-time.After(c.cfg.backoff.delay(attempt, c.rng)):
+		case <-c.closeCh:
+			return nil
+		}
+		select {
+		case <-c.closeCh:
+			return nil
+		default:
+		}
+		dctx, cancel := context.WithTimeout(context.Background(), c.cfg.dialTimeout)
+		conn, err := c.cfg.dialFunc(dctx, c.addr)
+		cancel()
+		if err != nil {
+			if cm := c.metrics; cm != nil {
+				cm.reconnectFailures.Inc()
+			}
+			continue
+		}
+		cc := c.startConn(conn)
+		if !c.resubscribe(cc) {
+			// The fresh connection died mid-resubscription; close it
+			// and keep backing off.
+			_ = cc.conn.Close()
+			<-cc.done
+			close(cc.stopHB)
+			if cm := c.metrics; cm != nil {
+				cm.reconnectFailures.Inc()
+			}
+			continue
+		}
+		if cm := c.metrics; cm != nil {
+			cm.reconnects.Inc()
+		}
+		return cc
+	}
+}
+
+// resubscribe re-establishes every registry entry on cc, refreshing the
+// server-side IDs. It reports false if the connection died.
+func (c *Client) resubscribe(cc *clientConn) bool {
+	c.mu.Lock()
+	subs := make([]*clientSub, 0, len(c.subs))
+	for _, s := range c.subs {
+		subs = append(subs, s)
+	}
+	c.mu.Unlock()
+	sort.Slice(subs, func(i, j int) bool { return subs[i].id < subs[j].id })
+	for _, s := range subs {
+		timeout := c.cfg.requestTimeout
+		if timeout <= 0 {
+			timeout = 5 * time.Second
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		resp, err := c.exchange(ctx, cc, wireMessage{
+			Type: msgSubscribe, Proxy: s.proxy, Topics: s.topics, Keywords: s.keywords,
+		})
+		cancel()
+		if err != nil {
+			select {
+			case <-cc.done:
+				return false
+			default:
+			}
+			if errors.Is(err, errRetryable) {
+				// Transport trouble (timeout on a live connection):
+				// treat the connection as unusable and back off rather
+				// than dropping the entry.
+				return false
+			}
+			// A server-side rejection (the subscription was accepted
+			// once, so this is unexpected): drop this entry and keep
+			// the rest alive.
+			continue
+		}
+		c.mu.Lock()
+		if s.serverID != 0 && c.byServer[s.serverID] == s.id {
+			delete(c.byServer, s.serverID)
+		}
+		s.serverID = resp.SubID
+		c.byServer[resp.SubID] = s.id
+		c.mu.Unlock()
+		if cm := c.metrics; cm != nil {
+			cm.resubscribes.Inc()
+		}
+	}
+	return true
+}
+
+// heartbeat probes cc for liveness until the connection dies: it pings
+// every interval and severs the connection when nothing has been read
+// for longer than the heartbeat timeout.
+func (c *Client) heartbeat(cc *clientConn) {
+	ticker := time.NewTicker(c.cfg.heartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			idle := time.Since(time.Unix(0, cc.lastRead.Load()))
+			if idle > c.cfg.heartbeatTimeout {
+				if cm := c.metrics; cm != nil {
+					cm.heartbeatTimeouts.Inc()
+				}
+				_ = cc.conn.Close() // read loop exits; supervisor takes over
+				return
+			}
+			// Seq 0: the pong is dropped by the read loop, but it
+			// refreshes lastRead.
+			_ = cc.send(wireMessage{Type: msgPing}, c.writeTimeout)
+		case <-cc.stopHB:
+			return
+		case <-cc.done:
+			return
+		}
+	}
+}
+
+func (c *Client) readLoop(cc *clientConn) {
+	scanner := bufio.NewScanner(cc.conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for scanner.Scan() {
+		cc.lastRead.Store(time.Now().UnixNano())
+		if cm := c.metrics; cm != nil {
+			cm.bytesIn.Add(int64(len(scanner.Bytes()) + 1))
+		}
+		var m wireMessage
+		if err := json.Unmarshal(scanner.Bytes(), &m); err != nil {
+			continue
+		}
+		switch m.Type {
+		case msgNotify:
+			if c.cfg.notify != nil && m.Notification != nil {
+				n := *m.Notification
+				c.mu.Lock()
+				if cid, ok := c.byServer[n.SubscriptionID]; ok {
+					n.SubscriptionID = cid
+				}
+				c.mu.Unlock()
+				c.cfg.notify(n)
+			}
+		case msgResponse:
+			if m.Seq == 0 {
+				continue // ping pong, or a response nobody correlates
+			}
+			c.mu.Lock()
+			ch := c.pending[m.Seq]
+			c.mu.Unlock()
+			if ch != nil {
+				// Buffered; if the waiter already gave up the message
+				// is dropped with its channel.
+				select {
+				case ch <- m:
+				default:
+				}
+			}
+		}
+	}
+}
+
+// Close shuts the client down permanently: the connection is closed,
+// reconnection stops, and in-flight requests fail.
+func (c *Client) Close() error {
+	c.closeOnce.Do(func() { close(c.closeCh) })
+	c.mu.Lock()
+	already := c.closed
+	c.closed = true
+	cc := c.cur
+	c.mu.Unlock()
+	var err error
+	if cc != nil {
+		err = cc.conn.Close()
+	}
+	<-c.done
+	if already {
+		return nil
+	}
+	return err
+}
+
+// Connected reports whether a connection is currently live.
+func (c *Client) Connected() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cur != nil
+}
+
+// waitConn blocks until a connection is live, the client dies, or ctx
+// expires.
+func (c *Client) waitConn(ctx context.Context) (*clientConn, error) {
+	for {
+		c.mu.Lock()
+		if c.closed || c.dead {
+			c.mu.Unlock()
+			return nil, ErrClientClosed
+		}
+		if cc := c.cur; cc != nil {
+			c.mu.Unlock()
+			select {
+			case <-cc.done:
+				// Dead but not yet retired by the supervisor: yield so a
+				// retry does not burn its whole budget against a corpse.
+				select {
+				case <-time.After(time.Millisecond):
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+				continue
+			default:
+				return cc, nil
+			}
+		}
+		w := c.connWait
+		c.mu.Unlock()
+		select {
+		case <-w:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// retryable reports whether requests of this type are idempotent and
+// may be transparently retried. Publish is excluded: replaying it could
+// double-publish a version.
+func retryable(msgType string) bool {
+	switch msgType {
+	case msgFetch, msgSubscribe, msgUnsubscribe, msgPing:
+		return true
+	}
+	return false
+}
+
+// roundTrip performs one request/response exchange, retrying idempotent
+// requests after connection loss or per-attempt timeout, up to the
+// retry budget.
+func (c *Client) roundTrip(ctx context.Context, m wireMessage) (wireMessage, error) {
+	budget := 0
+	if retryable(m.Type) {
+		budget = c.cfg.retryBudget
+	}
+	for retries := 0; ; retries++ {
+		resp, err := c.attempt(ctx, m)
+		if err == nil {
+			return resp, nil
+		}
+		// Respect the caller's context unconditionally.
+		if ctx.Err() != nil {
+			return wireMessage{}, err
+		}
+		if retries >= budget || !errors.Is(err, errRetryable) {
+			return wireMessage{}, err
+		}
+		if cm := c.metrics; cm != nil {
+			cm.retries.Inc()
+		}
+	}
+}
+
+// errRetryable marks transport-level failures that idempotent requests
+// may retry: connection loss and per-attempt timeouts.
+var errRetryable = errors.New("broker: retryable transport failure")
+
+// attempt runs a single request attempt under the per-request deadline.
+func (c *Client) attempt(ctx context.Context, m wireMessage) (wireMessage, error) {
+	actx := ctx
+	if c.cfg.requestTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, c.cfg.requestTimeout)
+		defer cancel()
+	}
+	cc, err := c.waitConn(actx)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+			// The attempt timed out waiting for a connection but the
+			// caller is still interested: retryable.
+			return wireMessage{}, fmt.Errorf("%w: no connection: %w", errRetryable, err)
+		}
+		return wireMessage{}, err
+	}
+	return c.exchange(actx, cc, m)
+}
+
+// exchange sends m on cc and waits for the correlated response. The
+// pending-reply entry is removed on every exit path — including caller
+// cancellation — so an abandoned request cannot leak its entry or
+// misdeliver a late response to the next request.
+func (c *Client) exchange(ctx context.Context, cc *clientConn, m wireMessage) (wireMessage, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return wireMessage{}, ErrClientClosed
+	}
+	c.seq++
+	seq := c.seq
+	ch := make(chan wireMessage, 1)
+	c.pending[seq] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+	}()
+
+	m.Seq = seq
+	cm := c.metrics
+	var start time.Time
+	if cm != nil {
+		start = time.Now()
+	}
+	if err := cc.send(m, c.writeTimeout); err != nil {
+		if cm != nil && isTimeout(err) {
+			cm.timeouts.Inc()
+		}
+		return wireMessage{}, fmt.Errorf("%w: send: %w", errRetryable, err)
+	}
+	select {
+	case resp := <-ch:
+		if cm != nil {
+			if h, ok := cm.rtt[m.Type]; ok {
+				h.Observe(time.Since(start).Nanoseconds())
+			}
+		}
+		if resp.Error != "" {
+			return resp, errors.New(resp.Error)
+		}
+		return resp, nil
+	case <-cc.done:
+		return wireMessage{}, fmt.Errorf("%w: %w", errRetryable, ErrConnectionLost)
+	case <-ctx.Done():
+		if cm != nil && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			cm.timeouts.Inc()
+		}
+		err := ctx.Err()
+		if errors.Is(err, context.DeadlineExceeded) {
+			return wireMessage{}, fmt.Errorf("%w: %w", errRetryable, err)
+		}
+		return wireMessage{}, err
+	}
+}
+
+// pendingCount reports the number of in-flight request entries; tests
+// use it to verify abandoned requests clean up after themselves.
+func (c *Client) pendingCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// Subscribe registers a subscription for the given proxy and returns
+// its client-side ID, which stays valid across reconnects.
+// Notifications arrive via the WithNotify callback with SubscriptionID
+// set to this ID.
+func (c *Client) Subscribe(ctx context.Context, proxy int, topics, keywords []string) (int64, error) {
+	resp, err := c.roundTrip(ctx, wireMessage{
+		Type: msgSubscribe, Proxy: proxy, Topics: topics, Keywords: keywords,
+	})
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	c.nextSubID++
+	id := c.nextSubID
+	c.subs[id] = &clientSub{
+		id:       id,
+		proxy:    proxy,
+		topics:   append([]string(nil), topics...),
+		keywords: append([]string(nil), keywords...),
+		serverID: resp.SubID,
+	}
+	c.byServer[resp.SubID] = id
+	c.mu.Unlock()
+	return id, nil
+}
+
+// Unsubscribe removes a subscription by its client-side ID.
+func (c *Client) Unsubscribe(ctx context.Context, id int64) error {
+	c.mu.Lock()
+	s, ok := c.subs[id]
+	var serverID int64
+	if ok {
+		serverID = s.serverID
+		delete(c.subs, id)
+		if c.byServer[serverID] == id {
+			delete(c.byServer, serverID)
+		}
+	}
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownSubscription, id)
+	}
+	_, err := c.roundTrip(ctx, wireMessage{Type: msgUnsubscribe, SubID: serverID})
+	return err
+}
+
+// Subscriptions reports the number of live client-side subscriptions.
+func (c *Client) Subscriptions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.subs)
+}
+
+// Publish publishes content and returns the matched subscription count.
+// Publish is not idempotent and is never retried automatically: on
+// connection loss the caller decides whether to replay.
+func (c *Client) Publish(ctx context.Context, content Content) (int, error) {
+	resp, err := c.roundTrip(ctx, wireMessage{
+		Type: msgPublish, ID: content.ID, Version: content.Version,
+		Topics: content.Topics, Keywords: content.Keywords,
+		Body: base64.StdEncoding.EncodeToString(content.Body),
+	})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Matched, nil
+}
+
+// Fetch retrieves the current content of a page.
+func (c *Client) Fetch(ctx context.Context, pageID string) (Content, error) {
+	resp, err := c.roundTrip(ctx, wireMessage{Type: msgFetch, ID: pageID})
+	if err != nil {
+		return Content{}, err
+	}
+	body, err := base64.StdEncoding.DecodeString(resp.Body)
+	if err != nil {
+		return Content{}, fmt.Errorf("broker: bad body encoding: %w", err)
+	}
+	return Content{
+		ID: resp.ID, Version: resp.Version,
+		Topics: resp.Topics, Keywords: resp.Keywords,
+		Body: body,
+	}, nil
+}
+
+// Ping round-trips a liveness probe.
+func (c *Client) Ping(ctx context.Context) error {
+	_, err := c.roundTrip(ctx, wireMessage{Type: msgPing})
+	return err
+}

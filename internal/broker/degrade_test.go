@@ -1,0 +1,207 @@
+package broker
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pubsubcd/internal/core"
+	"pubsubcd/internal/telemetry"
+)
+
+// storeAllStrategy caches everything; it isolates the degradation
+// ladder from placement decisions.
+type storeAllStrategy struct{ pages map[int]int64 }
+
+func newStoreAll() *storeAllStrategy { return &storeAllStrategy{pages: make(map[int]int64)} }
+
+func (s *storeAllStrategy) Name() string { return "store-all" }
+func (s *storeAllStrategy) Push(p core.PageMeta, version, subs int) bool {
+	s.pages[p.ID] = p.Size
+	return true
+}
+func (s *storeAllStrategy) Request(p core.PageMeta, version, subs int) (bool, bool) {
+	_, ok := s.pages[p.ID]
+	s.pages[p.ID] = p.Size
+	return ok, true
+}
+func (s *storeAllStrategy) Used() (n int64) {
+	for _, sz := range s.pages {
+		n += sz
+	}
+	return n
+}
+func (s *storeAllStrategy) Capacity() int64 { return 1 << 30 }
+func (s *storeAllStrategy) Len() int        { return len(s.pages) }
+
+// flakyFetcher fails while down, else serves fixed content.
+type flakyFetcher struct {
+	down    atomic.Bool
+	content Content
+	calls   atomic.Int64
+}
+
+func (f *flakyFetcher) Fetch(pageID string) (Content, error) {
+	f.calls.Add(1)
+	if f.down.Load() {
+		return Content{}, errors.New("fetch path down")
+	}
+	c := f.content
+	c.ID = pageID
+	return c, nil
+}
+
+func TestProxyServesStaleWhenFetchPathDown(t *testing.T) {
+	b := New()
+	reg := telemetry.NewRegistry()
+	fetcher := &flakyFetcher{}
+	p, err := NewProxy(3, b, newStoreAll(), 1,
+		WithProxyFetcher(fetcher),
+		WithProxyTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Push v1 into the cache, then let the broker learn about v2 so the
+	// cached copy is stale.
+	p.Push(Content{ID: "page", Version: 1, Body: []byte("v1")}, 1)
+	p.Push(Content{ID: "page", Version: 2, Body: nil}, 0) // version gossip only
+	// Re-push v1's body so the cached copy is v1 while latest known is 2.
+	p.Push(Content{ID: "page", Version: 1, Body: []byte("v1")}, 0)
+
+	fetcher.down.Store(true)
+	body, err := p.Request("page")
+	if err != nil {
+		t.Fatalf("request should degrade to the stale copy, got error: %v", err)
+	}
+	if string(body) != "v1" {
+		t.Errorf("degraded body = %q, want the stale v1", body)
+	}
+	st := p.Stats()
+	if st.DegradedStale != 1 || st.FetchErrors != 1 {
+		t.Errorf("stats = %+v, want DegradedStale=1 FetchErrors=1", st)
+	}
+	if n := reg.Counter("proxy3.degraded_stale").Value(); n != 1 {
+		t.Errorf("proxy3.degraded_stale = %d, want 1", n)
+	}
+
+	// When the path heals, the refetch resumes and the fresh version is
+	// served.
+	fetcher.down.Store(false)
+	fetcher.content = Content{Version: 2, Body: []byte("v2")}
+	body, err = p.Request("page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != "v2" {
+		t.Errorf("healed body = %q, want v2", body)
+	}
+}
+
+func TestProxyFallsBackToOriginOnMiss(t *testing.T) {
+	b := New()
+	reg := telemetry.NewRegistry()
+	primary := &flakyFetcher{}
+	primary.down.Store(true)
+	origin := &flakyFetcher{content: Content{Version: 1, Body: []byte("from-origin")}}
+	p, err := NewProxy(4, b, newStoreAll(), 1,
+		WithProxyFetcher(primary),
+		WithProxyOrigin(origin),
+		WithProxyTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	body, err := p.Request("cold-page")
+	if err != nil {
+		t.Fatalf("request should fall back to the origin, got: %v", err)
+	}
+	if string(body) != "from-origin" {
+		t.Errorf("body = %q", body)
+	}
+	st := p.Stats()
+	if st.OriginFallbacks != 1 || st.FetchErrors != 1 {
+		t.Errorf("stats = %+v, want OriginFallbacks=1 FetchErrors=1", st)
+	}
+	if n := reg.Counter("proxy4.origin_fallbacks").Value(); n != 1 {
+		t.Errorf("proxy4.origin_fallbacks = %d, want 1", n)
+	}
+	if origin.calls.Load() != 1 {
+		t.Errorf("origin calls = %d, want 1", origin.calls.Load())
+	}
+}
+
+func TestProxyFailsWhenEverythingIsDown(t *testing.T) {
+	b := New()
+	primary := &flakyFetcher{}
+	primary.down.Store(true)
+	origin := &flakyFetcher{}
+	origin.down.Store(true)
+	p, err := NewProxy(5, b, newStoreAll(), 1,
+		WithProxyFetcher(primary),
+		WithProxyOrigin(origin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.Request("nope"); err == nil {
+		t.Fatal("request must fail when the page is uncached and every fetch path is down")
+	}
+	if st := p.Stats(); st.FetchErrors != 1 {
+		t.Errorf("stats = %+v, want FetchErrors=1", st)
+	}
+}
+
+// TestProxyFetchesThroughResilientClient wires a proxy's fetch path
+// through the TCP client's Fetcher adapter and severs the connection:
+// with reconnection enabled the fetch rides the redial, so the proxy
+// never needs to degrade.
+func TestProxyFetchesThroughResilientClient(t *testing.T) {
+	s, origin := startServer(t)
+	if _, err := origin.Publish(Content{ID: "page", Topics: []string{"t"}, Body: []byte("fresh")}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c, err := Dial(ctx, s.Addr(), WithReconnect(fastBackoff()), WithRetryBudget(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	edge := New()
+	p, err := NewProxy(0, edge, newStoreAll(), 1, WithProxyFetcher(c.Fetcher(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	body, err := p.Request("page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != "fresh" {
+		t.Errorf("body = %q", body)
+	}
+
+	// Restart the origin's transport and fetch a page the proxy has
+	// never cached: the resilient client absorbs the failure.
+	restartServer(t, s, origin)
+	if _, err := origin.Publish(Content{ID: "page2", Topics: []string{"t"}, Body: []byte("fresh2")}); err != nil {
+		t.Fatal(err)
+	}
+	body, err = p.Request("page2")
+	if err != nil {
+		t.Fatalf("fetch through restart: %v", err)
+	}
+	if string(body) != "fresh2" {
+		t.Errorf("body = %q", body)
+	}
+	if st := p.Stats(); st.DegradedStale != 0 && st.OriginFallbacks != 0 {
+		t.Errorf("proxy degraded despite resilient fetch path: %+v", st)
+	}
+}

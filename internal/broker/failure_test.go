@@ -6,11 +6,13 @@ import (
 	"encoding/json"
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"pubsubcd/internal/core"
 	"pubsubcd/internal/match"
+	"pubsubcd/internal/telemetry"
 )
 
 // rawDial opens a plain TCP connection to the server for protocol-level
@@ -148,6 +150,115 @@ func TestProxyWithTinyCacheNeverStores(t *testing.T) {
 	st := p.Stats()
 	if st.Hits != 0 || st.Fetches != 3 {
 		t.Errorf("tiny cache stats: %+v", st)
+	}
+}
+
+// TestFederationLinkRecoversAfterPeerRestart bridges an in-process
+// federation (two nodes) to a remote broker over TCP through a
+// RemoteLink, restarts the remote peer's transport mid-stream, and
+// requires the bridge to heal: the remote subscription is
+// re-established, publications flow again end-to-end, and the
+// reconnect/retry telemetry counters advance.
+func TestFederationLinkRecoversAfterPeerRestart(t *testing.T) {
+	// Remote peer: a broker served over TCP.
+	remote := New()
+	server, err := NewServer(remote, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = server.Close() })
+
+	// Local federation: edge <-> hub; the hub holds the bridge, the
+	// subscriber sits on the edge so publications must route through
+	// the federation after crossing the link.
+	hub, edge := NewNode("hub"), NewNode("edge")
+	if err := Connect(hub, edge); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got []Notification
+	if _, err := edge.Subscribe(match.Subscription{Proxy: 1, Topics: []string{"world"}}, NotifierFunc(func(n Notification) {
+		mu.Lock()
+		got = append(got, n)
+		mu.Unlock()
+	})); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.NewRegistry()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	link, err := NewRemoteLink(ctx, hub, server.Addr(), []string{"world"}, nil,
+		WithReconnect(fastBackoff()),
+		WithRetryBudget(50),
+		WithRequestTimeout(50*time.Millisecond),
+		WithClientTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+
+	receivedAtLeast := func(n int) func() bool {
+		return func() bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return len(got) >= n
+		}
+	}
+
+	// A remote publication crosses link -> hub -> edge.
+	if _, err := remote.Publish(Content{ID: "w", Version: 1, Topics: []string{"world"}, Body: []byte("v1")}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "pre-restart delivery through the link", receivedAtLeast(1))
+
+	// Restart the remote peer's transport. Hold it down long enough for
+	// an in-flight fetch attempt to time out, so the retry path is
+	// exercised, not just the redial path.
+	addr := server.Addr()
+	if err := server.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fetchErr := make(chan error, 1)
+	go func() {
+		fctx, fcancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer fcancel()
+		_, err := link.Client().Fetch(fctx, "w")
+		fetchErr <- err
+	}()
+	time.Sleep(150 * time.Millisecond) // > request timeout: at least one attempt expires
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		server, err = NewServer(remote, addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("could not rebind %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Cleanup(func() { _ = server.Close() })
+
+	if err := <-fetchErr; err != nil {
+		t.Fatalf("fetch across peer restart: %v", err)
+	}
+	waitFor(t, "link resubscription on the restarted peer", func() bool { return remote.Subscriptions() == 1 })
+
+	// Post-recovery publication still reaches the edge subscriber.
+	if _, err := remote.Publish(Content{ID: "w", Version: 2, Topics: []string{"world"}, Body: []byte("v2")}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "post-restart delivery through the link", receivedAtLeast(2))
+
+	for counter, min := range map[string]int64{
+		"transport.client.reconnects":   1,
+		"transport.client.resubscribes": 1, // one registry entry replayed per reconnect
+		"transport.client.retries":      1,
+	} {
+		if n := reg.Counter(counter).Value(); n < min {
+			t.Errorf("%s = %d, want >= %d", counter, n, min)
+		}
 	}
 }
 

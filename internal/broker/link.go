@@ -1,0 +1,129 @@
+package broker
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"time"
+)
+
+// A RemoteLink bridges a local broker (or federation node) into a
+// remote broker across a real network: it subscribes to the remote
+// broker over TCP for a set of interests, and when a matching page is
+// published remotely it fetches the content and republishes it locally,
+// so local subscribers and proxies see the remote publication stream.
+//
+// The link is built on the resilient Client: when the remote peer
+// restarts, the link's connection redials with backoff and its remote
+// subscription is re-established automatically, making the federation
+// edge self-healing.
+
+// Publisher accepts published content; *Broker and *Node both satisfy
+// it (a Node routes the publication onward through the federation).
+type Publisher interface {
+	Publish(c Content) (int, error)
+}
+
+// RemoteLink is a live bridge to a remote broker.
+type RemoteLink struct {
+	client *Client
+	target Publisher
+	wg     sync.WaitGroup
+}
+
+// linkFetchTimeout bounds each content fetch triggered by a remote
+// notification.
+const linkFetchTimeout = 10 * time.Second
+
+// NewRemoteLink connects target to the remote broker at addr: it
+// subscribes remotely for the given topics/keywords and republishes
+// every matching page into target. Reconnection is always enabled
+// (pass WithReconnect to tune the backoff); the provided options are
+// applied on top of the link's defaults, so WithClientTelemetry etc.
+// work as for Dial. Close the link to tear the bridge down.
+func NewRemoteLink(ctx context.Context, target Publisher, addr string, topics, keywords []string, opts ...ClientOption) (*RemoteLink, error) {
+	if target == nil {
+		return nil, errors.New("broker: nil link target")
+	}
+	l := &RemoteLink{target: target}
+	all := make([]ClientOption, 0, len(opts)+2)
+	all = append(all, WithReconnect(BackoffPolicy{}))
+	all = append(all, opts...)
+	// The notify callback must stay the link's own: applied last so an
+	// option cannot override it.
+	all = append(all, WithNotify(l.onNotify))
+	client, err := Dial(ctx, addr, all...)
+	if err != nil {
+		return nil, err
+	}
+	l.client = client
+	if _, err := client.Subscribe(ctx, LinkProxyID, topics, keywords); err != nil {
+		_ = client.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// LinkProxyID is the proxy identifier remote links subscribe under.
+const LinkProxyID = 0
+
+// onNotify bridges one remote publication: fetch the page content and
+// republish it locally. It runs on the client's read loop, so the
+// blocking fetch+publish is handed to a goroutine.
+func (l *RemoteLink) onNotify(n Notification) {
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), linkFetchTimeout)
+		defer cancel()
+		c, err := l.client.Fetch(ctx, n.PageID)
+		if err != nil {
+			return // the retry budget is spent; drop this update
+		}
+		if _, err := l.target.Publish(c); err != nil && !isDuplicatePublish(err) {
+			return
+		}
+	}()
+}
+
+// isDuplicatePublish recognises the broker's not-newer/already-published
+// rejections, which are expected when the same page reaches a node over
+// two paths.
+func isDuplicatePublish(err error) bool {
+	s := err.Error()
+	return strings.Contains(s, "not newer") || strings.Contains(s, "already published")
+}
+
+// Client exposes the link's underlying resilient client (telemetry,
+// liveness checks).
+func (l *RemoteLink) Client() *Client { return l.client }
+
+// Close tears the bridge down and waits for in-flight republishes.
+func (l *RemoteLink) Close() error {
+	err := l.client.Close()
+	l.wg.Wait()
+	return err
+}
+
+// Fetcher adapts the client to the proxy's Fetcher interface, bounding
+// each fetch with the given timeout (0 means linkFetchTimeout). With a
+// reconnecting client this gives proxies a fetch path that retries
+// through broker restarts before the degradation ladder kicks in.
+func (c *Client) Fetcher(timeout time.Duration) Fetcher {
+	if timeout <= 0 {
+		timeout = linkFetchTimeout
+	}
+	return clientFetcher{c: c, timeout: timeout}
+}
+
+type clientFetcher struct {
+	c       *Client
+	timeout time.Duration
+}
+
+func (f clientFetcher) Fetch(pageID string) (Content, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), f.timeout)
+	defer cancel()
+	return f.c.Fetch(ctx, pageID)
+}

@@ -1,0 +1,286 @@
+package broker
+
+import (
+	"context"
+	"net"
+	"time"
+
+	"pubsubcd/internal/telemetry"
+)
+
+// This file is the transport's unified options-based configuration
+// surface. NewServer and Dial take variadic functional options; the
+// former ServerOptions/ClientOptions structs survive only as inputs to
+// the deprecated NewServerWith/DialWith wrappers.
+
+// serverConfig is the resolved server configuration.
+type serverConfig struct {
+	idleTimeout  time.Duration // 0 = default, negative = disabled
+	writeTimeout time.Duration
+	telemetry    *telemetry.Registry
+	listener     net.Listener // non-nil overrides addr
+}
+
+// ServerOption configures a transport Server.
+type ServerOption func(*serverConfig)
+
+// WithIdleTimeout bounds how long a connection may stay silent (no
+// inbound messages) before the server closes it. 0 means
+// DefaultIdleTimeout; negative disables the read deadline.
+func WithIdleTimeout(d time.Duration) ServerOption {
+	return func(c *serverConfig) { c.idleTimeout = d }
+}
+
+// WithWriteTimeout bounds each outbound server write (responses and
+// notifications). 0 means DefaultWriteTimeout; negative disables.
+func WithWriteTimeout(d time.Duration) ServerOption {
+	return func(c *serverConfig) { c.writeTimeout = d }
+}
+
+// WithServerTelemetry wires the server's transport metrics (connection
+// lifecycle, bytes in/out, per-message-type counts and handle latency,
+// timeout counters) into reg. Nil disables telemetry.
+func WithServerTelemetry(reg *telemetry.Registry) ServerOption {
+	return func(c *serverConfig) { c.telemetry = reg }
+}
+
+// WithListener serves on an existing listener instead of binding addr.
+// The server takes ownership and closes it on Close. This is the hook
+// the fault-injection harness (faultnet) uses to interpose on accepted
+// connections.
+func WithListener(ln net.Listener) ServerOption {
+	return func(c *serverConfig) { c.listener = ln }
+}
+
+// clientConfig is the resolved client configuration.
+type clientConfig struct {
+	notify       func(Notification)
+	writeTimeout time.Duration
+	telemetry    *telemetry.Registry
+
+	reconnect     bool
+	backoff       BackoffPolicy
+	maxReconnects int // 0 = unlimited
+
+	heartbeatInterval time.Duration // 0 = default when reconnecting, negative = disabled
+	heartbeatTimeout  time.Duration
+
+	retryBudget    int           // -1 = default (2 when reconnecting, else 0)
+	requestTimeout time.Duration // per-attempt deadline; 0 = caller context only
+
+	dialTimeout time.Duration
+	dialFunc    func(ctx context.Context, addr string) (net.Conn, error)
+	onState     func(ConnState)
+}
+
+// defaultClientConfig returns the pre-option client configuration.
+func defaultClientConfig() clientConfig {
+	return clientConfig{
+		retryBudget: -1,
+		dialTimeout: 5 * time.Second,
+	}
+}
+
+// resolve finalises derived defaults after all options have applied.
+func (c *clientConfig) resolve() {
+	c.backoff = c.backoff.normalized()
+	if c.retryBudget < 0 {
+		if c.reconnect {
+			c.retryBudget = 2
+		} else {
+			c.retryBudget = 0
+		}
+	}
+	switch {
+	case c.heartbeatInterval < 0:
+		c.heartbeatInterval = 0 // disabled
+	case c.heartbeatInterval == 0 && c.reconnect:
+		c.heartbeatInterval = 15 * time.Second
+	}
+	if c.heartbeatInterval > 0 && c.heartbeatTimeout <= 0 {
+		c.heartbeatTimeout = 3 * c.heartbeatInterval
+	}
+	if c.dialFunc == nil {
+		c.dialFunc = func(ctx context.Context, addr string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+}
+
+// ClientOption configures a transport Client.
+type ClientOption func(*clientConfig)
+
+// WithNotify installs the notification callback: fn is invoked for
+// every notification delivered to this connection's subscriptions. The
+// Notification's SubscriptionID is the client-side subscription ID
+// returned by Subscribe (stable across reconnects).
+func WithNotify(fn func(Notification)) ClientOption {
+	return func(c *clientConfig) { c.notify = fn }
+}
+
+// WithClientWriteTimeout bounds each request write. 0 means
+// DefaultWriteTimeout; negative disables.
+func WithClientWriteTimeout(d time.Duration) ClientOption {
+	return func(c *clientConfig) { c.writeTimeout = d }
+}
+
+// WithClientTelemetry wires the client's transport metrics
+// (round-trip latency, bytes in/out, timeouts, reconnect/retry/
+// resubscribe counters) into reg. Nil disables telemetry.
+func WithClientTelemetry(reg *telemetry.Registry) ClientOption {
+	return func(c *clientConfig) { c.telemetry = reg }
+}
+
+// WithReconnect makes the client survive broker failures: when the
+// connection dies (read error or heartbeat timeout) the client redials
+// with the given jittered exponential backoff and transparently
+// re-establishes every live subscription, so subscription IDs stay
+// valid across broker restarts. A zero BackoffPolicy uses
+// DefaultBackoff. Reconnection also enables a default heartbeat and a
+// retry budget of 2 for idempotent requests; tune those with
+// WithHeartbeat and WithRetryBudget.
+func WithReconnect(p BackoffPolicy) ClientOption {
+	return func(c *clientConfig) {
+		c.reconnect = true
+		c.backoff = p
+	}
+}
+
+// WithMaxReconnectAttempts bounds consecutive failed reconnection
+// attempts before the client gives up and reports itself closed.
+// 0 (the default) retries forever.
+func WithMaxReconnectAttempts(n int) ClientOption {
+	return func(c *clientConfig) { c.maxReconnects = n }
+}
+
+// WithHeartbeat enables liveness probing: every interval the client
+// pings the server, and a connection that delivers no data for longer
+// than timeout is declared dead (severing it, which triggers
+// reconnection when enabled). timeout <= 0 defaults to 3x interval;
+// interval < 0 disables the heartbeat.
+func WithHeartbeat(interval, timeout time.Duration) ClientOption {
+	return func(c *clientConfig) {
+		c.heartbeatInterval = interval
+		c.heartbeatTimeout = timeout
+	}
+}
+
+// WithRetryBudget bounds how many times an idempotent request (Fetch,
+// Subscribe, Unsubscribe) is transparently retried after a connection
+// failure or per-attempt timeout. Publish is never retried: it is not
+// idempotent. Negative restores the default (2 when reconnecting,
+// else 0).
+func WithRetryBudget(n int) ClientOption {
+	return func(c *clientConfig) { c.retryBudget = n }
+}
+
+// WithRequestTimeout bounds each request attempt (including waiting
+// for a live connection) even when the caller's context has no
+// deadline. A timed-out attempt consumes one retry from the budget.
+// 0 disables the per-attempt deadline.
+func WithRequestTimeout(d time.Duration) ClientOption {
+	return func(c *clientConfig) { c.requestTimeout = d }
+}
+
+// WithDialTimeout bounds each dial attempt during reconnection.
+func WithDialTimeout(d time.Duration) ClientOption {
+	return func(c *clientConfig) {
+		if d > 0 {
+			c.dialTimeout = d
+		}
+	}
+}
+
+// WithDialFunc replaces the TCP dialer, e.g. with faultnet's
+// fault-injecting dialer.
+func WithDialFunc(fn func(ctx context.Context, addr string) (net.Conn, error)) ClientOption {
+	return func(c *clientConfig) {
+		if fn != nil {
+			c.dialFunc = fn
+		}
+	}
+}
+
+// WithConnStateHook observes connection state transitions
+// (StateConnected, StateReconnecting, StateClosed). The hook is called
+// from the client's internal goroutines and must not block.
+func WithConnStateHook(fn func(ConnState)) ClientOption {
+	return func(c *clientConfig) { c.onState = fn }
+}
+
+// ConnState is a client connection lifecycle state, reported through
+// WithConnStateHook.
+type ConnState int
+
+const (
+	// StateConnected: a connection is live and subscriptions are
+	// (re-)established.
+	StateConnected ConnState = iota
+	// StateReconnecting: the connection died and the client is
+	// redialling with backoff.
+	StateReconnecting
+	// StateClosed: the client is permanently done (Close was called,
+	// reconnection is disabled, or the attempt limit was exhausted).
+	StateClosed
+)
+
+// String names the state.
+func (s ConnState) String() string {
+	switch s {
+	case StateConnected:
+		return "connected"
+	case StateReconnecting:
+		return "reconnecting"
+	case StateClosed:
+		return "closed"
+	default:
+		return "unknown"
+	}
+}
+
+// ServerOptions tunes a transport server.
+//
+// Deprecated: configure NewServer with ServerOption values instead.
+type ServerOptions struct {
+	// IdleTimeout bounds how long a connection may stay silent. 0 means
+	// DefaultIdleTimeout; negative disables the read deadline.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each outbound message write. 0 means
+	// DefaultWriteTimeout; negative disables.
+	WriteTimeout time.Duration
+	// Telemetry, when non-nil, receives transport metrics.
+	Telemetry *telemetry.Registry
+}
+
+// NewServerWith starts a TCP server with explicit options.
+//
+// Deprecated: use NewServer with ServerOption values.
+func NewServerWith(b *Broker, addr string, opts ServerOptions) (*Server, error) {
+	return NewServer(b, addr,
+		WithIdleTimeout(opts.IdleTimeout),
+		WithWriteTimeout(opts.WriteTimeout),
+		WithServerTelemetry(opts.Telemetry))
+}
+
+// ClientOptions tunes a transport client.
+//
+// Deprecated: configure Dial with ClientOption values instead.
+type ClientOptions struct {
+	// WriteTimeout bounds each request write. 0 means
+	// DefaultWriteTimeout; negative disables.
+	WriteTimeout time.Duration
+	// Telemetry, when non-nil, receives client metrics.
+	Telemetry *telemetry.Registry
+}
+
+// DialWith connects to a broker server with explicit options.
+//
+// Deprecated: use Dial with ClientOption values (WithNotify for the
+// notification callback).
+func DialWith(ctx context.Context, addr string, onNotify func(Notification), opts ClientOptions) (*Client, error) {
+	return Dial(ctx, addr,
+		WithNotify(onNotify),
+		WithClientWriteTimeout(opts.WriteTimeout),
+		WithClientTelemetry(opts.Telemetry))
+}

@@ -7,16 +7,34 @@ import (
 	"sync"
 
 	"pubsubcd/internal/core"
+	"pubsubcd/internal/telemetry"
 )
+
+// Fetcher fetches the current content of a page. *Broker satisfies it
+// (in-process origin); Client.Fetcher adapts the resilient TCP client
+// to it, so a proxy can fetch across a real network.
+type Fetcher interface {
+	Fetch(pageID string) (Content, error)
+}
 
 // Proxy is a content-distribution proxy server: it aggregates its users'
 // subscriptions, caches page content under a core.Strategy, receives
 // pushes from the broker and serves local requests, fetching from the
 // origin on misses.
+//
+// The proxy degrades gracefully when its fetch path fails (§2 puts
+// proxies on the far side of a real network): a request for a page with
+// a stale cached copy is served stale rather than failing, and a miss
+// falls back to the origin fetcher when one is configured. Both
+// degraded paths are counted in ProxyStats and, when telemetry is
+// attached, in the metrics registry.
 type Proxy struct {
-	id     int
-	broker *Broker
-	cost   float64
+	id      int
+	broker  *Broker
+	cost    float64
+	fetcher Fetcher // primary fetch path; defaults to broker
+	origin  Fetcher // fallback when the primary path fails; may be nil
+	metrics *proxyMetrics
 
 	mu       sync.Mutex
 	strategy core.Strategy
@@ -35,11 +53,57 @@ type ProxyStats struct {
 	PushesSeen   int64
 	PushesStored int64
 	Fetches      int64
+	// FetchErrors counts primary fetch-path failures.
+	FetchErrors int64
+	// DegradedStale counts requests served from a stale cached copy
+	// because the fetch path was down.
+	DegradedStale int64
+	// OriginFallbacks counts requests served through the fallback
+	// origin fetcher.
+	OriginFallbacks int64
+}
+
+// proxyMetrics are the proxy's degradation counters; nil when off.
+type proxyMetrics struct {
+	fetchErrors     *telemetry.Counter
+	degradedStale   *telemetry.Counter
+	originFallbacks *telemetry.Counter
+}
+
+// proxyConfig collects option state for NewProxy.
+type proxyConfig struct {
+	fetcher   Fetcher
+	origin    Fetcher
+	telemetry *telemetry.Registry
+}
+
+// ProxyOption configures a Proxy.
+type ProxyOption func(*proxyConfig)
+
+// WithProxyFetcher routes the proxy's fetch path through f instead of
+// the attached broker — e.g. a resilient TCP client's Fetcher, so
+// fetches cross a real (failable) network.
+func WithProxyFetcher(f Fetcher) ProxyOption {
+	return func(c *proxyConfig) { c.fetcher = f }
+}
+
+// WithProxyOrigin installs a fallback origin: when the primary fetch
+// path fails and no cached copy exists, the proxy fetches from f
+// instead of failing the request.
+func WithProxyOrigin(f Fetcher) ProxyOption {
+	return func(c *proxyConfig) { c.origin = f }
+}
+
+// WithProxyTelemetry counts the proxy's degraded serves
+// (proxy.degraded_stale, proxy.origin_fallbacks, proxy.fetch_errors)
+// in reg.
+func WithProxyTelemetry(reg *telemetry.Registry) ProxyOption {
+	return func(c *proxyConfig) { c.telemetry = reg }
 }
 
 // NewProxy builds a proxy with the given placement strategy and attaches
 // it to the broker. cost is the proxy's fetch cost c(p) from the origin.
-func NewProxy(id int, b *Broker, strategy core.Strategy, cost float64) (*Proxy, error) {
+func NewProxy(id int, b *Broker, strategy core.Strategy, cost float64, opts ...ProxyOption) (*Proxy, error) {
 	if b == nil {
 		return nil, errors.New("broker: nil broker")
 	}
@@ -49,15 +113,33 @@ func NewProxy(id int, b *Broker, strategy core.Strategy, cost float64) (*Proxy, 
 	if cost <= 0 {
 		return nil, fmt.Errorf("broker: fetch cost must be positive, got %g", cost)
 	}
+	var cfg proxyConfig
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
 	p := &Proxy{
 		id:       id,
 		broker:   b,
 		cost:     cost,
+		fetcher:  cfg.fetcher,
+		origin:   cfg.origin,
 		strategy: strategy,
 		bodies:   make(map[string][]byte),
 		versions: make(map[string]int),
 		latest:   make(map[string]int),
 		subs:     make(map[string]int),
+	}
+	if p.fetcher == nil {
+		p.fetcher = b
+	}
+	if reg := cfg.telemetry; reg != nil {
+		p.metrics = &proxyMetrics{
+			fetchErrors:     reg.Counter(fmt.Sprintf("proxy%d.fetch_errors", id)),
+			degradedStale:   reg.Counter(fmt.Sprintf("proxy%d.degraded_stale", id)),
+			originFallbacks: reg.Counter(fmt.Sprintf("proxy%d.origin_fallbacks", id)),
+		}
 	}
 	if err := b.AttachProxy(id, p); err != nil {
 		return nil, err
@@ -66,6 +148,7 @@ func NewProxy(id int, b *Broker, strategy core.Strategy, cost float64) (*Proxy, 
 }
 
 var _ PushSink = (*Proxy)(nil)
+var _ Fetcher = (*Broker)(nil)
 
 // ID returns the proxy identifier.
 func (p *Proxy) ID() int { return p.id }
@@ -89,6 +172,38 @@ func (p *Proxy) Push(c Content, matched int) {
 	}
 }
 
+// fetch runs the primary fetch path and falls through the degradation
+// ladder on failure: serve the stale cached copy when one exists, then
+// the fallback origin. Caller holds p.mu.
+func (p *Proxy) fetch(pageID string, staleBody []byte, haveStale bool) (Content, bool, error) {
+	current, err := p.fetcher.Fetch(pageID)
+	if err == nil {
+		return current, false, nil
+	}
+	p.stats.FetchErrors++
+	if p.metrics != nil {
+		p.metrics.fetchErrors.Inc()
+	}
+	if haveStale {
+		p.stats.DegradedStale++
+		if p.metrics != nil {
+			p.metrics.degradedStale.Inc()
+		}
+		return Content{ID: pageID, Version: p.versions[pageID], Body: staleBody}, true, nil
+	}
+	if p.origin != nil {
+		current, oerr := p.origin.Fetch(pageID)
+		if oerr == nil {
+			p.stats.OriginFallbacks++
+			if p.metrics != nil {
+				p.metrics.originFallbacks.Inc()
+			}
+			return current, false, nil
+		}
+	}
+	return Content{}, false, err
+}
+
 // Request serves a local user's request for a page: from the cache when
 // the strategy reports a fresh hit, from the origin otherwise. Freshness
 // is judged against the newest version the proxy has learned about
@@ -107,10 +222,14 @@ func (p *Proxy) Request(pageID string) ([]byte, error) {
 			return body, nil
 		}
 		// Stale copy: refetch and, when the strategy keeps the page,
-		// refresh the stored body.
-		current, err := p.broker.Fetch(pageID)
+		// refresh the stored body. If the fetch path is down, degrade
+		// to the stale copy rather than failing the user.
+		current, degraded, err := p.fetch(pageID, body, true)
 		if err != nil {
 			return nil, err
+		}
+		if degraded {
+			return current.Body, nil
 		}
 		p.observeVersion(pageID, current.Version)
 		p.stats.Fetches++
@@ -124,9 +243,12 @@ func (p *Proxy) Request(pageID string) ([]byte, error) {
 		return current.Body, nil
 	}
 
-	current, err := p.broker.Fetch(pageID)
+	current, degraded, err := p.fetch(pageID, nil, false)
 	if err != nil {
 		return nil, err
+	}
+	if degraded {
+		return current.Body, nil
 	}
 	p.observeVersion(pageID, current.Version)
 	meta := core.PageMeta{ID: p.numericID(pageID), Size: bodySize(current.Body), Cost: p.cost}

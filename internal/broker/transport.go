@@ -2,7 +2,6 @@ package broker
 
 import (
 	"bufio"
-	"context"
 	"encoding/base64"
 	"encoding/json"
 	"errors"
@@ -17,12 +16,18 @@ import (
 
 // The wire protocol is line-delimited JSON over TCP. Each request line is
 // a message with a "type" field; the server answers every request with
-// exactly one response line, and additionally sends asynchronous "notify"
-// lines to connections holding subscriptions.
+// exactly one response line (echoing the request's "seq" so clients can
+// correlate concurrent requests), and additionally sends asynchronous
+// "notify" lines to connections holding subscriptions. "ping" requests
+// support client-side liveness probing.
 
 // wireMessage is the on-the-wire envelope.
 type wireMessage struct {
 	Type string `json:"type"`
+	// Seq correlates a request with its response: the server echoes it.
+	// 0 (clients that never set it, and ping probes) means
+	// uncorrelated.
+	Seq uint64 `json:"seq,omitempty"`
 	// Request fields.
 	ID       string   `json:"id,omitempty"`
 	Version  int      `json:"version,omitempty"`
@@ -44,6 +49,7 @@ const (
 	msgUnsubscribe = "unsubscribe"
 	msgPublish     = "publish"
 	msgFetch       = "fetch"
+	msgPing        = "ping"
 	msgNotify      = "notify"
 	msgResponse    = "response"
 )
@@ -56,22 +62,6 @@ const (
 	DefaultIdleTimeout  = 10 * time.Minute
 	DefaultWriteTimeout = 30 * time.Second
 )
-
-// ServerOptions tunes a transport server. The zero value uses the
-// defaults with telemetry disabled.
-type ServerOptions struct {
-	// IdleTimeout bounds how long a connection may stay silent (no
-	// inbound messages) before the server closes it. 0 means
-	// DefaultIdleTimeout; negative disables the read deadline.
-	IdleTimeout time.Duration
-	// WriteTimeout bounds each outbound message write (responses and
-	// notifications). 0 means DefaultWriteTimeout; negative disables.
-	WriteTimeout time.Duration
-	// Telemetry, when non-nil, receives transport metrics (connection
-	// lifecycle, bytes in/out, per-message-type counts and handle
-	// latency, timeout counters).
-	Telemetry *telemetry.Registry
-}
 
 // serverMetrics are the server's pre-resolved metric handles; nil means
 // telemetry is off.
@@ -90,7 +80,7 @@ type serverMetrics struct {
 }
 
 // wireTypes are the request types the server accounts per-type.
-var wireTypes = []string{msgSubscribe, msgUnsubscribe, msgPublish, msgFetch}
+var wireTypes = []string{msgSubscribe, msgUnsubscribe, msgPublish, msgFetch, msgPing}
 
 func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 	if reg == nil {
@@ -140,27 +130,33 @@ type Server struct {
 }
 
 // NewServer starts a TCP server for the broker on addr (e.g.
-// "127.0.0.1:0") with default options. The returned server is already
-// accepting connections.
-func NewServer(b *Broker, addr string) (*Server, error) {
-	return NewServerWith(b, addr, ServerOptions{})
-}
-
-// NewServerWith starts a TCP server with explicit options.
-func NewServerWith(b *Broker, addr string, opts ServerOptions) (*Server, error) {
+// "127.0.0.1:0"), configured by functional options. The returned server
+// is already accepting connections. With WithListener, addr is ignored
+// and the provided listener is served instead.
+func NewServer(b *Broker, addr string, opts ...ServerOption) (*Server, error) {
 	if b == nil {
 		return nil, errors.New("broker: nil broker")
 	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("broker: listen: %w", err)
+	var cfg serverConfig
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	ln := cfg.listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("broker: listen: %w", err)
+		}
 	}
 	s := &Server{
 		broker:       b,
 		ln:           ln,
-		idleTimeout:  defaultTimeout(opts.IdleTimeout, DefaultIdleTimeout),
-		writeTimeout: defaultTimeout(opts.WriteTimeout, DefaultWriteTimeout),
-		metrics:      newServerMetrics(opts.Telemetry),
+		idleTimeout:  defaultTimeout(cfg.idleTimeout, DefaultIdleTimeout),
+		writeTimeout: defaultTimeout(cfg.writeTimeout, DefaultWriteTimeout),
+		metrics:      newServerMetrics(cfg.telemetry),
 		conns:        make(map[net.Conn]struct{}),
 	}
 	s.wg.Add(1)
@@ -338,6 +334,7 @@ func (s *Server) handle(conn net.Conn) {
 		if sm != nil {
 			sm.handleNanos[sm.key(m.Type)].Observe(time.Since(start).Nanoseconds())
 		}
+		resp.Seq = m.Seq
 		if err := cw.send(resp); err != nil {
 			return
 		}
@@ -391,209 +388,12 @@ func (s *Server) dispatch(m *wireMessage, cw *connWriter, subIDs *[]int64) wireM
 		}
 		return wireMessage{
 			Type: msgResponse, OK: true, ID: c.ID, Version: c.Version,
+			Topics: c.Topics, Keywords: c.Keywords,
 			Body: base64.StdEncoding.EncodeToString(c.Body),
 		}
+	case msgPing:
+		return wireMessage{Type: msgResponse, OK: true}
 	default:
 		return wireMessage{Type: msgResponse, Error: fmt.Sprintf("unknown message type %q", m.Type)}
 	}
-}
-
-// ClientOptions tunes a transport client. The zero value uses the
-// defaults with telemetry disabled.
-type ClientOptions struct {
-	// WriteTimeout bounds each request write. 0 means
-	// DefaultWriteTimeout; negative disables.
-	WriteTimeout time.Duration
-	// Telemetry, when non-nil, receives client metrics (per-message-type
-	// round-trip latency, bytes in/out, timeouts).
-	Telemetry *telemetry.Registry
-}
-
-// clientMetrics are the client's pre-resolved handles; nil when off.
-type clientMetrics struct {
-	bytesIn  *telemetry.Counter
-	bytesOut *telemetry.Counter
-	timeouts *telemetry.Counter
-	rtt      map[string]*telemetry.Histogram
-}
-
-func newClientMetrics(reg *telemetry.Registry) *clientMetrics {
-	if reg == nil {
-		return nil
-	}
-	m := &clientMetrics{
-		bytesIn:  reg.Counter("transport.client.bytes_in"),
-		bytesOut: reg.Counter("transport.client.bytes_out"),
-		timeouts: reg.Counter("transport.client.timeouts"),
-		rtt:      make(map[string]*telemetry.Histogram, len(wireTypes)),
-	}
-	lat := telemetry.LatencyBuckets()
-	for _, t := range wireTypes {
-		m.rtt[t] = reg.Histogram("transport.client.rtt_ns."+t, lat)
-	}
-	return m
-}
-
-// Client is a TCP client for a broker Server.
-type Client struct {
-	conn         net.Conn
-	enc          *json.Encoder
-	writeTimeout time.Duration
-	metrics      *clientMetrics
-
-	mu      sync.Mutex
-	pending chan wireMessage
-	notify  func(Notification)
-	done    chan struct{}
-	readErr error
-}
-
-// Dial connects to a broker server with default options. onNotify, if
-// non-nil, is invoked for every notification delivered to this
-// connection's subscriptions.
-func Dial(ctx context.Context, addr string, onNotify func(Notification)) (*Client, error) {
-	return DialWith(ctx, addr, onNotify, ClientOptions{})
-}
-
-// DialWith connects to a broker server with explicit options.
-func DialWith(ctx context.Context, addr string, onNotify func(Notification), opts ClientOptions) (*Client, error) {
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("broker: dial: %w", err)
-	}
-	cm := newClientMetrics(opts.Telemetry)
-	var bytesOut *telemetry.Counter
-	if cm != nil {
-		bytesOut = cm.bytesOut
-	}
-	c := &Client{
-		conn:         conn,
-		enc:          json.NewEncoder(&countingWriter{w: conn, c: bytesOut}),
-		writeTimeout: defaultTimeout(opts.WriteTimeout, DefaultWriteTimeout),
-		metrics:      cm,
-		pending:      make(chan wireMessage, 1),
-		notify:       onNotify,
-		done:         make(chan struct{}),
-	}
-	go c.readLoop()
-	return c, nil
-}
-
-func (c *Client) readLoop() {
-	defer close(c.done)
-	scanner := bufio.NewScanner(c.conn)
-	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	for scanner.Scan() {
-		if cm := c.metrics; cm != nil {
-			cm.bytesIn.Add(int64(len(scanner.Bytes()) + 1))
-		}
-		var m wireMessage
-		if err := json.Unmarshal(scanner.Bytes(), &m); err != nil {
-			continue
-		}
-		switch m.Type {
-		case msgNotify:
-			if c.notify != nil && m.Notification != nil {
-				c.notify(*m.Notification)
-			}
-		case msgResponse:
-			select {
-			case c.pending <- m:
-			default:
-				// No caller is waiting; drop the orphan response.
-			}
-		}
-	}
-	c.readErr = scanner.Err()
-}
-
-// Close shuts the connection down.
-func (c *Client) Close() error {
-	err := c.conn.Close()
-	<-c.done
-	return err
-}
-
-// roundTrip sends a request and waits for the next response line.
-func (c *Client) roundTrip(ctx context.Context, m wireMessage) (wireMessage, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	cm := c.metrics
-	var start time.Time
-	if cm != nil {
-		start = time.Now()
-	}
-	if c.writeTimeout > 0 {
-		_ = c.conn.SetWriteDeadline(time.Now().Add(c.writeTimeout))
-	}
-	if err := c.enc.Encode(m); err != nil {
-		if cm != nil && isTimeout(err) {
-			cm.timeouts.Inc()
-		}
-		return wireMessage{}, fmt.Errorf("broker: send: %w", err)
-	}
-	select {
-	case resp := <-c.pending:
-		if cm != nil {
-			if h, ok := cm.rtt[m.Type]; ok {
-				h.Observe(time.Since(start).Nanoseconds())
-			}
-		}
-		if resp.Error != "" {
-			return resp, errors.New(resp.Error)
-		}
-		return resp, nil
-	case <-c.done:
-		return wireMessage{}, errors.New("broker: connection closed")
-	case <-ctx.Done():
-		if cm != nil && errors.Is(ctx.Err(), context.DeadlineExceeded) {
-			cm.timeouts.Inc()
-		}
-		return wireMessage{}, ctx.Err()
-	}
-}
-
-// Subscribe registers a subscription for the given proxy and returns its
-// ID. Notifications arrive via the Dial callback.
-func (c *Client) Subscribe(ctx context.Context, proxy int, topics, keywords []string) (int64, error) {
-	resp, err := c.roundTrip(ctx, wireMessage{
-		Type: msgSubscribe, Proxy: proxy, Topics: topics, Keywords: keywords,
-	})
-	if err != nil {
-		return 0, err
-	}
-	return resp.SubID, nil
-}
-
-// Unsubscribe removes a subscription.
-func (c *Client) Unsubscribe(ctx context.Context, id int64) error {
-	_, err := c.roundTrip(ctx, wireMessage{Type: msgUnsubscribe, SubID: id})
-	return err
-}
-
-// Publish publishes content and returns the matched subscription count.
-func (c *Client) Publish(ctx context.Context, content Content) (int, error) {
-	resp, err := c.roundTrip(ctx, wireMessage{
-		Type: msgPublish, ID: content.ID, Version: content.Version,
-		Topics: content.Topics, Keywords: content.Keywords,
-		Body: base64.StdEncoding.EncodeToString(content.Body),
-	})
-	if err != nil {
-		return 0, err
-	}
-	return resp.Matched, nil
-}
-
-// Fetch retrieves the current content of a page.
-func (c *Client) Fetch(ctx context.Context, pageID string) (Content, error) {
-	resp, err := c.roundTrip(ctx, wireMessage{Type: msgFetch, ID: pageID})
-	if err != nil {
-		return Content{}, err
-	}
-	body, err := base64.StdEncoding.DecodeString(resp.Body)
-	if err != nil {
-		return Content{}, fmt.Errorf("broker: bad body encoding: %w", err)
-	}
-	return Content{ID: resp.ID, Version: resp.Version, Body: body}, nil
 }

@@ -22,7 +22,7 @@ func dialClient(t *testing.T, addr string, onNotify func(Notification)) *Client 
 	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	c, err := Dial(ctx, addr, onNotify)
+	c, err := Dial(ctx, addr, WithNotify(onNotify))
 	if err != nil {
 		t.Fatal(err)
 	}

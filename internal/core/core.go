@@ -86,14 +86,70 @@ func (p Params) validateBeta() error {
 	return nil
 }
 
+// PlacementTime classifies *when* a scheme places content in the proxy
+// cache (the "when" axis of the paper's Table 1).
+type PlacementTime int
+
+const (
+	// PlaceAtAccess places content only when a user requests it
+	// (classic caching).
+	PlaceAtAccess PlacementTime = iota
+	// PlaceAtPush places content only when the matching engine pushes
+	// a freshly published page.
+	PlaceAtPush
+	// PlaceAtBoth places content at both opportunities.
+	PlaceAtBoth
+)
+
+// String renders the paper's Table 1 label for the placement time.
+func (t PlacementTime) String() string {
+	switch t {
+	case PlaceAtAccess:
+		return "access-time"
+	case PlaceAtPush:
+		return "push-time"
+	case PlaceAtBoth:
+		return "access+push"
+	default:
+		return fmt.Sprintf("PlacementTime(%d)", int(t))
+	}
+}
+
+// ValueSource classifies *what information* a scheme uses to value pages
+// (the "how" axis of the paper's Table 1).
+type ValueSource int
+
+const (
+	// ValueFromAccess values pages by observed access pattern.
+	ValueFromAccess ValueSource = iota
+	// ValueFromSubscription values pages by subscription counts.
+	ValueFromSubscription
+	// ValueFromBoth combines access pattern and subscription counts.
+	ValueFromBoth
+)
+
+// String renders the paper's Table 1 label for the value source.
+func (s ValueSource) String() string {
+	switch s {
+	case ValueFromAccess:
+		return "access"
+	case ValueFromSubscription:
+		return "subscription"
+	case ValueFromBoth:
+		return "access+subscription"
+	default:
+		return fmt.Sprintf("ValueSource(%d)", int(s))
+	}
+}
+
 // Factory builds one Strategy instance per proxy.
 type Factory struct {
 	// Name is the scheme name.
 	Name string
 	// When classifies the placement opportunities the scheme uses.
-	When string
+	When PlacementTime
 	// How classifies the information the scheme uses.
-	How string
+	How ValueSource
 	// New constructs a proxy-local instance.
 	New func(Params) (Strategy, error)
 }
@@ -103,7 +159,7 @@ type Factory struct {
 // access-time-only schemes the push-time module does not exist, so they
 // incur no push traffic under either pushing scheme.
 func (f Factory) UsesPush() bool {
-	return f.When != "access-time"
+	return f.When != PlaceAtAccess
 }
 
 // ErrUnknownStrategy is returned by Lookup for unrecognised names.
@@ -113,18 +169,18 @@ var ErrUnknownStrategy = errors.New("core: unknown strategy")
 // plus the classic baselines. The order matches the paper's presentation.
 func Catalog() []Factory {
 	return []Factory{
-		{Name: "GD*", When: "access-time", How: "access", New: NewGDStar},
-		{Name: "SUB", When: "push-time", How: "subscription", New: NewSUB},
-		{Name: "SG1", When: "access+push", How: "access+subscription", New: NewSG1},
-		{Name: "SG2", When: "access+push", How: "access+subscription", New: NewSG2},
-		{Name: "SR", When: "access+push", How: "access+subscription", New: NewSR},
-		{Name: "DM", When: "access+push", How: "access+subscription", New: NewDM},
-		{Name: "DC-FP", When: "access+push", How: "access+subscription", New: NewDCFP},
-		{Name: "DC-AP", When: "access+push", How: "access+subscription", New: NewDCAP},
-		{Name: "DC-LAP", When: "access+push", How: "access+subscription", New: NewDCLAP},
-		{Name: "LRU", When: "access-time", How: "access", New: NewLRU},
-		{Name: "GDS", When: "access-time", How: "access", New: NewGDS},
-		{Name: "LFU-DA", When: "access-time", How: "access", New: NewLFUDA},
+		{Name: "GD*", When: PlaceAtAccess, How: ValueFromAccess, New: NewGDStar},
+		{Name: "SUB", When: PlaceAtPush, How: ValueFromSubscription, New: NewSUB},
+		{Name: "SG1", When: PlaceAtBoth, How: ValueFromBoth, New: NewSG1},
+		{Name: "SG2", When: PlaceAtBoth, How: ValueFromBoth, New: NewSG2},
+		{Name: "SR", When: PlaceAtBoth, How: ValueFromBoth, New: NewSR},
+		{Name: "DM", When: PlaceAtBoth, How: ValueFromBoth, New: NewDM},
+		{Name: "DC-FP", When: PlaceAtBoth, How: ValueFromBoth, New: NewDCFP},
+		{Name: "DC-AP", When: PlaceAtBoth, How: ValueFromBoth, New: NewDCAP},
+		{Name: "DC-LAP", When: PlaceAtBoth, How: ValueFromBoth, New: NewDCLAP},
+		{Name: "LRU", When: PlaceAtAccess, How: ValueFromAccess, New: NewLRU},
+		{Name: "GDS", When: PlaceAtAccess, How: ValueFromAccess, New: NewGDS},
+		{Name: "LFU-DA", When: PlaceAtAccess, How: ValueFromAccess, New: NewLFUDA},
 	}
 }
 

@@ -51,19 +51,29 @@ func TestLookup(t *testing.T) {
 }
 
 func TestCatalogCoversPaperTable1(t *testing.T) {
-	want := map[string]string{
-		"GD*": "access-time", "SUB": "push-time",
-		"SG1": "access+push", "SG2": "access+push", "SR": "access+push",
-		"DM": "access+push", "DC-FP": "access+push", "DC-AP": "access+push", "DC-LAP": "access+push",
+	want := map[string]PlacementTime{
+		"GD*": PlaceAtAccess, "SUB": PlaceAtPush,
+		"SG1": PlaceAtBoth, "SG2": PlaceAtBoth, "SR": PlaceAtBoth,
+		"DM": PlaceAtBoth, "DC-FP": PlaceAtBoth, "DC-AP": PlaceAtBoth, "DC-LAP": PlaceAtBoth,
 	}
-	got := make(map[string]string)
+	got := make(map[string]PlacementTime)
 	for _, f := range Catalog() {
 		got[f.Name] = f.When
 	}
 	for name, when := range want {
 		if got[name] != when {
-			t.Errorf("%s: When=%q, want %q", name, got[name], when)
+			t.Errorf("%s: When=%v, want %v", name, got[name], when)
 		}
+	}
+	// The Table 1 labels survive the typed-enum redesign.
+	if PlaceAtBoth.String() != "access+push" || ValueFromBoth.String() != "access+subscription" {
+		t.Errorf("enum labels changed: %v, %v", PlaceAtBoth, ValueFromBoth)
+	}
+	if PlaceAtAccess.String() != "access-time" || PlaceAtPush.String() != "push-time" {
+		t.Errorf("enum labels changed: %v, %v", PlaceAtAccess, PlaceAtPush)
+	}
+	if ValueFromAccess.String() != "access" || ValueFromSubscription.String() != "subscription" {
+		t.Errorf("enum labels changed: %v, %v", ValueFromAccess, ValueFromSubscription)
 	}
 }
 

@@ -361,8 +361,8 @@ func DCLAPBoundsSweep(h *Harness) (*Grid, error) {
 		lo := lows[i]
 		f := core.Factory{
 			Name: fmt.Sprintf("DC-LAP[%g,%g]", lo, 1-lo),
-			When: "access+push",
-			How:  "access+subscription",
+			When: core.PlaceAtBoth,
+			How:  core.ValueFromBoth,
 			New: func(p core.Params) (core.Strategy, error) {
 				return core.NewDCLAPBounded(p, lo, 1-lo)
 			},

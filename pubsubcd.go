@@ -28,6 +28,8 @@
 package pubsubcd
 
 import (
+	"context"
+
 	"pubsubcd/internal/broker"
 	"pubsubcd/internal/core"
 	"pubsubcd/internal/experiments"
@@ -47,6 +49,26 @@ type (
 	StrategyFactory = core.Factory
 	// PageMeta describes a page to a strategy.
 	PageMeta = core.PageMeta
+	// PlacementTime classifies when a scheme places content (the
+	// "when" axis of the paper's Table 1).
+	PlacementTime = core.PlacementTime
+	// ValueSource classifies what information a scheme uses to value
+	// pages (the "how" axis of Table 1).
+	ValueSource = core.ValueSource
+)
+
+// PlacementTime values.
+const (
+	PlaceAtAccess = core.PlaceAtAccess
+	PlaceAtPush   = core.PlaceAtPush
+	PlaceAtBoth   = core.PlaceAtBoth
+)
+
+// ValueSource values.
+const (
+	ValueFromAccess       = core.ValueFromAccess
+	ValueFromSubscription = core.ValueFromSubscription
+	ValueFromBoth         = core.ValueFromBoth
 )
 
 // Strategy constructors, one per scheme in the paper plus the classic
@@ -205,7 +227,9 @@ type (
 	Broker = broker.Broker
 	// BrokerServer exposes a broker over TCP.
 	BrokerServer = broker.Server
-	// BrokerClient is the TCP client.
+	// BrokerClient is the resilient TCP client: with WithReconnect it
+	// survives broker restarts, redialling with jittered exponential
+	// backoff and transparently re-establishing its subscriptions.
 	BrokerClient = broker.Client
 	// Proxy is a caching content-distribution proxy.
 	Proxy = broker.Proxy
@@ -213,33 +237,146 @@ type (
 	Content = broker.Content
 	// Notification announces a matched page to a subscriber.
 	Notification = broker.Notification
-	// BrokerServerOptions tunes the TCP server (deadlines, telemetry).
+
+	// BrokerServerOption configures NewBrokerServer (deadlines,
+	// telemetry, custom listener).
+	BrokerServerOption = broker.ServerOption
+	// BrokerClientOption configures DialBroker (notification callback,
+	// reconnection, heartbeat, retry budget, telemetry, ...).
+	BrokerClientOption = broker.ClientOption
+	// BackoffPolicy shapes reconnection delays (jittered exponential
+	// backoff).
+	BackoffPolicy = broker.BackoffPolicy
+	// ConnState is a client connection lifecycle state, observed via
+	// WithConnStateHook.
+	ConnState = broker.ConnState
+	// ContentFetcher fetches current page content; *Broker satisfies
+	// it, and BrokerClient.Fetcher adapts the TCP client to it.
+	ContentFetcher = broker.Fetcher
+	// ProxyOption configures NewProxy (alternate fetch paths, origin
+	// fallback, telemetry).
+	ProxyOption = broker.ProxyOption
+	// BrokerProxyStats counts a proxy's traffic, including degraded
+	// serves.
+	BrokerProxyStats = broker.ProxyStats
+	// RemoteLink bridges a local broker into a remote broker over the
+	// resilient client (a federation link that survives peer restarts).
+	RemoteLink = broker.RemoteLink
+
+	// BrokerServerOptions tunes the TCP server.
+	//
+	// Deprecated: use BrokerServerOption values with NewBrokerServer.
 	BrokerServerOptions = broker.ServerOptions
-	// BrokerClientOptions tunes the TCP client (deadlines, telemetry).
+	// BrokerClientOptions tunes the TCP client.
+	//
+	// Deprecated: use BrokerClientOption values with DialBroker.
 	BrokerClientOptions = broker.ClientOptions
+)
+
+// Client connection states.
+const (
+	StateConnected    = broker.StateConnected
+	StateReconnecting = broker.StateReconnecting
+	StateClosed       = broker.StateClosed
+)
+
+// Server options.
+var (
+	// WithIdleTimeout bounds how long a server connection may stay
+	// silent before it is closed.
+	WithIdleTimeout = broker.WithIdleTimeout
+	// WithWriteTimeout bounds each outbound server write.
+	WithWriteTimeout = broker.WithWriteTimeout
+	// WithServerTelemetry wires server transport metrics into a
+	// registry.
+	WithServerTelemetry = broker.WithServerTelemetry
+	// WithListener serves an existing listener (e.g. a fault-injecting
+	// one) instead of binding an address.
+	WithListener = broker.WithListener
+)
+
+// Client options.
+var (
+	// WithNotify installs the notification callback.
+	WithNotify = broker.WithNotify
+	// WithReconnect makes the client survive broker failures with the
+	// given backoff policy (zero value = DefaultBackoff()).
+	WithReconnect = broker.WithReconnect
+	// WithHeartbeat enables liveness probing (interval, timeout).
+	WithHeartbeat = broker.WithHeartbeat
+	// WithRetryBudget bounds transparent retries of idempotent
+	// requests after connection failures.
+	WithRetryBudget = broker.WithRetryBudget
+	// WithRequestTimeout bounds each request attempt.
+	WithRequestTimeout = broker.WithRequestTimeout
+	// WithMaxReconnectAttempts bounds consecutive failed reconnection
+	// attempts before the client gives up.
+	WithMaxReconnectAttempts = broker.WithMaxReconnectAttempts
+	// WithClientTelemetry wires client transport metrics (including
+	// reconnect/retry/resubscribe counters) into a registry.
+	WithClientTelemetry = broker.WithClientTelemetry
+	// WithClientWriteTimeout bounds each request write.
+	WithClientWriteTimeout = broker.WithClientWriteTimeout
+	// WithDialTimeout bounds each reconnection dial attempt.
+	WithDialTimeout = broker.WithDialTimeout
+	// WithDialFunc replaces the TCP dialer (fault injection).
+	WithDialFunc = broker.WithDialFunc
+	// WithConnStateHook observes connection state transitions.
+	WithConnStateHook = broker.WithConnStateHook
+	// DefaultBackoff is the default reconnection backoff policy.
+	DefaultBackoff = broker.DefaultBackoff
+)
+
+// Proxy options.
+var (
+	// WithProxyFetcher routes the proxy's fetch path through an
+	// alternate fetcher (e.g. a resilient TCP client).
+	WithProxyFetcher = broker.WithProxyFetcher
+	// WithProxyOrigin installs a fallback origin fetcher used when the
+	// primary fetch path fails and no cached copy exists.
+	WithProxyOrigin = broker.WithProxyOrigin
+	// WithProxyTelemetry wires proxy degradation counters into a
+	// registry.
+	WithProxyTelemetry = broker.WithProxyTelemetry
 )
 
 // NewBroker returns an empty in-process broker.
 func NewBroker() *Broker { return broker.New() }
 
-// NewBrokerServer serves a broker over TCP on addr.
-func NewBrokerServer(b *Broker, addr string) (*BrokerServer, error) {
-	return broker.NewServer(b, addr)
+// NewBrokerServer serves a broker over TCP on addr, configured by
+// functional options.
+func NewBrokerServer(b *Broker, addr string, opts ...BrokerServerOption) (*BrokerServer, error) {
+	return broker.NewServer(b, addr, opts...)
 }
 
 // NewBrokerServerWith serves a broker over TCP with explicit options.
+//
+// Deprecated: use NewBrokerServer with BrokerServerOption values.
 var NewBrokerServerWith = broker.NewServerWith
 
-// DialBroker connects to a broker server.
-var DialBroker = broker.Dial
+// DialBroker connects to a broker server, configured by functional
+// options (WithNotify, WithReconnect, ...).
+func DialBroker(ctx context.Context, addr string, opts ...BrokerClientOption) (*BrokerClient, error) {
+	return broker.Dial(ctx, addr, opts...)
+}
 
 // DialBrokerWith connects to a broker server with explicit options.
+//
+// Deprecated: use DialBroker with BrokerClientOption values.
 var DialBrokerWith = broker.DialWith
 
-// NewProxy attaches a caching proxy to a broker.
-func NewProxy(id int, b *Broker, s Strategy, cost float64) (*Proxy, error) {
-	return broker.NewProxy(id, b, s, cost)
+// NewProxy attaches a caching proxy to a broker, configured by
+// functional options (fetch path, origin fallback, telemetry).
+func NewProxy(id int, b *Broker, s Strategy, cost float64, opts ...ProxyOption) (*Proxy, error) {
+	return broker.NewProxy(id, b, s, cost, opts...)
 }
+
+// NewRemoteLink bridges a local broker (or federation node) into a
+// remote broker over TCP: it subscribes remotely for the given
+// interests and republishes matching pages locally. Built on the
+// resilient client, the link recovers automatically when the remote
+// peer restarts.
+var NewRemoteLink = broker.NewRemoteLink
 
 // NotifierFunc adapts a function into a broker notifier.
 type NotifierFunc = broker.NotifierFunc
