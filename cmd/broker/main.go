@@ -6,6 +6,17 @@
 //	broker -addr 127.0.0.1:7070
 //	broker -addr 127.0.0.1:7070 -metrics-addr 127.0.0.1:7071
 //	broker -addr 127.0.0.1:7070 -uplink hub.example:7070 -uplink-topics news,sports
+//	broker -addr 127.0.0.1:7070 -data-dir /var/lib/broker -fsync always -snapshot-interval 1m
+//
+// With -data-dir, the broker is durable: subscriptions are written to
+// a CRC-framed write-ahead journal, snapshotted every
+// -snapshot-interval, and recovered (with their original IDs) on the
+// next start. -fsync picks the durability/latency trade: "always"
+// group-commits every record to stable storage, "interval" syncs in
+// the background, "none" leaves flushing to the OS. On SIGINT/SIGTERM
+// the broker shuts down gracefully: it stops accepting, drains
+// in-flight requests (up to -drain-timeout), writes a final
+// checkpoint and exits 0.
 //
 // With -metrics-addr, an HTTP admin endpoint serves /metrics (JSON
 // counters, gauges and latency histograms), /trace (the most recent
@@ -32,6 +43,7 @@ import (
 	"time"
 
 	"pubsubcd/internal/broker"
+	"pubsubcd/internal/journal"
 	"pubsubcd/internal/telemetry"
 )
 
@@ -81,19 +93,30 @@ func run(args []string, stop <-chan struct{}, out *os.File) error {
 	retryBudget := fs.Int("retry-budget", -1, "retries per idempotent uplink request (-1 = default)")
 	maxReconnects := fs.Int("max-reconnects", 0, "consecutive failed uplink redials before giving up (0 = forever)")
 	requestTimeout := fs.Duration("request-timeout", 0, "per-attempt deadline for uplink requests (0 disables)")
+	dataDir := fs.String("data-dir", "", "directory for the write-ahead journal and snapshots (empty = in-memory broker)")
+	fsyncMode := fs.String("fsync", "always", "journal fsync policy: always, interval or none")
+	snapshotInterval := fs.Duration("snapshot-interval", time.Minute, "how often to snapshot durable state and truncate the journal")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests before force-closing")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	b := broker.New()
+	fsyncPolicy, err := journal.ParseFsyncPolicy(*fsyncMode)
+	if err != nil {
+		return fmt.Errorf("usage: %w (valid: always, interval, none)", err)
+	}
+	if *dataDir != "" && *snapshotInterval <= 0 {
+		return fmt.Errorf("usage: -snapshot-interval must be positive with -data-dir, got %v", *snapshotInterval)
+	}
+
 	serverOpts := []broker.ServerOption{
 		broker.WithIdleTimeout(*idleTimeout),
 		broker.WithWriteTimeout(*writeTimeout),
 	}
 	var reg *telemetry.Registry
+	var tracer *telemetry.Tracer
 	if *metricsAddr != "" {
 		reg = telemetry.NewRegistry()
-		tracer := telemetry.NewTracer(*traceCap)
-		b.EnableTelemetry(reg, tracer)
+		tracer = telemetry.NewTracer(*traceCap)
 		serverOpts = append(serverOpts, broker.WithServerTelemetry(reg))
 		admin, err := telemetry.NewAdminServer(*metricsAddr, reg, tracer)
 		if err != nil {
@@ -102,8 +125,22 @@ func run(args []string, stop <-chan struct{}, out *os.File) error {
 		defer admin.Close()
 		fmt.Fprintf(out, "metrics on http://%s/metrics\n", admin.Addr())
 	}
+	b, err := broker.Open(
+		broker.WithDataDir(*dataDir),
+		broker.WithFsyncPolicy(fsyncPolicy),
+		broker.WithSnapshotInterval(*snapshotInterval),
+		broker.WithBrokerTelemetry(reg, tracer),
+	)
+	if err != nil {
+		return err
+	}
+	if *dataDir != "" {
+		fmt.Fprintf(out, "durable state in %s (fsync=%s, %d subscriptions recovered)\n",
+			*dataDir, fsyncPolicy, b.Subscriptions())
+	}
 	srv, err := broker.NewServer(b, *addr, serverOpts...)
 	if err != nil {
+		_ = b.Close()
 		return err
 	}
 	fmt.Fprintf(out, "broker listening on %s\n", srv.Addr())
@@ -112,6 +149,7 @@ func run(args []string, stop <-chan struct{}, out *os.File) error {
 		topics, keywords := splitList(*uplinkTopics), splitList(*uplinkKeywords)
 		if len(topics) == 0 && len(keywords) == 0 {
 			_ = srv.Close()
+			_ = b.Close()
 			return fmt.Errorf("-uplink needs -uplink-topics and/or -uplink-keywords")
 		}
 		clientOpts := []broker.ClientOption{
@@ -130,6 +168,7 @@ func run(args []string, stop <-chan struct{}, out *os.File) error {
 		cancel()
 		if err != nil {
 			_ = srv.Close()
+			_ = b.Close()
 			return fmt.Errorf("uplink: %w", err)
 		}
 		defer link.Close()
@@ -137,6 +176,14 @@ func run(args []string, stop <-chan struct{}, out *os.File) error {
 	}
 
 	<-stop
+	// Graceful shutdown: stop accepting, drain in-flight requests, then
+	// flush the journal with a final checkpoint.
 	fmt.Fprintln(out, "shutting down")
-	return srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	err = srv.Shutdown(ctx)
+	cancel()
+	if cerr := b.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

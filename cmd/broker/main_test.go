@@ -143,3 +143,105 @@ func TestRunErrors(t *testing.T) {
 		t.Error("bad flag should error")
 	}
 }
+
+// startRun launches run in a goroutine and dials until the server
+// accepts, returning the connected client and the run channels.
+func startRun(t *testing.T, args []string) (*broker.Client, chan struct{}, chan error, *sync.WaitGroup) {
+	t.Helper()
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = devnull.Close() })
+	go func() {
+		defer wg.Done()
+		errc <- run(args, stop, devnull)
+	}()
+	addr := args[1] // args start with "-addr", addr
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		client, err := broker.Dial(ctx, addr)
+		if err == nil {
+			return client, stop, errc, &wg
+		}
+		if time.Now().After(deadline) {
+			close(stop)
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestRunDurableStateSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	const addr = "127.0.0.1:39921"
+	args := []string{"-addr", addr, "-data-dir", dir, "-fsync", "always", "-snapshot-interval", "1m"}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// First incarnation: subscribe, then shut down gracefully while the
+	// client is still connected.
+	client, stop, errc, wg := startRun(t, args)
+	if _, err := client.Subscribe(ctx, 0, []string{"news"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if err := <-errc; err != nil {
+		t.Fatalf("first run exited with error: %v", err)
+	}
+	_ = client.Close()
+
+	// Second incarnation on the same data dir: the subscription must be
+	// back, so a publish matches it even though no client resubscribed.
+	client2, stop2, errc2, wg2 := startRun(t, args)
+	matched, err := client2.Publish(ctx, broker.Content{ID: "story", Version: 1, Topics: []string{"news"}, Body: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matched != 1 {
+		t.Errorf("publish matched %d subscriptions after restart, want the recovered 1", matched)
+	}
+	// A fresh subscription coexists with the recovered one: a publish
+	// touching both topics matches both.
+	if _, err := client2.Subscribe(ctx, 0, []string{"other"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	matched, err = client2.Publish(ctx, broker.Content{ID: "story2", Version: 1, Topics: []string{"news", "other"}, Body: []byte("y")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matched != 2 {
+		t.Errorf("publish matched %d subscriptions, want recovered+fresh = 2", matched)
+	}
+	_ = client2.Close()
+	close(stop2)
+	wg2.Wait()
+	if err := <-errc2; err != nil {
+		t.Fatalf("second run exited with error: %v", err)
+	}
+}
+
+func TestRunRejectsInvalidDurabilityFlags(t *testing.T) {
+	stop := make(chan struct{})
+	close(stop)
+	if err := run([]string{"-fsync", "sometimes"}, stop, os.Stdout); err == nil {
+		t.Error("-fsync outside the enum should be a usage error")
+	}
+	// -fsync is validated even without -data-dir.
+	if err := run([]string{"-addr", "127.0.0.1:0", "-fsync", "later"}, stop, os.Stdout); err == nil {
+		t.Error("-fsync must be validated without -data-dir too")
+	}
+	if err := run([]string{"-data-dir", os.TempDir(), "-snapshot-interval", "0s"}, stop, os.Stdout); err == nil {
+		t.Error("-snapshot-interval 0 with -data-dir should be a usage error")
+	}
+	if err := run([]string{"-data-dir", os.TempDir(), "-snapshot-interval", "-5s"}, stop, os.Stdout); err == nil {
+		t.Error("negative -snapshot-interval with -data-dir should be a usage error")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pubsubcd/internal/journal"
 	"pubsubcd/internal/match"
 	"pubsubcd/internal/telemetry"
 )
@@ -76,6 +77,19 @@ type Broker struct {
 	// Atomic so telemetry can be attached while traffic is flowing.
 	tel atomic.Pointer[brokerTelemetry]
 
+	// jnl is the write-ahead journal; nil for an in-memory broker.
+	// See durability.go. jmu serializes registry changes against
+	// checkpoints: a record appended between Dump and the journal
+	// truncation would be lost, so both paths hold jmu (lock order is
+	// always jmu before the journal's internal mutex).
+	jnl          *journal.Journal
+	jmu          sync.Mutex
+	snapStop     chan struct{}
+	snapDone     chan struct{}
+	snapStopOnce sync.Once
+	closeOnce    sync.Once
+	closeErr     error
+
 	mu        sync.RWMutex
 	store     map[string]Content
 	notifiers map[int64]Notifier
@@ -98,10 +112,23 @@ func (b *Broker) Subscribe(sub match.Subscription, n Notifier) (int64, error) {
 	if n == nil {
 		return 0, errors.New("broker: nil notifier")
 	}
+	b.jmu.Lock()
 	id, err := b.engine.Subscribe(sub)
 	if err != nil {
+		b.jmu.Unlock()
 		return 0, err
 	}
+	if b.jnl != nil {
+		stored := sub
+		stored.ID = id
+		if jerr := b.journalSubscribe(stored); jerr != nil {
+			// Unwind so the accepted-but-not-durable window stays empty.
+			_ = b.engine.Unsubscribe(id)
+			b.jmu.Unlock()
+			return 0, fmt.Errorf("broker: journal subscribe: %w", jerr)
+		}
+	}
+	b.jmu.Unlock()
 	b.mu.Lock()
 	b.notifiers[id] = n
 	b.mu.Unlock()
@@ -114,12 +141,23 @@ func (b *Broker) Subscribe(sub match.Subscription, n Notifier) (int64, error) {
 
 // Unsubscribe removes a subscription.
 func (b *Broker) Unsubscribe(id int64) error {
+	b.jmu.Lock()
 	if err := b.engine.Unsubscribe(id); err != nil {
+		b.jmu.Unlock()
 		return err
 	}
+	var jerr error
+	if b.jnl != nil {
+		jerr = b.journalUnsubscribe(id)
+	}
+	b.jmu.Unlock()
 	b.mu.Lock()
 	delete(b.notifiers, id)
 	b.mu.Unlock()
+	if jerr != nil {
+		// The engine change stands; report that durability is behind.
+		return fmt.Errorf("broker: journal unsubscribe: %w", jerr)
+	}
 	if bt := b.telemetryHandles(); bt != nil {
 		bt.unsubscribes.Inc()
 		bt.liveSubs.Set(int64(b.engine.Len()))

@@ -2,8 +2,11 @@ package broker
 
 import (
 	"errors"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"pubsubcd/internal/core"
 	"pubsubcd/internal/match"
@@ -278,4 +281,89 @@ func TestBrokerConcurrentPublishSubscribe(t *testing.T) {
 
 func pageName(i int) string {
 	return "page-" + string(rune('a'+i%26)) + "-" + string(rune('0'+(i/26)%10)) + "-" + string(rune('0'+(i/260)%10)) + "-" + string(rune('0'+(i/2600)%10))
+}
+
+// TestBrokerUnsubscribeRacesPublishFanout hammers Unsubscribe against
+// concurrent Publish fan-out: a subscription may be removed while a
+// publish that matched it is still notifying. The broker must never
+// panic or deliver to a freed notifier slot, and every notification a
+// subscription receives must carry its own ID. Run under -race.
+func TestBrokerUnsubscribeRacesPublishFanout(t *testing.T) {
+	b := New()
+	topic := []string{"hot"}
+	var wg sync.WaitGroup
+
+	stopPub := make(chan struct{})
+	for g := 0; g < 2; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stopPub:
+					return
+				default:
+				}
+				_, err := b.Publish(Content{
+					ID: fmt.Sprintf("pub%d-%d", g, i), Version: 1, Topics: topic, Body: []byte("x"),
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				var gotWrongID atomic.Bool
+				var myID atomic.Int64
+				id, err := b.Subscribe(match.Subscription{Topics: topic},
+					NotifierFunc(func(n Notification) {
+						if want := myID.Load(); want != 0 && n.SubscriptionID != want {
+							gotWrongID.Store(true)
+						}
+					}))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				myID.Store(id)
+				if err := b.Unsubscribe(id); err != nil {
+					t.Error(err)
+					return
+				}
+				if gotWrongID.Load() {
+					t.Error("notification delivered with a foreign subscription ID")
+					return
+				}
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	// Subscribers finish first; then stop the publishers.
+	deadline := time.After(30 * time.Second)
+	for b.Subscriptions() != 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("subscriptions never drained: %d", b.Subscriptions())
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(stopPub)
+	<-done
+	if b.Subscriptions() != 0 {
+		t.Errorf("Subscriptions = %d, want 0 after every unsubscribe", b.Subscriptions())
+	}
 }

@@ -1,0 +1,548 @@
+package broker
+
+// Durable broker state. With a data directory configured, the broker
+// write-ahead-journals every subscribe/unsubscribe and periodically
+// snapshots the subscription registry, so a restarted broker recovers
+// its matching state with the same subscription IDs it had before the
+// crash. Proxies journal cache admissions and evictions (metadata
+// only — page bodies are refetched lazily on first use), so a warm
+// restart restores the placement the strategy earned instead of
+// cold-starting every cache.
+//
+// Recovery replay is idempotent: a record may be reflected in both
+// the snapshot and the log (a crash can interleave with
+// snapshotting), so "already applied" outcomes are skipped, never
+// errors.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"pubsubcd/internal/core"
+	"pubsubcd/internal/journal"
+	"pubsubcd/internal/match"
+	"pubsubcd/internal/telemetry"
+)
+
+// DefaultSnapshotInterval is how often durable state is snapshotted
+// (and the journal truncated) when not configured explicitly.
+const DefaultSnapshotInterval = time.Minute
+
+// brokerConfig collects option state for Open.
+type brokerConfig struct {
+	dataDir          string
+	fsync            journal.FsyncPolicy
+	snapshotInterval time.Duration
+	fs               journal.FS
+	telemetry        *telemetry.Registry
+	tracer           *telemetry.Tracer
+}
+
+// BrokerOption configures Open.
+type BrokerOption func(*brokerConfig)
+
+// WithDataDir makes the broker durable: subscription changes are
+// journaled under dir and replayed on the next Open, so restarts keep
+// the registry and its subscription IDs.
+func WithDataDir(dir string) BrokerOption {
+	return func(c *brokerConfig) { c.dataDir = dir }
+}
+
+// WithFsyncPolicy selects when journal appends reach stable storage:
+// journal.FsyncAlways (group-committed, zero loss), FsyncInterval
+// (bounded loss) or FsyncNone (OS decides). Ignored without a data
+// dir.
+func WithFsyncPolicy(p journal.FsyncPolicy) BrokerOption {
+	return func(c *brokerConfig) { c.fsync = p }
+}
+
+// WithSnapshotInterval sets how often the registry is snapshotted and
+// the journal truncated. 0 means DefaultSnapshotInterval; negative
+// disables periodic snapshots (one is still written on Close).
+func WithSnapshotInterval(d time.Duration) BrokerOption {
+	return func(c *brokerConfig) { c.snapshotInterval = d }
+}
+
+// WithJournalFS overrides the journal's filesystem — the disk-fault
+// harness (faultnet.Disk) uses this to inject torn writes, short
+// writes and fsync errors.
+func WithJournalFS(fs journal.FS) BrokerOption {
+	return func(c *brokerConfig) { c.fs = fs }
+}
+
+// WithBrokerTelemetry attaches the metrics registry and optional
+// event tracer before recovery runs, so journal counters
+// (journal.appends, journal.fsyncs, journal.replay_truncations, ...)
+// and the journal.recovery_ns histogram cover the restart itself.
+func WithBrokerTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) BrokerOption {
+	return func(c *brokerConfig) {
+		c.telemetry = reg
+		c.tracer = tracer
+	}
+}
+
+// brokerRecord is one journaled registry change.
+type brokerRecord struct {
+	Op         string   `json:"op"` // "sub" | "unsub"
+	ID         int64    `json:"id"`
+	Proxy      int      `json:"proxy,omitempty"`
+	Subscriber string   `json:"subscriber,omitempty"`
+	Topics     []string `json:"topics,omitempty"`
+	Keywords   []string `json:"keywords,omitempty"`
+}
+
+// brokerSnapshot is the full registry state.
+type brokerSnapshot struct {
+	NextID int64                `json:"nextId"`
+	Subs   []match.Subscription `json:"subscriptions"`
+}
+
+// Open returns a broker, durable when WithDataDir is set: existing
+// state is recovered from the journal directory (tolerating a torn
+// final record; rejecting mid-log corruption with an error matching
+// journal.ErrCorrupt) before the broker accepts traffic. Recovered
+// subscriptions keep their IDs but have no notifiers — matching and
+// proxy pushes work immediately; live clients re-subscribe.
+func Open(opts ...BrokerOption) (*Broker, error) {
+	var cfg brokerConfig
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	b := New()
+	if cfg.telemetry != nil || cfg.tracer != nil {
+		b.EnableTelemetry(cfg.telemetry, cfg.tracer)
+	}
+	if cfg.dataDir == "" {
+		return b, nil
+	}
+	start := time.Now()
+	j, err := journal.Open(filepath.Join(cfg.dataDir, "broker"), journal.Options{
+		Fsync:        cfg.fsync,
+		FS:           cfg.fs,
+		Telemetry:    cfg.telemetry,
+		MetricPrefix: "journal",
+	})
+	if err != nil {
+		return nil, fmt.Errorf("broker: open journal: %w", err)
+	}
+	if blob, ok := j.Snapshot(); ok {
+		var snap brokerSnapshot
+		if err := json.Unmarshal(blob, &snap); err != nil {
+			j.Close()
+			return nil, fmt.Errorf("broker: decode snapshot: %w", err)
+		}
+		for _, sub := range snap.Subs {
+			if err := b.engine.Restore(sub); err != nil {
+				j.Close()
+				return nil, fmt.Errorf("broker: restore subscription %d: %w", sub.ID, err)
+			}
+		}
+		b.engine.AdvanceNextID(snap.NextID)
+	}
+	if err := j.Replay(b.applyRecord); err != nil {
+		j.Close()
+		return nil, fmt.Errorf("broker: replay journal: %w", err)
+	}
+	b.jnl = j
+	if bt := b.telemetryHandles(); bt != nil {
+		bt.liveSubs.Set(int64(b.engine.Len()))
+	}
+	cfg.telemetry.Histogram("journal.recovery_ns", telemetry.LatencyBuckets()).
+		Observe(time.Since(start).Nanoseconds())
+	if cfg.snapshotInterval >= 0 {
+		interval := cfg.snapshotInterval
+		if interval == 0 {
+			interval = DefaultSnapshotInterval
+		}
+		b.snapStop = make(chan struct{})
+		b.snapDone = make(chan struct{})
+		go b.snapshotLoop(interval, b.snapStop, b.snapDone)
+	}
+	return b, nil
+}
+
+// applyRecord replays one journal record into the engine.
+func (b *Broker) applyRecord(rec []byte) error {
+	var r brokerRecord
+	if err := json.Unmarshal(rec, &r); err != nil {
+		return fmt.Errorf("broker: decode journal record: %w", err)
+	}
+	switch r.Op {
+	case "sub":
+		err := b.engine.Restore(match.Subscription{
+			ID:         r.ID,
+			Proxy:      r.Proxy,
+			Subscriber: r.Subscriber,
+			Topics:     r.Topics,
+			Keywords:   r.Keywords,
+		})
+		if err != nil && !errors.Is(err, match.ErrDuplicateID) {
+			return fmt.Errorf("broker: replay subscribe %d: %w", r.ID, err)
+		}
+	case "unsub":
+		if err := b.engine.Unsubscribe(r.ID); err != nil && !errors.Is(err, match.ErrNotFound) {
+			return fmt.Errorf("broker: replay unsubscribe %d: %w", r.ID, err)
+		}
+	default:
+		return fmt.Errorf("broker: unknown journal op %q", r.Op)
+	}
+	return nil
+}
+
+// journalSubscribe appends the subscribe record; called after the
+// engine applied it (apply-before-append keeps snapshots a superset
+// of the log).
+func (b *Broker) journalSubscribe(sub match.Subscription) error {
+	blob, err := json.Marshal(brokerRecord{
+		Op:         "sub",
+		ID:         sub.ID,
+		Proxy:      sub.Proxy,
+		Subscriber: sub.Subscriber,
+		Topics:     sub.Topics,
+		Keywords:   sub.Keywords,
+	})
+	if err != nil {
+		return err
+	}
+	return b.jnl.Append(blob)
+}
+
+// journalUnsubscribe appends the unsubscribe record.
+func (b *Broker) journalUnsubscribe(id int64) error {
+	blob, err := json.Marshal(brokerRecord{Op: "unsub", ID: id})
+	if err != nil {
+		return err
+	}
+	return b.jnl.Append(blob)
+}
+
+// durable reports whether the broker has a journal attached.
+func (b *Broker) durable() bool { return b.jnl != nil }
+
+// Checkpoint snapshots the subscription registry and truncates the
+// journal. No-op on a non-durable broker. Holding jmu across
+// Dump+WriteSnapshot guarantees no record lands in the log between
+// the dump and the truncation.
+func (b *Broker) Checkpoint() error {
+	if b.jnl == nil {
+		return nil
+	}
+	b.jmu.Lock()
+	defer b.jmu.Unlock()
+	subs, nextID := b.engine.Dump()
+	blob, err := json.Marshal(brokerSnapshot{NextID: nextID, Subs: subs})
+	if err != nil {
+		return err
+	}
+	return b.jnl.WriteSnapshot(blob)
+}
+
+// snapshotLoop checkpoints periodically until stopped.
+func (b *Broker) snapshotLoop(interval time.Duration, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			_ = b.Checkpoint()
+		}
+	}
+}
+
+// stopSnapshotLoop stops the periodic checkpointer, once.
+func (b *Broker) stopSnapshotLoop() {
+	if b.snapStop == nil {
+		return
+	}
+	b.snapStopOnce.Do(func() {
+		close(b.snapStop)
+		<-b.snapDone
+	})
+}
+
+// Close flushes durable state: a final registry checkpoint, then the
+// journal is synced and closed. Safe to call on a non-durable broker
+// (no-op) and idempotent.
+func (b *Broker) Close() error {
+	if b.jnl == nil {
+		return nil
+	}
+	b.closeOnce.Do(func() {
+		b.stopSnapshotLoop()
+		err := b.Checkpoint()
+		if cerr := b.jnl.Close(); err == nil {
+			err = cerr
+		}
+		b.closeErr = err
+	})
+	return b.closeErr
+}
+
+// crash simulates a process kill for the chaos suite: no final
+// snapshot, no flush — the journal drops its file handles mid-air.
+func (b *Broker) crash() {
+	if b.jnl == nil {
+		return
+	}
+	b.stopSnapshotLoop()
+	b.jnl.Crash()
+}
+
+// --- Proxy durability -------------------------------------------------
+//
+// A durable proxy journals cache admissions and evictions — metadata
+// only. On restart the resident set is replayed into the placement
+// strategy so GD*/SUB/DC-* keep the placement they earned; the page
+// body itself is refetched lazily the first time a user asks for it
+// (ProxyStats.WarmRefills counts those).
+
+// WithProxyDataDir makes the proxy durable: cache admissions and
+// evictions are journaled under dir and the resident set is restored
+// on the next NewProxy with the same id and dir.
+func WithProxyDataDir(dir string) ProxyOption {
+	return func(c *proxyConfig) { c.dataDir = dir }
+}
+
+// WithProxyFsyncPolicy selects the proxy journal's fsync policy.
+// Cache metadata is reconstructible (worst case: a cold cache), so
+// journal.FsyncNone or FsyncInterval is usually the right trade.
+func WithProxyFsyncPolicy(p journal.FsyncPolicy) ProxyOption {
+	return func(c *proxyConfig) { c.fsync = p }
+}
+
+// WithProxySnapshotInterval sets how often the resident set is
+// snapshotted and the journal truncated. 0 means
+// DefaultSnapshotInterval; negative disables periodic snapshots (one
+// is still written on Close).
+func WithProxySnapshotInterval(d time.Duration) ProxyOption {
+	return func(c *proxyConfig) { c.snapshotInterval = d }
+}
+
+// WithProxyJournalFS overrides the proxy journal's filesystem for
+// fault injection.
+func WithProxyJournalFS(fs journal.FS) ProxyOption {
+	return func(c *proxyConfig) { c.fs = fs }
+}
+
+// proxyRecord is one journaled cache change; "admit" records double
+// as snapshot entries.
+type proxyRecord struct {
+	Op      string `json:"op"` // "admit" | "evict"
+	Page    string `json:"page"`
+	Version int    `json:"version,omitempty"`
+	Size    int64  `json:"size,omitempty"`
+	Subs    int    `json:"subs,omitempty"`
+}
+
+// proxySnapshot is the resident set in admission order.
+type proxySnapshot struct {
+	Pages []proxyRecord `json:"pages"`
+}
+
+// openProxyJournal opens the proxy's journal and replays the resident
+// set into the strategy. Called from NewProxy before the proxy is
+// attached; p.jnl stays nil until replay finishes, so the replay's own
+// strategy.Push calls don't re-journal.
+func (p *Proxy) openProxyJournal(cfg *proxyConfig) error {
+	start := time.Now()
+	j, err := journal.Open(filepath.Join(cfg.dataDir, fmt.Sprintf("proxy%d", p.id)), journal.Options{
+		Fsync:        cfg.fsync,
+		FS:           cfg.fs,
+		Telemetry:    cfg.telemetry,
+		MetricPrefix: fmt.Sprintf("proxy%d.journal", p.id),
+	})
+	if err != nil {
+		return fmt.Errorf("broker: open proxy %d journal: %w", p.id, err)
+	}
+
+	// Rebuild the resident set: snapshot entries first, then the log.
+	// Order matters — the strategy re-earns the placement in the order
+	// admissions originally happened.
+	resident := make(map[string]proxyRecord)
+	var order []string
+	admit := func(r proxyRecord) {
+		if _, ok := resident[r.Page]; !ok {
+			order = append(order, r.Page)
+		}
+		resident[r.Page] = r
+	}
+	evict := func(page string) { delete(resident, page) }
+
+	if blob, ok := j.Snapshot(); ok {
+		var snap proxySnapshot
+		if err := json.Unmarshal(blob, &snap); err != nil {
+			j.Close()
+			return fmt.Errorf("broker: decode proxy %d snapshot: %w", p.id, err)
+		}
+		for _, r := range snap.Pages {
+			admit(r)
+		}
+	}
+	if err := j.Replay(func(rec []byte) error {
+		var r proxyRecord
+		if err := json.Unmarshal(rec, &r); err != nil {
+			return fmt.Errorf("broker: decode proxy %d journal record: %w", p.id, err)
+		}
+		switch r.Op {
+		case "admit":
+			admit(r)
+		case "evict":
+			evict(r.Page)
+		default:
+			return fmt.Errorf("broker: unknown proxy journal op %q", r.Op)
+		}
+		return nil
+	}); err != nil {
+		j.Close()
+		return fmt.Errorf("broker: replay proxy %d journal: %w", p.id, err)
+	}
+
+	for _, page := range order {
+		r, ok := resident[page]
+		if !ok {
+			continue // admitted then evicted
+		}
+		meta := core.PageMeta{ID: p.numericID(page), Size: r.Size, Cost: p.cost}
+		if stored := p.strategy.Push(meta, r.Version, r.Subs); stored {
+			p.warm[page] = r.Size
+			p.versions[page] = r.Version
+			p.subs[page] = r.Subs
+			p.observeVersion(page, r.Version)
+			p.stats.WarmRestored++
+		}
+	}
+
+	p.jnl = j
+	cfg.telemetry.Histogram(fmt.Sprintf("proxy%d.journal.recovery_ns", p.id), telemetry.LatencyBuckets()).
+		Observe(time.Since(start).Nanoseconds())
+	if cfg.snapshotInterval >= 0 {
+		interval := cfg.snapshotInterval
+		if interval == 0 {
+			interval = DefaultSnapshotInterval
+		}
+		p.snapStop = make(chan struct{})
+		p.snapDone = make(chan struct{})
+		go p.snapshotLoop(interval, p.snapStop, p.snapDone)
+	}
+	return nil
+}
+
+// journalAdmit records a cache admission. Caller holds p.mu; a sticky
+// journal failure degrades to counting, never fails the serve path.
+func (p *Proxy) journalAdmit(page string, version int, size int64, subs int) {
+	if p.jnl == nil {
+		return
+	}
+	blob, err := json.Marshal(proxyRecord{Op: "admit", Page: page, Version: version, Size: size, Subs: subs})
+	if err == nil {
+		err = p.jnl.Append(blob)
+	}
+	if err != nil {
+		p.stats.JournalErrors++
+	}
+}
+
+// journalEvict records a cache eviction. Caller holds p.mu.
+func (p *Proxy) journalEvict(page string) {
+	if p.jnl == nil {
+		return
+	}
+	blob, err := json.Marshal(proxyRecord{Op: "evict", Page: page})
+	if err == nil {
+		err = p.jnl.Append(blob)
+	}
+	if err != nil {
+		p.stats.JournalErrors++
+	}
+}
+
+// residentLocked lists the resident set (stored bodies plus warm
+// placements) for a snapshot. Caller holds p.mu.
+func (p *Proxy) residentLocked() []proxyRecord {
+	pages := make([]string, 0, len(p.bodies)+len(p.warm))
+	for page := range p.bodies {
+		pages = append(pages, page)
+	}
+	for page := range p.warm {
+		pages = append(pages, page)
+	}
+	sort.Strings(pages)
+	out := make([]proxyRecord, 0, len(pages))
+	for _, page := range pages {
+		size, warm := p.warm[page]
+		if !warm {
+			size = bodySize(p.bodies[page])
+		}
+		out = append(out, proxyRecord{
+			Op:      "admit",
+			Page:    page,
+			Version: p.versions[page],
+			Size:    size,
+			Subs:    p.subs[page],
+		})
+	}
+	return out
+}
+
+// Checkpoint snapshots the proxy's resident set and truncates its
+// journal. No-op on a non-durable proxy. p.mu is held across
+// WriteSnapshot so no admission can slip between the dump and the
+// truncation (lock order: p.mu before the journal's mutex, matching
+// the append paths).
+func (p *Proxy) Checkpoint() error {
+	if p.jnl == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	blob, err := json.Marshal(proxySnapshot{Pages: p.residentLocked()})
+	if err != nil {
+		return err
+	}
+	return p.jnl.WriteSnapshot(blob)
+}
+
+// snapshotLoop checkpoints periodically until stopped.
+func (p *Proxy) snapshotLoop(interval time.Duration, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			_ = p.Checkpoint()
+		}
+	}
+}
+
+// stopSnapshotLoop stops the periodic checkpointer, once.
+func (p *Proxy) stopSnapshotLoop() {
+	if p.snapStop == nil {
+		return
+	}
+	p.snapStopOnce.Do(func() {
+		close(p.snapStop)
+		<-p.snapDone
+	})
+}
+
+// crash simulates a process kill of the proxy for the chaos suite.
+func (p *Proxy) crash() {
+	p.broker.DetachProxy(p.id)
+	if p.jnl == nil {
+		return
+	}
+	p.stopSnapshotLoop()
+	p.jnl.Crash()
+}

@@ -1,0 +1,168 @@
+package faultnet
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"sync"
+
+	"pubsubcd/internal/journal"
+)
+
+// ErrDiskFault is the error surfaced by injected fsync and write
+// failures.
+var ErrDiskFault = errors.New("faultnet: injected disk fault")
+
+// Disk is a fault-injecting journal.FS: it passes through to the real
+// filesystem but can tear writes (persist only a prefix of the bytes,
+// as a crash mid-write would), short-write probabilistically, and fail
+// fsyncs. Like Network, all controls may be flipped while the journal
+// is live, and the probabilistic schedule is seeded for reproducible
+// chaos runs.
+type Disk struct {
+	mu             sync.Mutex
+	rng            *rand.Rand
+	tearRemaining  int // writes left before tearing kicks in; -1 = off
+	tearKeep       int // bytes of the torn write to keep
+	failSyncsLeft  int
+	syncErr        error
+	shortWriteRate float64
+}
+
+// NewDisk returns a disk whose probabilistic faults are driven by
+// seed.
+func NewDisk(seed int64) *Disk {
+	return &Disk{
+		rng:           rand.New(rand.NewSource(seed)),
+		tearRemaining: -1,
+	}
+}
+
+var _ journal.FS = (*Disk)(nil)
+
+// TearWriteAfter arms a one-shot torn write: the n-th write from now
+// (1 = the next one) persists only keep bytes of its buffer and then
+// reports ErrDiskFault, simulating a crash that caught the write
+// mid-flight. n <= 0 disarms.
+func (d *Disk) TearWriteAfter(n, keep int) {
+	d.mu.Lock()
+	if n <= 0 {
+		d.tearRemaining = -1
+	} else {
+		d.tearRemaining = n
+		d.tearKeep = keep
+	}
+	d.mu.Unlock()
+}
+
+// FailSyncs makes the next n fsyncs fail with err (ErrDiskFault when
+// err is nil). The journal treats a failed fsync as fatal, so one is
+// usually enough.
+func (d *Disk) FailSyncs(n int, err error) {
+	d.mu.Lock()
+	d.failSyncsLeft = n
+	if err == nil {
+		err = ErrDiskFault
+	}
+	d.syncErr = err
+	d.mu.Unlock()
+}
+
+// SetShortWriteRate makes each write persist a random prefix (and
+// report the short count, as a full disk or signal-interrupted write
+// would) with probability p, drawn from the seeded schedule.
+func (d *Disk) SetShortWriteRate(p float64) {
+	d.mu.Lock()
+	d.shortWriteRate = p
+	d.mu.Unlock()
+}
+
+// writeFault samples the schedule for one write of len n: how many
+// bytes to persist and whether to report an injected error.
+func (d *Disk) writeFault(n int) (keep int, tear bool, short bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.tearRemaining > 0 {
+		d.tearRemaining--
+		if d.tearRemaining == 0 {
+			d.tearRemaining = -1
+			keep = d.tearKeep
+			if keep > n {
+				keep = n
+			}
+			return keep, true, false
+		}
+	}
+	if d.shortWriteRate > 0 && d.rng.Float64() < d.shortWriteRate {
+		return d.rng.Intn(n + 1), false, true
+	}
+	return n, false, false
+}
+
+// syncFault samples the schedule for one fsync.
+func (d *Disk) syncFault() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failSyncsLeft > 0 {
+		d.failSyncsLeft--
+		return d.syncErr
+	}
+	return nil
+}
+
+// OpenFile implements journal.FS.
+func (d *Disk) OpenFile(name string, flag int, perm os.FileMode) (journal.File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &diskFile{f: f, disk: d}, nil
+}
+
+// Rename implements journal.FS.
+func (d *Disk) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements journal.FS.
+func (d *Disk) Remove(name string) error { return os.Remove(name) }
+
+// MkdirAll implements journal.FS.
+func (d *Disk) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// SyncDir implements journal.FS, subject to injected fsync failures.
+func (d *Disk) SyncDir(path string) error {
+	if err := d.syncFault(); err != nil {
+		return err
+	}
+	return journal.OSFS.SyncDir(path)
+}
+
+// diskFile interposes the fault schedule on one open file.
+type diskFile struct {
+	f    *os.File
+	disk *Disk
+}
+
+func (df *diskFile) Read(p []byte) (int, error) { return df.f.Read(p) }
+
+func (df *diskFile) Write(p []byte) (int, error) {
+	keep, tear, short := df.disk.writeFault(len(p))
+	if !tear && !short {
+		return df.f.Write(p)
+	}
+	n, err := df.f.Write(p[:keep])
+	if err != nil {
+		return n, err
+	}
+	return n, ErrDiskFault
+}
+
+func (df *diskFile) Sync() error {
+	if err := df.disk.syncFault(); err != nil {
+		return err
+	}
+	return df.f.Sync()
+}
+
+func (df *diskFile) Truncate(size int64) error { return df.f.Truncate(size) }
+
+func (df *diskFile) Close() error { return df.f.Close() }

@@ -1,0 +1,80 @@
+package faultnet
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTestFile(t *testing.T, d *Disk) *diskFile {
+	t.Helper()
+	f, err := d.OpenFile(filepath.Join(t.TempDir(), "f"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = f.Close() })
+	return f.(*diskFile)
+}
+
+func TestDiskPassthrough(t *testing.T) {
+	f := openTestFile(t, NewDisk(1))
+	n, err := f.Write([]byte("hello"))
+	if err != nil || n != 5 {
+		t.Fatalf("clean write: n=%d err=%v", n, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("clean sync: %v", err)
+	}
+}
+
+func TestDiskTearWrite(t *testing.T) {
+	d := NewDisk(1)
+	f := openTestFile(t, d)
+	d.TearWriteAfter(2, 3)
+	if _, err := f.Write([]byte("first")); err != nil {
+		t.Fatalf("write before the armed tear: %v", err)
+	}
+	n, err := f.Write([]byte("second"))
+	if !errors.Is(err, ErrDiskFault) {
+		t.Fatalf("torn write error = %v, want ErrDiskFault", err)
+	}
+	if n != 3 {
+		t.Fatalf("torn write persisted %d bytes, want 3", n)
+	}
+	// One-shot: the next write is clean again.
+	if _, err := f.Write([]byte("third")); err != nil {
+		t.Fatalf("write after the tear fired: %v", err)
+	}
+}
+
+func TestDiskFailSyncs(t *testing.T) {
+	d := NewDisk(1)
+	f := openTestFile(t, d)
+	boom := errors.New("boom")
+	d.FailSyncs(1, boom)
+	if err := f.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("failed sync error = %v, want boom", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after budget spent: %v", err)
+	}
+}
+
+func TestDiskShortWrites(t *testing.T) {
+	d := NewDisk(42)
+	f := openTestFile(t, d)
+	d.SetShortWriteRate(1)
+	sawShort := false
+	for i := 0; i < 20 && !sawShort; i++ {
+		n, err := f.Write([]byte("0123456789"))
+		if errors.Is(err, ErrDiskFault) && n < 10 {
+			sawShort = true
+		} else if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if !sawShort {
+		t.Fatal("rate=1 never produced a short write")
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"time"
 
 	"pubsubcd/internal/core"
+	"pubsubcd/internal/journal"
 	"pubsubcd/internal/telemetry"
 )
 
@@ -36,12 +38,24 @@ type Proxy struct {
 	origin  Fetcher // fallback when the primary path fails; may be nil
 	metrics *proxyMetrics
 
+	// jnl is the cache-metadata journal; nil for a non-durable proxy.
+	// See durability.go.
+	jnl          *journal.Journal
+	snapStop     chan struct{}
+	snapDone     chan struct{}
+	snapStopOnce sync.Once
+	closeOnce    sync.Once
+	closeErr     error
+
 	mu       sync.Mutex
 	strategy core.Strategy
 	bodies   map[string][]byte
 	versions map[string]int
 	latest   map[string]int
 	subs     map[string]int
+	// warm holds pages whose placement was restored from the journal
+	// but whose body has not been refetched yet (page → journaled size).
+	warm map[string]int64
 
 	stats ProxyStats
 }
@@ -61,6 +75,14 @@ type ProxyStats struct {
 	// OriginFallbacks counts requests served through the fallback
 	// origin fetcher.
 	OriginFallbacks int64
+	// WarmRestored counts placements recovered from the journal at
+	// startup.
+	WarmRestored int64
+	// WarmRefills counts lazy body refetches for recovered placements.
+	WarmRefills int64
+	// JournalErrors counts cache-metadata journal appends that failed;
+	// the proxy keeps serving, durability degrades.
+	JournalErrors int64
 }
 
 // proxyMetrics are the proxy's degradation counters; nil when off.
@@ -75,6 +97,12 @@ type proxyConfig struct {
 	fetcher   Fetcher
 	origin    Fetcher
 	telemetry *telemetry.Registry
+
+	// Durability knobs; see durability.go.
+	dataDir          string
+	fsync            journal.FsyncPolicy
+	snapshotInterval time.Duration
+	fs               journal.FS
 }
 
 // ProxyOption configures a Proxy.
@@ -130,6 +158,7 @@ func NewProxy(id int, b *Broker, strategy core.Strategy, cost float64, opts ...P
 		versions: make(map[string]int),
 		latest:   make(map[string]int),
 		subs:     make(map[string]int),
+		warm:     make(map[string]int64),
 	}
 	if p.fetcher == nil {
 		p.fetcher = b
@@ -141,7 +170,16 @@ func NewProxy(id int, b *Broker, strategy core.Strategy, cost float64, opts ...P
 			originFallbacks: reg.Counter(fmt.Sprintf("proxy%d.origin_fallbacks", id)),
 		}
 	}
+	if cfg.dataDir != "" {
+		if err := p.openProxyJournal(&cfg); err != nil {
+			return nil, err
+		}
+	}
 	if err := b.AttachProxy(id, p); err != nil {
+		if p.jnl != nil {
+			p.stopSnapshotLoop()
+			_ = p.jnl.Close()
+		}
 		return nil, err
 	}
 	return p, nil
@@ -166,9 +204,23 @@ func (p *Proxy) Push(c Content, matched int) {
 		p.stats.PushesStored++
 		p.bodies[c.ID] = c.Body
 		p.versions[c.ID] = c.Version
+		delete(p.warm, c.ID) // the push body supersedes a pending refill
+		p.journalAdmit(c.ID, c.Version, bodySize(c.Body), p.subs[c.ID])
 	} else {
-		delete(p.bodies, c.ID)
-		delete(p.versions, c.ID)
+		p.evictLocked(c.ID)
+	}
+}
+
+// evictLocked drops a page from the cache, journaling the eviction
+// only when the page was actually resident. Caller holds p.mu.
+func (p *Proxy) evictLocked(pageID string) {
+	_, hadBody := p.bodies[pageID]
+	_, wasWarm := p.warm[pageID]
+	delete(p.bodies, pageID)
+	delete(p.versions, pageID)
+	delete(p.warm, pageID)
+	if hadBody || wasWarm {
+		p.journalEvict(pageID)
 	}
 }
 
@@ -236,11 +288,15 @@ func (p *Proxy) Request(pageID string) ([]byte, error) {
 		if stored {
 			p.bodies[pageID] = current.Body
 			p.versions[pageID] = current.Version
+			p.journalAdmit(pageID, current.Version, bodySize(current.Body), p.subs[pageID])
 		} else {
-			delete(p.bodies, pageID)
-			delete(p.versions, pageID)
+			p.evictLocked(pageID)
 		}
 		return current.Body, nil
+	}
+
+	if _, warm := p.warm[pageID]; warm {
+		return p.refillWarm(pageID)
 	}
 
 	current, degraded, err := p.fetch(pageID, nil, false)
@@ -257,6 +313,37 @@ func (p *Proxy) Request(pageID string) ([]byte, error) {
 	if stored {
 		p.bodies[pageID] = current.Body
 		p.versions[pageID] = current.Version
+		p.journalAdmit(pageID, current.Version, bodySize(current.Body), p.subs[pageID])
+	}
+	return current.Body, nil
+}
+
+// refillWarm serves a request for a page whose placement survived a
+// restart but whose body is still pending: fetch the current content,
+// and when the strategy keeps the page, fill the cache. A failed
+// fetch leaves the warm placement intact — a transient outage should
+// not cost a recovered slot. Caller holds p.mu.
+func (p *Proxy) refillWarm(pageID string) ([]byte, error) {
+	size := p.warm[pageID]
+	meta := core.PageMeta{ID: p.numericID(pageID), Size: size, Cost: p.cost}
+	_, stored := p.strategy.Request(meta, p.latest[pageID], p.subs[pageID])
+	current, degraded, err := p.fetch(pageID, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	if degraded {
+		return current.Body, nil
+	}
+	p.observeVersion(pageID, current.Version)
+	p.stats.Fetches++
+	p.stats.WarmRefills++
+	if stored {
+		p.bodies[pageID] = current.Body
+		p.versions[pageID] = current.Version
+		delete(p.warm, pageID)
+		p.journalAdmit(pageID, current.Version, bodySize(current.Body), p.subs[pageID])
+	} else {
+		p.evictLocked(pageID)
 	}
 	return current.Body, nil
 }
@@ -284,9 +371,22 @@ func (p *Proxy) HitRatio() float64 {
 	return float64(p.stats.Hits) / float64(p.stats.Requests)
 }
 
-// Close detaches the proxy from the broker.
-func (p *Proxy) Close() {
+// Close detaches the proxy from the broker and, when durable, writes
+// a final checkpoint and closes the journal. Idempotent.
+func (p *Proxy) Close() error {
 	p.broker.DetachProxy(p.id)
+	if p.jnl == nil {
+		return nil
+	}
+	p.closeOnce.Do(func() {
+		p.stopSnapshotLoop()
+		err := p.Checkpoint()
+		if cerr := p.jnl.Close(); err == nil {
+			err = cerr
+		}
+		p.closeErr = err
+	})
+	return p.closeErr
 }
 
 // numericID maps a string page ID to the integer ID space the strategy

@@ -2,6 +2,7 @@ package broker
 
 import (
 	"bufio"
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"errors"
@@ -42,6 +43,18 @@ type wireMessage struct {
 	SubID   int64  `json:"subId,omitempty"`
 	// Notification payload.
 	Notification *Notification `json:"notification,omitempty"`
+}
+
+// decodeWireMessage parses one request line off the wire. It is the
+// single entry point for untrusted bytes (and the FuzzDecodeFrame
+// target): any []byte must either yield a message or an error — never
+// a panic.
+func decodeWireMessage(line []byte) (wireMessage, error) {
+	var m wireMessage
+	if err := json.Unmarshal(line, &m); err != nil {
+		return wireMessage{}, err
+	}
+	return m, nil
 }
 
 const (
@@ -200,6 +213,61 @@ func (s *Server) Close() error {
 	return err
 }
 
+// Shutdown stops the server gracefully: the listener closes, every
+// connection finishes the request it is handling (in-flight publishes
+// drain and get their response), and handler goroutines exit.
+// Connection-held subscriptions are NOT unsubscribed — on a durable
+// broker they must survive into the next incarnation. If ctx expires
+// before the drain completes, the remaining connections are closed
+// forcefully and ctx's error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	alreadyClosed := s.closed
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if !alreadyClosed {
+		err = s.ln.Close()
+	}
+	// An immediate read deadline unblocks each handler's scanner; the
+	// in-flight request still completes because the deadline only
+	// interrupts the next read.
+	for _, c := range conns {
+		_ = c.SetReadDeadline(time.Now())
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return err
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			_ = c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		if err == nil {
+			err = ctx.Err()
+		}
+		return err
+	}
+}
+
+// draining reports whether the server has begun shutting down.
+func (s *Server) draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	for {
@@ -299,6 +367,14 @@ func (s *Server) handle(conn net.Conn) {
 	cw := newConnWriter(conn, s.writeTimeout, bytesOut, writeTimeouts)
 	var subIDs []int64
 	defer func() {
+		// A client that left gets its subscriptions cleaned up. A server
+		// that is shutting down over a durable broker keeps them: they
+		// outlive this process and are recovered on the next Open. On an
+		// in-memory broker there is no next incarnation, so shutdown
+		// cleans up like a disconnect (clients re-subscribe on redial).
+		if s.draining() && s.broker.durable() {
+			return
+		}
 		for _, id := range subIDs {
 			_ = s.broker.Unsubscribe(id)
 		}
@@ -310,14 +386,19 @@ func (s *Server) handle(conn net.Conn) {
 		if s.idleTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
 		}
+		// Checked after the deadline reset so a Shutdown that lost the
+		// deadline race is still observed before the next blocking read.
+		if s.draining() {
+			return
+		}
 		if !scanner.Scan() {
 			if sm != nil && isTimeout(scanner.Err()) {
 				sm.readTimeouts.Inc()
 			}
 			return
 		}
-		var m wireMessage
-		if err := json.Unmarshal(scanner.Bytes(), &m); err != nil {
+		m, err := decodeWireMessage(scanner.Bytes())
+		if err != nil {
 			if sm != nil {
 				sm.badMessages.Inc()
 			}

@@ -1,0 +1,57 @@
+package journal
+
+import (
+	"io"
+	"os"
+)
+
+// File is the journal's view of an open file. *os.File satisfies it;
+// the fault-injection harness (internal/broker/faultnet) wraps it to
+// inject torn writes, short writes and fsync errors.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file to stable storage.
+	Sync() error
+	// Truncate cuts the file to size bytes.
+	Truncate(size int64) error
+}
+
+// FS abstracts the filesystem operations the journal performs, so
+// tests can interpose on every write path. OSFS is the real thing.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(path string, perm os.FileMode) error
+	// SyncDir fsyncs a directory, making renames within it durable.
+	SyncDir(path string) error
+}
+
+// OSFS is the real filesystem.
+var OSFS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,460 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"pubsubcd/internal/telemetry"
+)
+
+// collect replays every record into a slice.
+func collect(t *testing.T, j *Journal) [][]byte {
+	t.Helper()
+	var recs [][]byte
+	if err := j.Replay(func(rec []byte) error {
+		recs = append(recs, append([]byte(nil), rec...))
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return recs
+}
+
+func TestJournalAppendReplayRoundTrip(t *testing.T) {
+	for _, policy := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncNone} {
+		t.Run(policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			j, err := Open(dir, Options{Fsync: policy, SyncInterval: 5 * time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := [][]byte{[]byte("one"), []byte("two"), []byte(`{"op":"three"}`)}
+			for _, rec := range want {
+				if err := j.Append(rec); err != nil {
+					t.Fatalf("append: %v", err)
+				}
+			}
+			if err := j.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+
+			j2, err := Open(dir, Options{Fsync: policy})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer j2.Close()
+			if j2.Stats().Truncated {
+				t.Error("clean log reported a truncation")
+			}
+			got := collect(t, j2)
+			if len(got) != len(want) {
+				t.Fatalf("replayed %d records, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if !bytes.Equal(got[i], want[i]) {
+					t.Errorf("record %d = %q, want %q", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestJournalRejectsBadRecords(t *testing.T) {
+	j, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Append(nil); err == nil {
+		t.Error("empty record should be rejected")
+	}
+	if err := j.Append(make([]byte, MaxRecordSize+1)); err == nil {
+		t.Error("oversized record should be rejected")
+	}
+	if err := j.WriteSnapshot(nil); err == nil {
+		t.Error("empty snapshot should be rejected")
+	}
+}
+
+func TestJournalTornTailIsTruncated(t *testing.T) {
+	cases := []struct {
+		name string
+		tear func(data []byte) []byte
+	}{
+		{"short header", func(d []byte) []byte { return append(d, 0x00, 0x00) }},
+		{"short payload", func(d []byte) []byte {
+			return append(d, encodeFrame([]byte("half-written record"))[:12]...)
+		}},
+		{"bad final checksum", func(d []byte) []byte {
+			frame := encodeFrame([]byte("torn"))
+			frame[len(frame)-1] ^= 0xff
+			return append(d, frame...)
+		}},
+		{"garbage length", func(d []byte) []byte {
+			return append(d, 0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4, 5, 6, 7, 8)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			reg := telemetry.NewRegistry()
+			j, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Append([]byte("survivor-1")); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Append([]byte("survivor-2")); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			wal := filepath.Join(dir, walName)
+			data, err := os.ReadFile(wal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(wal, tc.tear(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			j2, err := Open(dir, Options{Telemetry: reg})
+			if err != nil {
+				t.Fatalf("torn tail should recover, got %v", err)
+			}
+			if !j2.Stats().Truncated {
+				t.Error("stats should report the truncation")
+			}
+			if got := reg.Counter("journal.replay_truncations").Value(); got != 1 {
+				t.Errorf("replay_truncations = %d, want 1", got)
+			}
+			recs := collect(t, j2)
+			if len(recs) != 2 {
+				t.Fatalf("recovered %d records, want 2", len(recs))
+			}
+			// The log is usable again after truncation.
+			if err := j2.Append([]byte("post-recovery")); err != nil {
+				t.Fatalf("append after recovery: %v", err)
+			}
+			if err := j2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			j3, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer j3.Close()
+			if j3.Stats().Truncated {
+				t.Error("second open should see a clean log")
+			}
+			if recs := collect(t, j3); len(recs) != 3 {
+				t.Errorf("after repair recovered %d records, want 3", len(recs))
+			}
+		})
+	}
+}
+
+func TestJournalMidLogCorruptionIsRejected(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("record-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wal := filepath.Join(dir, walName)
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte of the FIRST record: records follow it, so
+	// this cannot be a torn write.
+	data[len(walMagic)+frameHeader] ^= 0xff
+	if err := os.WriteFile(wal, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = Open(dir, Options{})
+	if err == nil {
+		t.Fatal("mid-log corruption must be rejected")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("error should match ErrCorrupt, got %v", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error should be a *CorruptError, got %T", err)
+	}
+	if ce.Offset != int64(len(walMagic)) {
+		t.Errorf("corruption offset = %d, want %d", ce.Offset, len(walMagic))
+	}
+}
+
+func TestJournalSnapshotTruncatesLog(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	j, err := Open(dir, Options{Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("pre-snapshot-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := j.Size()
+	if err := j.WriteSnapshot([]byte(`{"state":"everything"}`)); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if j.Size() >= grown {
+		t.Errorf("log size %d should shrink below %d after snapshot", j.Size(), grown)
+	}
+	if err := j.Append([]byte("post-snapshot")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("journal.snapshots").Value(); got != 1 {
+		t.Errorf("snapshots counter = %d, want 1", got)
+	}
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	blob, ok := j2.Snapshot()
+	if !ok || string(blob) != `{"state":"everything"}` {
+		t.Errorf("snapshot = %q ok=%v, want the written blob", blob, ok)
+	}
+	recs := collect(t, j2)
+	if len(recs) != 1 || string(recs[0]) != "post-snapshot" {
+		t.Errorf("replay = %q, want only the post-snapshot record", recs)
+	}
+}
+
+func TestJournalCorruptSnapshotIsRejected(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.WriteSnapshot([]byte("snapshot state")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(dir, snapName)
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(snap, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupt snapshot should be rejected with ErrCorrupt, got %v", err)
+	}
+}
+
+// slowSyncFS wraps OSFS so Sync takes long enough that concurrent
+// appends demonstrably share fsyncs (group commit).
+type slowSyncFS struct {
+	FS
+	delay time.Duration
+}
+
+func (s slowSyncFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := s.FS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return slowSyncFile{File: f, delay: s.delay}, nil
+}
+
+type slowSyncFile struct {
+	File
+	delay time.Duration
+}
+
+func (f slowSyncFile) Sync() error {
+	time.Sleep(f.delay)
+	return f.File.Sync()
+}
+
+func TestJournalGroupCommitBatchesFsyncs(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	j, err := Open(dir, Options{
+		Fsync:     FsyncAlways,
+		FS:        slowSyncFS{FS: OSFS, delay: 2 * time.Millisecond},
+		Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, each = 8, 20
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := j.Append([]byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	appends := reg.Counter("journal.appends").Value()
+	fsyncs := reg.Counter("journal.fsyncs").Value()
+	if appends != writers*each {
+		t.Errorf("appends = %d, want %d", appends, writers*each)
+	}
+	if fsyncs == 0 || fsyncs >= appends {
+		t.Errorf("group commit should batch: fsyncs = %d, appends = %d", fsyncs, appends)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if recs := collect(t, j2); len(recs) != writers*each {
+		t.Errorf("recovered %d records, want %d", len(recs), writers*each)
+	}
+}
+
+// failSyncFS makes Sync fail on demand.
+type failSyncFS struct {
+	FS
+	fail *bool
+}
+
+func (s failSyncFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := s.FS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return failSyncFile{File: f, fail: s.fail}, nil
+}
+
+type failSyncFile struct {
+	File
+	fail *bool
+}
+
+var errSyncBroken = errors.New("injected fsync failure")
+
+func (f failSyncFile) Sync() error {
+	if *f.fail {
+		return errSyncBroken
+	}
+	return f.File.Sync()
+}
+
+func TestJournalFsyncFailureIsSticky(t *testing.T) {
+	fail := false
+	j, err := Open(t.TempDir(), Options{Fsync: FsyncAlways, FS: failSyncFS{FS: OSFS, fail: &fail}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("fine")); err != nil {
+		t.Fatal(err)
+	}
+	fail = true
+	if err := j.Append([]byte("doomed")); !errors.Is(err, errSyncBroken) {
+		t.Fatalf("append during fsync failure = %v, want injected error", err)
+	}
+	fail = false
+	if err := j.Append([]byte("still doomed")); err == nil {
+		t.Error("journal must stay poisoned after an fsync failure")
+	}
+	if err := j.Sync(); err == nil {
+		t.Error("Sync on a poisoned journal should fail")
+	}
+	_ = j.Close()
+}
+
+func TestJournalCrashLosesNothingAcknowledged(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("acknowledged")); err != nil {
+		t.Fatal(err)
+	}
+	j.Crash()
+	if err := j.Append([]byte("after crash")); err == nil {
+		t.Error("append after crash should fail")
+	}
+	if err := j.WriteSnapshot([]byte("x")); err == nil {
+		t.Error("snapshot after crash should fail")
+	}
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	recs := collect(t, j2)
+	if len(recs) != 1 || string(recs[0]) != "acknowledged" {
+		t.Errorf("recovered %q, want the acknowledged record", recs)
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for s, want := range map[string]FsyncPolicy{"always": FsyncAlways, "interval": FsyncInterval, "none": FsyncNone} {
+		got, err := ParseFsyncPolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParseFsyncPolicy(%q) = %v, %v", s, got, err)
+		}
+		if got.String() != s {
+			t.Errorf("String() = %q, want %q", got.String(), s)
+		}
+	}
+	if _, err := ParseFsyncPolicy("everysooften"); err == nil {
+		t.Error("invalid policy should error")
+	}
+}
+
+func TestJournalIntervalPolicySyncsInBackground(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	j, err := Open(t.TempDir(), Options{Fsync: FsyncInterval, SyncInterval: time.Millisecond, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Append([]byte("buffered")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Counter("journal.fsyncs").Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background syncer never fsynced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

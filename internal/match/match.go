@@ -56,6 +56,9 @@ var ErrEmptySubscription = errors.New("match: subscription must have at least on
 // ErrNotFound is returned by Unsubscribe for unknown subscription IDs.
 var ErrNotFound = errors.New("match: subscription not found")
 
+// ErrDuplicateID is returned by Restore for an ID already in use.
+var ErrDuplicateID = errors.New("match: duplicate subscription ID")
+
 // Engine is a thread-safe matching engine.
 type Engine struct {
 	mu     sync.RWMutex
@@ -109,6 +112,80 @@ func (e *Engine) Subscribe(sub Subscription) (int64, error) {
 		set[stored.ID] = struct{}{}
 	}
 	return stored.ID, nil
+}
+
+// Restore re-inserts a subscription under its existing ID — the
+// recovery path replaying a journal or snapshot. The ID counter
+// advances past restored IDs, so later Subscribes never reuse one. A
+// duplicate ID is rejected with ErrDuplicateID; recovery treats that
+// as "already applied" when a record appears in both the snapshot and
+// the log.
+func (e *Engine) Restore(sub Subscription) error {
+	if sub.ID <= 0 {
+		return fmt.Errorf("match: restore needs a positive ID, got %d", sub.ID)
+	}
+	if len(sub.Topics) == 0 && len(sub.Keywords) == 0 {
+		return ErrEmptySubscription
+	}
+	if sub.Proxy < 0 {
+		return fmt.Errorf("match: negative proxy %d", sub.Proxy)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.subs[sub.ID]; dup {
+		return fmt.Errorf("%w: %d", ErrDuplicateID, sub.ID)
+	}
+	stored := sub
+	stored.Topics = append([]string(nil), sub.Topics...)
+	stored.Keywords = append([]string(nil), sub.Keywords...)
+	e.subs[stored.ID] = &stored
+	for _, t := range stored.Topics {
+		set, ok := e.byTopic[t]
+		if !ok {
+			set = make(map[int64]struct{})
+			e.byTopic[t] = set
+		}
+		set[stored.ID] = struct{}{}
+	}
+	for _, k := range stored.Keywords {
+		set, ok := e.byKeyword[k]
+		if !ok {
+			set = make(map[int64]struct{})
+			e.byKeyword[k] = set
+		}
+		set[stored.ID] = struct{}{}
+	}
+	if stored.ID > e.nextID {
+		e.nextID = stored.ID
+	}
+	return nil
+}
+
+// AdvanceNextID raises the ID counter to at least n, so a recovered
+// engine never hands out an ID the crashed instance already assigned
+// (even to a subscription that was removed before the snapshot).
+func (e *Engine) AdvanceNextID(n int64) {
+	e.mu.Lock()
+	if n > e.nextID {
+		e.nextID = n
+	}
+	e.mu.Unlock()
+}
+
+// Dump returns a copy of every stored subscription, sorted by ID, and
+// the last assigned ID — the snapshot the durable broker persists.
+func (e *Engine) Dump() ([]Subscription, int64) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]Subscription, 0, len(e.subs))
+	for _, sub := range e.subs {
+		cp := *sub
+		cp.Topics = append([]string(nil), sub.Topics...)
+		cp.Keywords = append([]string(nil), sub.Keywords...)
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, e.nextID
 }
 
 // Unsubscribe removes a subscription by ID.

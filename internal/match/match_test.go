@@ -252,3 +252,78 @@ func TestBuildCountTable(t *testing.T) {
 		t.Errorf("page 3 total = %d, want 0", got)
 	}
 }
+
+func TestEngineRestoreKeepsIDsStable(t *testing.T) {
+	e := NewEngine()
+	id1, err := e.Subscribe(Subscription{Proxy: 0, Topics: []string{"news"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := e.Subscribe(Subscription{Proxy: 1, Keywords: []string{"go"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, nextID := e.Dump()
+	if len(subs) != 2 || subs[0].ID != id1 || subs[1].ID != id2 {
+		t.Fatalf("Dump = %+v, want subs %d and %d", subs, id1, id2)
+	}
+	if nextID != id2 {
+		t.Fatalf("nextID = %d, want %d", nextID, id2)
+	}
+
+	// Rebuild a fresh engine from the dump, as recovery does.
+	r := NewEngine()
+	for _, sub := range subs {
+		if err := r.Restore(sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.AdvanceNextID(nextID)
+	got := r.Match(Event{ID: "p", Topics: []string{"news"}, Keywords: []string{"go"}})
+	if len(got) != 2 || got[0].ID != id1 || got[1].ID != id2 {
+		t.Fatalf("recovered engine matched %+v, want IDs %d and %d", got, id1, id2)
+	}
+	// New subscriptions never reuse a recovered ID.
+	id3, err := r.Subscribe(Subscription{Proxy: 0, Topics: []string{"sports"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id3 <= id2 {
+		t.Errorf("new ID %d should exceed restored max %d", id3, id2)
+	}
+}
+
+func TestEngineRestoreRejectsBadInput(t *testing.T) {
+	e := NewEngine()
+	if err := e.Restore(Subscription{ID: 0, Topics: []string{"x"}}); err == nil {
+		t.Error("ID 0 should be rejected")
+	}
+	if err := e.Restore(Subscription{ID: 1}); err == nil {
+		t.Error("empty subscription should be rejected")
+	}
+	if err := e.Restore(Subscription{ID: 1, Proxy: -1, Topics: []string{"x"}}); err == nil {
+		t.Error("negative proxy should be rejected")
+	}
+	if err := e.Restore(Subscription{ID: 1, Topics: []string{"x"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Restore(Subscription{ID: 1, Topics: []string{"y"}}); !errors.Is(err, ErrDuplicateID) {
+		t.Errorf("duplicate ID = %v, want ErrDuplicateID", err)
+	}
+}
+
+func TestEngineAdvanceNextIDPreventsReuse(t *testing.T) {
+	e := NewEngine()
+	e.AdvanceNextID(41)
+	id, err := e.Subscribe(Subscription{Proxy: 0, Topics: []string{"x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 42 {
+		t.Errorf("first ID after AdvanceNextID(41) = %d, want 42", id)
+	}
+	e.AdvanceNextID(10) // never goes backwards
+	if id2, _ := e.Subscribe(Subscription{Proxy: 0, Topics: []string{"y"}}); id2 != 43 {
+		t.Errorf("ID after backwards advance = %d, want 43", id2)
+	}
+}

@@ -254,19 +254,19 @@ func Run(w *workload.Workload, factory core.Factory, opts Options) (*Result, err
 	runShards(shards, parallelism)
 
 	res := &Result{
-		Strategy:         factory.Name,
-		Trace:            string(w.Config.Trace()),
-		CapacityFraction: opts.CapacityFraction,
-		Beta:             opts.Beta,
-		SQ:               w.Config.SQ,
-		HourlyHits:       make([]int64, hours),
-		HourlyRequests:   make([]int64, hours),
-		PushedPagesAP:    make([]int64, hours),
-		PushedPagesPWN:   make([]int64, hours),
-		FetchedPages:     make([]int64, hours),
-		PushedBytesAP:    make([]int64, hours),
-		PushedBytesPWN:   make([]int64, hours),
-		FetchedBytes:     make([]int64, hours),
+		Strategy:                factory.Name,
+		Trace:                   string(w.Config.Trace()),
+		CapacityFraction:        opts.CapacityFraction,
+		Beta:                    opts.Beta,
+		SQ:                      w.Config.SQ,
+		HourlyHits:              make([]int64, hours),
+		HourlyRequests:          make([]int64, hours),
+		PushedPagesAP:           make([]int64, hours),
+		PushedPagesPWN:          make([]int64, hours),
+		FetchedPages:            make([]int64, hours),
+		PushedBytesAP:           make([]int64, hours),
+		PushedBytesPWN:          make([]int64, hours),
+		FetchedBytes:            make([]int64, hours),
 		PerServerHits:           make([]int64, servers),
 		PerServerRequests:       make([]int64, servers),
 		PerServerHourlyHits:     make([][]int64, servers),

@@ -33,6 +33,7 @@ import (
 	"pubsubcd/internal/broker"
 	"pubsubcd/internal/core"
 	"pubsubcd/internal/experiments"
+	"pubsubcd/internal/journal"
 	"pubsubcd/internal/match"
 	"pubsubcd/internal/sim"
 	"pubsubcd/internal/telemetry"
@@ -338,7 +339,60 @@ var (
 	// WithProxyTelemetry wires proxy degradation counters into a
 	// registry.
 	WithProxyTelemetry = broker.WithProxyTelemetry
+	// WithProxyDataDir makes the proxy durable: cache admissions and
+	// evictions are journaled (metadata only; bodies refetch lazily)
+	// and the placement is restored on the next NewProxy.
+	WithProxyDataDir = broker.WithProxyDataDir
+	// WithProxyFsyncPolicy selects the proxy journal's fsync policy.
+	WithProxyFsyncPolicy = broker.WithProxyFsyncPolicy
+	// WithProxySnapshotInterval sets the proxy's checkpoint cadence.
+	WithProxySnapshotInterval = broker.WithProxySnapshotInterval
 )
+
+// Durability (write-ahead journal, snapshots, crash recovery).
+type (
+	// BrokerOption configures OpenBroker (data directory, fsync
+	// policy, snapshot cadence, telemetry).
+	BrokerOption = broker.BrokerOption
+	// FsyncPolicy selects when journal appends reach stable storage.
+	FsyncPolicy = journal.FsyncPolicy
+)
+
+// Fsync policies.
+const (
+	// FsyncAlways group-commits every record to stable storage before
+	// acknowledging it (zero loss on crash).
+	FsyncAlways = journal.FsyncAlways
+	// FsyncInterval syncs in the background on a timer (bounded loss).
+	FsyncInterval = journal.FsyncInterval
+	// FsyncNone leaves flushing to the OS (fastest; loss on power
+	// failure, none on process crash).
+	FsyncNone = journal.FsyncNone
+)
+
+// Broker durability options.
+var (
+	// WithDataDir makes the broker durable: subscriptions are
+	// journaled under the directory and recovered, with their original
+	// IDs, on the next OpenBroker.
+	WithDataDir = broker.WithDataDir
+	// WithFsyncPolicy selects the broker journal's fsync policy.
+	WithFsyncPolicy = broker.WithFsyncPolicy
+	// WithSnapshotInterval sets how often durable state is snapshotted
+	// and the journal truncated.
+	WithSnapshotInterval = broker.WithSnapshotInterval
+	// WithBrokerTelemetry attaches metrics/tracing before recovery, so
+	// journal counters and the recovery histogram cover the restart.
+	WithBrokerTelemetry = broker.WithBrokerTelemetry
+	// ParseFsyncPolicy parses "always", "interval" or "none".
+	ParseFsyncPolicy = journal.ParseFsyncPolicy
+)
+
+// OpenBroker returns a broker, durable when WithDataDir is set:
+// existing journal state is recovered (tolerating a torn final
+// record) before the broker accepts traffic. Close it to flush a
+// final checkpoint.
+func OpenBroker(opts ...BrokerOption) (*Broker, error) { return broker.Open(opts...) }
 
 // NewBroker returns an empty in-process broker.
 func NewBroker() *Broker { return broker.New() }

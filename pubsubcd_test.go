@@ -132,3 +132,37 @@ func TestFacadeExperiments(t *testing.T) {
 		t.Errorf("expected at least 10 experiments, got %v", names)
 	}
 }
+
+func TestFacadeDurableBroker(t *testing.T) {
+	dir := t.TempDir()
+	b, err := OpenBroker(WithDataDir(dir), WithFsyncPolicy(FsyncAlways), WithSnapshotInterval(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Subscribe(Subscription{Proxy: 1, Topics: []string{"t"}},
+		NotifierFunc(func(Notification) {})); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b2, err := OpenBroker(WithDataDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	if n := b2.Subscriptions(); n != 1 {
+		t.Fatalf("recovered %d subscriptions, want 1", n)
+	}
+	matched, err := b2.Publish(Content{ID: "x", Topics: []string{"t"}, Body: []byte("b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matched != 1 {
+		t.Errorf("publish matched %d, want the recovered subscription", matched)
+	}
+	if _, err := ParseFsyncPolicy("bogus"); err == nil {
+		t.Error("ParseFsyncPolicy should reject unknown policies")
+	}
+}

@@ -1,0 +1,83 @@
+// Command gencorpus regenerates the checked-in fuzz seed corpora:
+//
+//	internal/journal/testdata/fuzz/FuzzJournalReplay
+//	internal/broker/testdata/fuzz/FuzzDecodeFrame
+//
+// The journal seeds need real CRC-32C framing, so they are built with
+// the same encoding the journal uses rather than written by hand. Run
+// from the repository root:
+//
+//	go run ./tools/gencorpus
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"log"
+	"os"
+	"path/filepath"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frame encodes one journal record: 4-byte BE length, 4-byte BE
+// CRC-32C of the payload, payload. Mirrors internal/journal.
+func frame(payload []byte) []byte {
+	buf := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+	copy(buf[8:], payload)
+	return buf
+}
+
+// writeSeed writes one corpus entry in `go test fuzz v1` format.
+func writeSeed(dir, name string, data []byte) {
+	body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func main() {
+	walMagic := []byte("pscdwal1")
+
+	jdir := filepath.Join("internal", "journal", "testdata", "fuzz", "FuzzJournalReplay")
+	if err := os.MkdirAll(jdir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	rec1 := []byte(`{"op":"sub","id":1,"topics":["news"]}`)
+	rec2 := []byte(`{"op":"unsub","id":1}`)
+	valid := append(append(append([]byte{}, walMagic...), frame(rec1)...), frame(rec2)...)
+
+	writeSeed(jdir, "empty", nil)
+	writeSeed(jdir, "magic_only", walMagic)
+	writeSeed(jdir, "bad_magic", []byte("not-a-wal"))
+	writeSeed(jdir, "valid_two_records", valid)
+	writeSeed(jdir, "torn_tail_payload", valid[:len(valid)-3])
+	tornCRC := append([]byte{}, valid...)
+	tornCRC[len(tornCRC)-1] ^= 0xff
+	writeSeed(jdir, "torn_tail_crc", tornCRC)
+	mid := append([]byte{}, valid...)
+	mid[len(walMagic)+10] ^= 0xff
+	writeSeed(jdir, "midlog_corrupt", mid)
+	writeSeed(jdir, "garbage_length_tail", append(append([]byte{}, valid...), 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0))
+	writeSeed(jdir, "short_header_tail", append(append([]byte{}, valid...), 0, 0, 0, 10, 0xde, 0xad))
+
+	bdir := filepath.Join("internal", "broker", "testdata", "fuzz", "FuzzDecodeFrame")
+	if err := os.MkdirAll(bdir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	writeSeed(bdir, "subscribe", []byte(`{"type":"subscribe","topics":["news"],"keywords":["go"],"proxy":2,"seq":9}`))
+	writeSeed(bdir, "unsubscribe", []byte(`{"type":"unsubscribe","subId":3}`))
+	writeSeed(bdir, "publish", []byte(`{"type":"publish","id":"page-1","version":4,"topics":["a"],"body":"aGVsbG8gd29ybGQ="}`))
+	writeSeed(bdir, "publish_bad_base64", []byte(`{"type":"publish","id":"p","body":"@@@@"}`))
+	writeSeed(bdir, "fetch", []byte(`{"type":"fetch","id":"page-1","seq":1}`))
+	writeSeed(bdir, "ping", []byte(`{"type":"ping"}`))
+	writeSeed(bdir, "unknown_type", []byte(`{"type":"gossip","seq":1}`))
+	writeSeed(bdir, "wrong_field_type", []byte(`{"type":"publish","version":"not-an-int"}`))
+	writeSeed(bdir, "truncated_json", []byte(`{"type":"subscribe","topics":["ne`))
+	writeSeed(bdir, "deep_nesting", []byte(`{"type":{"type":{"type":{}}}}`))
+
+	fmt.Println("corpora regenerated")
+}
