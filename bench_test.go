@@ -74,6 +74,46 @@ func BenchmarkSimulationRunParallel(b *testing.B) {
 	benchSimulationParallelism(b, runtime.GOMAXPROCS(0))
 }
 
+// The TracingDisabled/TracingEnabled pair measures span-tracing
+// overhead on the simulation path: identical runs, one with
+// Options.Spans nil (StartSpan is a no-op returning a nil span) and
+// one recording a sim.run root plus a sim.shard span per proxy into a
+// bounded collector. The enabled run should stay within a few percent
+// of the disabled one — the span count is per-shard, not per-event.
+
+func BenchmarkSimulationRunTracingDisabled(b *testing.B) {
+	benchSimulationTracing(b, false)
+}
+
+func BenchmarkSimulationRunTracingEnabled(b *testing.B) {
+	benchSimulationTracing(b, true)
+}
+
+func benchSimulationTracing(b *testing.B, traced bool) {
+	w, err := GenerateWorkload(ScaledWorkloadConfig(TraceNEWS, benchScale))
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := LookupStrategy("SG2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := DefaultSimOptions()
+	if traced {
+		opts.Spans = NewSpanCollector(SpanCollectorOptions{})
+	}
+	if _, err := Simulate(w, f, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(w, f, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchSimulationParallelism runs the SG2 simulation at a fixed shard
 // parallelism (0 = the facade default, GOMAXPROCS). One untimed warm-up
 // run builds the workload's cached event view so the timed iterations

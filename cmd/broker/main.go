@@ -20,8 +20,13 @@
 //
 // With -metrics-addr, an HTTP admin endpoint serves /metrics (JSON
 // counters, gauges and latency histograms), /trace (the most recent
-// publish→match→push→fetch events, filterable with ?page=) and
-// /debug/pprof/.
+// publish→match→push→fetch events, filterable with ?page=), /traces
+// and /trace/{id} (distributed span traces: every request is traced
+// end-to-end, including across federated peers over the wire),
+// /healthz and /readyz (liveness and readiness: journal usable,
+// listener accepting, uplink connected), and /debug/pprof/. Logs are
+// structured (-log-level, -log-format text|json) and carry
+// trace_id/span_id when emitted under an active span.
 //
 // With -uplink, the broker bridges itself into a remote broker: it
 // subscribes there for the -uplink-topics / -uplink-keywords interests
@@ -97,6 +102,9 @@ func run(args []string, stop <-chan struct{}, out *os.File) error {
 	fsyncMode := fs.String("fsync", "always", "journal fsync policy: always, interval or none")
 	snapshotInterval := fs.Duration("snapshot-interval", time.Minute, "how often to snapshot durable state and truncate the journal")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests before force-closing")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error")
+	logFormat := fs.String("log-format", "text", "log format: text or json")
+	publishSLO := fs.Duration("publish-slo", 0, "publish-to-placement latency budget for the slo hit/miss counters (0 = default 50ms)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -107,6 +115,10 @@ func run(args []string, stop <-chan struct{}, out *os.File) error {
 	if *dataDir != "" && *snapshotInterval <= 0 {
 		return fmt.Errorf("usage: -snapshot-interval must be positive with -data-dir, got %v", *snapshotInterval)
 	}
+	logger, err := telemetry.NewLogger(out, *logLevel, *logFormat)
+	if err != nil {
+		return fmt.Errorf("usage: %w", err)
+	}
 
 	serverOpts := []broker.ServerOption{
 		broker.WithIdleTimeout(*idleTimeout),
@@ -114,36 +126,57 @@ func run(args []string, stop <-chan struct{}, out *os.File) error {
 	}
 	var reg *telemetry.Registry
 	var tracer *telemetry.Tracer
+	var spans *telemetry.SpanCollector
+	var admin *telemetry.AdminServer
 	if *metricsAddr != "" {
 		reg = telemetry.NewRegistry()
 		tracer = telemetry.NewTracer(*traceCap)
-		serverOpts = append(serverOpts, broker.WithServerTelemetry(reg))
-		admin, err := telemetry.NewAdminServer(*metricsAddr, reg, tracer)
+		spans = telemetry.NewSpanCollector(telemetry.CollectorOptions{})
+		serverOpts = append(serverOpts,
+			broker.WithServerTelemetry(reg),
+			broker.WithServerTracer(spans))
+		admin, err = telemetry.NewAdminServer(*metricsAddr, reg, tracer, telemetry.WithSpans(spans))
 		if err != nil {
 			return err
 		}
 		defer admin.Close()
-		fmt.Fprintf(out, "metrics on http://%s/metrics\n", admin.Addr())
+		logger.Info("admin endpoint up",
+			"metrics", fmt.Sprintf("http://%s/metrics", admin.Addr()),
+			"traces", fmt.Sprintf("http://%s/traces", admin.Addr()),
+			"healthz", fmt.Sprintf("http://%s/healthz", admin.Addr()))
 	}
 	b, err := broker.Open(
 		broker.WithDataDir(*dataDir),
 		broker.WithFsyncPolicy(fsyncPolicy),
 		broker.WithSnapshotInterval(*snapshotInterval),
 		broker.WithBrokerTelemetry(reg, tracer),
+		broker.WithPublishSLO(*publishSLO),
 	)
 	if err != nil {
 		return err
 	}
 	if *dataDir != "" {
-		fmt.Fprintf(out, "durable state in %s (fsync=%s, %d subscriptions recovered)\n",
-			*dataDir, fsyncPolicy, b.Subscriptions())
+		logger.Info("durable state recovered",
+			"dir", *dataDir, "fsync", fsyncPolicy.String(), "subscriptions", b.Subscriptions())
 	}
 	srv, err := broker.NewServer(b, *addr, serverOpts...)
 	if err != nil {
 		_ = b.Close()
 		return err
 	}
-	fmt.Fprintf(out, "broker listening on %s\n", srv.Addr())
+	if admin != nil {
+		// Readiness: the journal must be usable and the listener must
+		// still be accepting. Registered late — the admin endpoint comes
+		// up before the broker so /healthz answers during recovery.
+		admin.RegisterHealthCheck("journal", b.Healthy)
+		admin.RegisterHealthCheck("listener", func() error {
+			if !srv.Accepting() {
+				return fmt.Errorf("listener draining")
+			}
+			return nil
+		})
+	}
+	logger.Info("broker listening", "addr", srv.Addr())
 
 	if *uplink != "" {
 		topics, keywords := splitList(*uplinkTopics), splitList(*uplinkKeywords)
@@ -159,8 +192,9 @@ func run(args []string, stop <-chan struct{}, out *os.File) error {
 			broker.WithMaxReconnectAttempts(*maxReconnects),
 			broker.WithRequestTimeout(*requestTimeout),
 			broker.WithClientTelemetry(reg),
+			broker.WithClientTracer(spans),
 			broker.WithConnStateHook(func(s broker.ConnState) {
-				fmt.Fprintf(out, "uplink %s: %s\n", *uplink, s)
+				logger.Info("uplink state changed", "uplink", *uplink, "state", s.String())
 			}),
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -172,13 +206,21 @@ func run(args []string, stop <-chan struct{}, out *os.File) error {
 			return fmt.Errorf("uplink: %w", err)
 		}
 		defer link.Close()
-		fmt.Fprintf(out, "uplink bridged to %s (topics=%v keywords=%v)\n", *uplink, topics, keywords)
+		if admin != nil {
+			admin.RegisterHealthCheck("uplink", func() error {
+				if !link.Client().Connected() {
+					return fmt.Errorf("uplink %s disconnected", *uplink)
+				}
+				return nil
+			})
+		}
+		logger.Info("uplink bridged", "uplink", *uplink, "topics", topics, "keywords", keywords)
 	}
 
 	<-stop
 	// Graceful shutdown: stop accepting, drain in-flight requests, then
 	// flush the journal with a final checkpoint.
-	fmt.Fprintln(out, "shutting down")
+	logger.Info("shutting down")
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	err = srv.Shutdown(ctx)
 	cancel()

@@ -48,8 +48,14 @@ func run(args []string) error {
 	latency := fs.Bool("latency", true, "print the estimated mean response time")
 	jsonOut := fs.Bool("json", false, "emit the full simulation result as JSON instead of text")
 	catalog := fs.Bool("catalog", false, "list strategies and exit")
-	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address during the run and print a telemetry summary (empty disables)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /traces and /debug/pprof on this address during the run and print a telemetry summary (empty disables)")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error")
+	logFormat := fs.String("log-format", "text", "log format: text or json")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
 		return err
 	}
 	if *catalog {
@@ -74,7 +80,6 @@ func run(args []string) error {
 	}
 
 	var w *workload.Workload
-	var err error
 	if *load != "" {
 		w, err = workload.LoadFile(*load)
 	} else {
@@ -107,25 +112,35 @@ func run(args []string) error {
 		return err
 	}
 	var reg *telemetry.Registry
+	var spans *telemetry.SpanCollector
 	if *metricsAddr != "" {
 		reg = telemetry.NewRegistry()
-		admin, err := telemetry.NewAdminServer(*metricsAddr, reg, nil)
+		spans = telemetry.NewSpanCollector(telemetry.CollectorOptions{})
+		admin, err := telemetry.NewAdminServer(*metricsAddr, reg, nil, telemetry.WithSpans(spans))
 		if err != nil {
 			return err
 		}
 		defer admin.Close()
-		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", admin.Addr())
+		logger.Info("admin endpoint up",
+			"metrics", fmt.Sprintf("http://%s/metrics", admin.Addr()),
+			"traces", fmt.Sprintf("http://%s/traces", admin.Addr()))
 	}
+	logger.Debug("simulation starting",
+		"strategy", f.Name, "trace", string(w.Config.Trace()),
+		"servers", w.Config.Servers, "parallel", *parallel)
 	res, err := sim.Run(w, f, sim.Options{
 		CapacityFraction: *capacity,
 		Beta:             *beta,
 		FetchCosts:       costs,
 		Telemetry:        reg,
 		Parallelism:      *parallel,
+		Spans:            spans,
 	})
 	if err != nil {
 		return err
 	}
+	logger.Debug("simulation complete",
+		"requests", res.Requests, "hits", res.Hits)
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)

@@ -10,6 +10,7 @@
 package broker
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -57,6 +58,15 @@ type NotifierFunc func(n Notification)
 // Notify implements Notifier.
 func (f NotifierFunc) Notify(n Notification) { f(n) }
 
+// ContextNotifier is an optional extension of Notifier: implementations
+// that also carry the caller's context (and with it the active trace)
+// receive it via NotifyContext. The broker prefers NotifyContext when a
+// notifier implements it.
+type ContextNotifier interface {
+	Notifier
+	NotifyContext(ctx context.Context, n Notification)
+}
+
 // PushSink receives pushed content for a proxy. The content distribution
 // engine calls it when a published page matches subscriptions aggregated
 // at the proxy.
@@ -64,6 +74,32 @@ type PushSink interface {
 	// Push offers the content together with the number of local
 	// subscriptions it matched.
 	Push(c Content, matched int)
+}
+
+// ContextPushSink is an optional extension of PushSink that carries the
+// publishing context, so a placement decision (and its journal write)
+// nests inside the distributed trace of the publish that caused it.
+type ContextPushSink interface {
+	PushSink
+	PushContext(ctx context.Context, c Content, matched int)
+}
+
+// notify dispatches through NotifyContext when available.
+func notify(ctx context.Context, n Notifier, notif Notification) {
+	if cn, ok := n.(ContextNotifier); ok {
+		cn.NotifyContext(ctx, notif)
+		return
+	}
+	n.Notify(notif)
+}
+
+// push dispatches through PushContext when available.
+func push(ctx context.Context, s PushSink, c Content, matched int) {
+	if cs, ok := s.(ContextPushSink); ok {
+		cs.PushContext(ctx, c, matched)
+		return
+	}
+	s.Push(c, matched)
 }
 
 // ErrUnknownPage is returned by Fetch for pages never published.
@@ -90,10 +126,38 @@ type Broker struct {
 	closeOnce    sync.Once
 	closeErr     error
 
+	// sloBudgetNs is the publish-to-placement latency budget in
+	// nanoseconds; 0 selects DefaultPublishSLO. Atomic so it can be
+	// tuned while traffic flows.
+	sloBudgetNs atomic.Int64
+
 	mu        sync.RWMutex
 	store     map[string]Content
 	notifiers map[int64]Notifier
 	sinks     map[int]PushSink
+}
+
+// DefaultPublishSLO is the publish-to-placement latency budget used
+// when none is configured: the time from Publish entry until every
+// matching proxy has been offered the content.
+const DefaultPublishSLO = 50 * time.Millisecond
+
+// SetPublishSLO sets the publish-to-placement latency budget measured
+// against the broker.slo.publish_to_placement.{hit,miss} counters.
+// Non-positive restores the default.
+func (b *Broker) SetPublishSLO(budget time.Duration) {
+	if budget <= 0 {
+		budget = 0
+	}
+	b.sloBudgetNs.Store(int64(budget))
+}
+
+// publishSLO returns the active budget.
+func (b *Broker) publishSLO() time.Duration {
+	if v := b.sloBudgetNs.Load(); v > 0 {
+		return time.Duration(v)
+	}
+	return DefaultPublishSLO
 }
 
 // New returns an empty broker.
@@ -109,23 +173,38 @@ func New() *Broker {
 // Subscribe registers a subscription and its notifier, returning the
 // subscription ID.
 func (b *Broker) Subscribe(sub match.Subscription, n Notifier) (int64, error) {
+	return b.SubscribeContext(context.Background(), sub, n)
+}
+
+// SubscribeContext is Subscribe with a caller context: the journal
+// write (when the broker is durable) is recorded as a child span of any
+// trace active in ctx.
+func (b *Broker) SubscribeContext(ctx context.Context, sub match.Subscription, n Notifier) (int64, error) {
 	if n == nil {
 		return 0, errors.New("broker: nil notifier")
+	}
+	ctx, sp := telemetry.StartSpan(ctx, "broker.subscribe")
+	if sp != nil {
+		sp.SetAttrInt("proxy", int64(sub.Proxy))
+		defer sp.End()
 	}
 	b.jmu.Lock()
 	id, err := b.engine.Subscribe(sub)
 	if err != nil {
 		b.jmu.Unlock()
+		sp.SetError(err)
 		return 0, err
 	}
 	if b.jnl != nil {
 		stored := sub
 		stored.ID = id
-		if jerr := b.journalSubscribe(stored); jerr != nil {
+		if jerr := b.journalSubscribe(ctx, stored); jerr != nil {
 			// Unwind so the accepted-but-not-durable window stays empty.
 			_ = b.engine.Unsubscribe(id)
 			b.jmu.Unlock()
-			return 0, fmt.Errorf("broker: journal subscribe: %w", jerr)
+			err := fmt.Errorf("broker: journal subscribe: %w", jerr)
+			sp.SetError(err)
+			return 0, err
 		}
 	}
 	b.jmu.Unlock()
@@ -191,16 +270,33 @@ func (b *Broker) DetachProxy(proxy int) {
 // pushes the content to each attached proxy with at least one matching
 // subscription. It returns the number of matched subscriptions.
 func (b *Broker) Publish(c Content) (int, error) {
+	return b.PublishContext(context.Background(), c)
+}
+
+// PublishContext is Publish with a caller context. When ctx carries an
+// active trace (or a span collector), the stages of the publish —
+// matching, notification fan-out, push placement and any journal
+// writes they cause — are recorded as child spans, and notifications
+// and pushes delivered to context-aware receivers continue the trace.
+func (b *Broker) PublishContext(ctx context.Context, c Content) (int, error) {
 	bt := b.telemetryHandles()
 	var start time.Time
 	if bt != nil {
 		start = time.Now()
 	}
+	ctx, sp := telemetry.StartSpan(ctx, "broker.publish")
+	if sp != nil {
+		sp.SetAttr("page", c.ID)
+		sp.SetAttrInt("version", int64(c.Version))
+		defer sp.End()
+	}
 	if c.ID == "" {
 		if bt != nil {
 			bt.publishErrors.Inc()
 		}
-		return 0, errors.New("broker: content needs an ID")
+		err := errors.New("broker: content needs an ID")
+		sp.SetError(err)
+		return 0, err
 	}
 	b.mu.Lock()
 	if prev, ok := b.store[c.ID]; ok && c.Version <= prev.Version {
@@ -208,7 +304,9 @@ func (b *Broker) Publish(c Content) (int, error) {
 		if bt != nil {
 			bt.publishErrors.Inc()
 		}
-		return 0, fmt.Errorf("broker: page %q version %d not newer than stored %d", c.ID, c.Version, prev.Version)
+		err := fmt.Errorf("broker: page %q version %d not newer than stored %d", c.ID, c.Version, prev.Version)
+		sp.SetError(err)
+		return 0, err
 	}
 	b.store[c.ID] = c
 	b.mu.Unlock()
@@ -222,7 +320,12 @@ func (b *Broker) Publish(c Content) (int, error) {
 	if bt != nil {
 		matchStart = time.Now()
 	}
+	_, msp := telemetry.StartSpan(ctx, "broker.match")
 	matched := b.engine.Match(ev)
+	if msp != nil {
+		msp.SetAttrInt("matched", int64(len(matched)))
+		msp.End()
+	}
 	if bt != nil {
 		bt.matchNanos.Observe(sinceNanos(matchStart))
 		bt.matchFanout.Observe(int64(len(matched)))
@@ -250,7 +353,7 @@ func (b *Broker) Publish(c Content) (int, error) {
 	}
 	for _, sub := range matched {
 		if n, ok := notifiers[sub.ID]; ok {
-			n.Notify(Notification{
+			notify(ctx, n, Notification{
 				PageID:         c.ID,
 				Version:        c.Version,
 				Size:           int64(len(c.Body)),
@@ -263,15 +366,30 @@ func (b *Broker) Publish(c Content) (int, error) {
 		}
 	}
 	for proxy, sink := range sinks {
-		sink.Push(c, perProxy[proxy])
+		pctx, psp := telemetry.StartSpan(ctx, "broker.push")
+		if psp != nil {
+			psp.SetAttrInt("proxy", int64(proxy))
+			psp.SetAttrInt("matched", int64(perProxy[proxy]))
+		}
+		push(pctx, sink, c, perProxy[proxy])
+		psp.End()
 		if bt != nil {
 			bt.pushes.Inc()
 			bt.trace(telemetry.KindPush, c.ID, proxy, fmt.Sprintf("subs=%d", perProxy[proxy]))
 		}
 	}
 	if bt != nil {
+		elapsed := time.Since(start)
 		bt.pushFanout.Observe(int64(len(sinks)))
-		bt.publishNanos.Observe(sinceNanos(start))
+		bt.publishNanos.Observe(elapsed.Nanoseconds())
+		// The SLO clock covers publish entry through the last push
+		// placement — the paper's freshness path: by now every proxy
+		// with interested subscribers has been offered the page.
+		if elapsed <= b.publishSLO() {
+			bt.sloHits.Inc()
+		} else {
+			bt.sloMisses.Inc()
+		}
 	}
 	return len(matched), nil
 }
@@ -279,11 +397,22 @@ func (b *Broker) Publish(c Content) (int, error) {
 // Fetch returns the current content of a page (the origin fetch a proxy
 // performs on a cache miss).
 func (b *Broker) Fetch(pageID string) (Content, error) {
+	return b.FetchContext(context.Background(), pageID)
+}
+
+// FetchContext is Fetch with a caller context; the lookup is recorded
+// as a span in any trace active in ctx.
+func (b *Broker) FetchContext(ctx context.Context, pageID string) (Content, error) {
 	bt := b.telemetryHandles()
 	var start time.Time
 	if bt != nil {
 		start = time.Now()
 		bt.fetches.Inc()
+	}
+	_, sp := telemetry.StartSpan(ctx, "broker.fetch")
+	if sp != nil {
+		sp.SetAttr("page", pageID)
+		defer sp.End()
 	}
 	b.mu.RLock()
 	c, ok := b.store[pageID]
@@ -293,7 +422,9 @@ func (b *Broker) Fetch(pageID string) (Content, error) {
 			bt.fetchMisses.Inc()
 			bt.trace(telemetry.KindFetch, pageID, -1, "unknown page")
 		}
-		return Content{}, fmt.Errorf("%w: %q", ErrUnknownPage, pageID)
+		err := fmt.Errorf("%w: %q", ErrUnknownPage, pageID)
+		sp.SetError(err)
+		return Content{}, err
 	}
 	if bt != nil {
 		bt.fetchNanos.Observe(sinceNanos(start))

@@ -421,14 +421,18 @@ func (c *Client) readLoop(cc *clientConn) {
 		}
 		switch m.Type {
 		case msgNotify:
-			if c.cfg.notify != nil && m.Notification != nil {
+			if (c.cfg.notify != nil || c.cfg.notifyCtx != nil) && m.Notification != nil {
 				n := *m.Notification
 				c.mu.Lock()
 				if cid, ok := c.byServer[n.SubscriptionID]; ok {
 					n.SubscriptionID = cid
 				}
 				c.mu.Unlock()
-				c.cfg.notify(n)
+				if c.cfg.notifyCtx != nil {
+					c.cfg.notifyCtx(c.notifyContext(m.Trace), n)
+				} else {
+					c.cfg.notify(n)
+				}
 			}
 		case msgResponse:
 			if m.Seq == 0 {
@@ -447,6 +451,23 @@ func (c *Client) readLoop(cc *clientConn) {
 			}
 		}
 	}
+}
+
+// notifyContext builds the context handed to the WithNotifyContext
+// callback: the client's span collector (when tracing is on) plus the
+// notify frame's trace context as remote parent (when present and
+// well-formed).
+func (c *Client) notifyContext(trace string) context.Context {
+	ctx := context.Background()
+	if c.cfg.spans != nil {
+		ctx = telemetry.WithSpanCollector(ctx, c.cfg.spans)
+	}
+	if trace != "" {
+		if sc, err := telemetry.ParseSpanContext(trace); err == nil {
+			ctx = telemetry.WithRemoteSpanContext(ctx, sc)
+		}
+	}
+	return ctx
 }
 
 // Close shuts the client down permanently: the connection is closed,
@@ -524,8 +545,31 @@ func retryable(msgType string) bool {
 
 // roundTrip performs one request/response exchange, retrying idempotent
 // requests after connection loss or per-attempt timeout, up to the
-// retry budget.
+// retry budget. When tracing is configured (WithClientTracer) or the
+// caller's context already carries a trace, the exchange is wrapped in
+// a transport.client.<type> span whose identity rides the request
+// frame, so the server parents its handling under it.
 func (c *Client) roundTrip(ctx context.Context, m wireMessage) (wireMessage, error) {
+	if c.cfg.spans != nil && telemetry.SpanFromContext(ctx) == nil && telemetry.SpanCollectorFromContext(ctx) == nil {
+		ctx = telemetry.WithSpanCollector(ctx, c.cfg.spans)
+	}
+	ctx, sp := telemetry.StartSpan(ctx, "transport.client."+wireTypeKey(m.Type))
+	if sp != nil {
+		sp.SetAttr("addr", c.addr)
+		m.Trace = sp.Context().String()
+		defer sp.End()
+	} else if sc := telemetry.SpanContextFromContext(ctx); sc.Valid() {
+		// Tracing is off locally but the caller carries a remote trace:
+		// still propagate it so downstream spans join that trace.
+		m.Trace = sc.String()
+	}
+	resp, err := c.roundTripRetry(ctx, m)
+	sp.SetError(err)
+	return resp, err
+}
+
+// roundTripRetry is the retry loop under roundTrip's span.
+func (c *Client) roundTripRetry(ctx context.Context, m wireMessage) (wireMessage, error) {
 	budget := 0
 	if retryable(m.Type) {
 		budget = c.cfg.retryBudget

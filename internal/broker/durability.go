@@ -15,6 +15,7 @@ package broker
 // errors.
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -40,6 +41,7 @@ type brokerConfig struct {
 	fs               journal.FS
 	telemetry        *telemetry.Registry
 	tracer           *telemetry.Tracer
+	slo              time.Duration
 }
 
 // BrokerOption configures Open.
@@ -85,6 +87,12 @@ func WithBrokerTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) Brok
 	}
 }
 
+// WithPublishSLO sets the publish-to-placement latency budget; see
+// SetPublishSLO.
+func WithPublishSLO(budget time.Duration) BrokerOption {
+	return func(c *brokerConfig) { c.slo = budget }
+}
+
 // brokerRecord is one journaled registry change.
 type brokerRecord struct {
 	Op         string   `json:"op"` // "sub" | "unsub"
@@ -117,6 +125,9 @@ func Open(opts ...BrokerOption) (*Broker, error) {
 	b := New()
 	if cfg.telemetry != nil || cfg.tracer != nil {
 		b.EnableTelemetry(cfg.telemetry, cfg.tracer)
+	}
+	if cfg.slo > 0 {
+		b.SetPublishSLO(cfg.slo)
 	}
 	if cfg.dataDir == "" {
 		return b, nil
@@ -198,7 +209,7 @@ func (b *Broker) applyRecord(rec []byte) error {
 // journalSubscribe appends the subscribe record; called after the
 // engine applied it (apply-before-append keeps snapshots a superset
 // of the log).
-func (b *Broker) journalSubscribe(sub match.Subscription) error {
+func (b *Broker) journalSubscribe(ctx context.Context, sub match.Subscription) error {
 	blob, err := json.Marshal(brokerRecord{
 		Op:         "sub",
 		ID:         sub.ID,
@@ -210,7 +221,7 @@ func (b *Broker) journalSubscribe(sub match.Subscription) error {
 	if err != nil {
 		return err
 	}
-	return b.jnl.Append(blob)
+	return b.jnl.AppendContext(ctx, blob)
 }
 
 // journalUnsubscribe appends the unsubscribe record.
@@ -224,6 +235,17 @@ func (b *Broker) journalUnsubscribe(id int64) error {
 
 // durable reports whether the broker has a journal attached.
 func (b *Broker) durable() bool { return b.jnl != nil }
+
+// Healthy reports whether the broker's durable state is usable: nil
+// for an in-memory broker, otherwise the journal's health (a sticky
+// write failure or a closed journal makes a durable broker unready).
+// Suitable as a /readyz check.
+func (b *Broker) Healthy() error {
+	if b.jnl == nil {
+		return nil
+	}
+	return b.jnl.Healthy()
+}
 
 // Checkpoint snapshots the subscription registry and truncates the
 // journal. No-op on a non-durable broker. Holding jmu across
@@ -438,13 +460,13 @@ func (p *Proxy) openProxyJournal(cfg *proxyConfig) error {
 
 // journalAdmit records a cache admission. Caller holds p.mu; a sticky
 // journal failure degrades to counting, never fails the serve path.
-func (p *Proxy) journalAdmit(page string, version int, size int64, subs int) {
+func (p *Proxy) journalAdmit(ctx context.Context, page string, version int, size int64, subs int) {
 	if p.jnl == nil {
 		return
 	}
 	blob, err := json.Marshal(proxyRecord{Op: "admit", Page: page, Version: version, Size: size, Subs: subs})
 	if err == nil {
-		err = p.jnl.Append(blob)
+		err = p.jnl.AppendContext(ctx, blob)
 	}
 	if err != nil {
 		p.stats.JournalErrors++
@@ -452,13 +474,13 @@ func (p *Proxy) journalAdmit(page string, version int, size int64, subs int) {
 }
 
 // journalEvict records a cache eviction. Caller holds p.mu.
-func (p *Proxy) journalEvict(page string) {
+func (p *Proxy) journalEvict(ctx context.Context, page string) {
 	if p.jnl == nil {
 		return
 	}
 	blob, err := json.Marshal(proxyRecord{Op: "evict", Page: page})
 	if err == nil {
-		err = p.jnl.Append(blob)
+		err = p.jnl.AppendContext(ctx, blob)
 	}
 	if err != nil {
 		p.stats.JournalErrors++

@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -246,10 +247,17 @@ func (n *Node) peerList(except string) []*Node {
 // locally and routed along links with downstream interest. It returns the
 // total number of matched subscriptions across the federation.
 func (n *Node) Publish(c Content) (int, error) {
-	return n.route(c, "", true)
+	return n.PublishContext(context.Background(), c)
 }
 
-func (n *Node) route(c Content, via string, origin bool) (int, error) {
+// PublishContext is Publish with a caller context: every hop of the
+// federation route publishes under ctx, so a traced publication yields
+// one trace spanning all nodes it reached.
+func (n *Node) PublishContext(ctx context.Context, c Content) (int, error) {
+	return n.route(ctx, c, "", true)
+}
+
+func (n *Node) route(ctx context.Context, c Content, via string, origin bool) (int, error) {
 	key := c.ID + "#" + strconv.Itoa(c.Version)
 	n.mu.Lock()
 	if n.seen[key] {
@@ -270,7 +278,7 @@ func (n *Node) route(c Content, via string, origin bool) (int, error) {
 	sort.Slice(forwards, func(i, j int) bool { return forwards[i].name < forwards[j].name })
 	n.mu.Unlock()
 
-	matched, err := n.broker.Publish(c)
+	matched, err := n.broker.PublishContext(ctx, c)
 	if err != nil && origin {
 		return 0, err
 	}
@@ -279,7 +287,7 @@ func (n *Node) route(c Content, via string, origin bool) (int, error) {
 	}
 	total := matched
 	for _, p := range forwards {
-		m, err := p.route(c, n.name, false)
+		m, err := p.route(ctx, c, n.name, false)
 		if err != nil {
 			return total, err
 		}

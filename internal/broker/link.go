@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"pubsubcd/internal/telemetry"
 )
 
 // A RemoteLink bridges a local broker (or federation node) into a
@@ -23,6 +25,22 @@ import (
 // it (a Node routes the publication onward through the federation).
 type Publisher interface {
 	Publish(c Content) (int, error)
+}
+
+// ContextPublisher is an optional extension of Publisher for
+// implementations that carry the caller's context (and trace) through
+// the publish. *Broker and *Node both satisfy it.
+type ContextPublisher interface {
+	Publisher
+	PublishContext(ctx context.Context, c Content) (int, error)
+}
+
+// publishVia dispatches through PublishContext when available.
+func publishVia(ctx context.Context, p Publisher, c Content) (int, error) {
+	if cp, ok := p.(ContextPublisher); ok {
+		return cp.PublishContext(ctx, c)
+	}
+	return p.Publish(c)
 }
 
 // RemoteLink is a live bridge to a remote broker.
@@ -51,8 +69,10 @@ func NewRemoteLink(ctx context.Context, target Publisher, addr string, topics, k
 	all = append(all, WithReconnect(BackoffPolicy{}))
 	all = append(all, opts...)
 	// The notify callback must stay the link's own: applied last so an
-	// option cannot override it.
-	all = append(all, WithNotify(l.onNotify))
+	// option cannot override it. Context-aware so a traced remote
+	// publish continues through the bridge (pass WithClientTracer to
+	// record the bridge's own spans).
+	all = append(all, WithNotifyContext(l.onNotify))
 	client, err := Dial(ctx, addr, all...)
 	if err != nil {
 		return nil, err
@@ -70,18 +90,27 @@ const LinkProxyID = 0
 
 // onNotify bridges one remote publication: fetch the page content and
 // republish it locally. It runs on the client's read loop, so the
-// blocking fetch+publish is handed to a goroutine.
-func (l *RemoteLink) onNotify(n Notification) {
+// blocking fetch+publish is handed to a goroutine. ctx carries the
+// remote publisher's trace (when traced), so the bridge's fetch and
+// the local republish join that trace.
+func (l *RemoteLink) onNotify(ctx context.Context, n Notification) {
 	l.wg.Add(1)
 	go func() {
 		defer l.wg.Done()
-		ctx, cancel := context.WithTimeout(context.Background(), linkFetchTimeout)
+		ctx, sp := telemetry.StartSpan(ctx, "link.bridge")
+		if sp != nil {
+			sp.SetAttr("page", n.PageID)
+			defer sp.End()
+		}
+		ctx, cancel := context.WithTimeout(ctx, linkFetchTimeout)
 		defer cancel()
 		c, err := l.client.Fetch(ctx, n.PageID)
 		if err != nil {
+			sp.SetError(err)
 			return // the retry budget is spent; drop this update
 		}
-		if _, err := l.target.Publish(c); err != nil && !isDuplicatePublish(err) {
+		if _, err := publishVia(ctx, l.target, c); err != nil && !isDuplicatePublish(err) {
+			sp.SetError(err)
 			return
 		}
 	}()
@@ -123,7 +152,13 @@ type clientFetcher struct {
 }
 
 func (f clientFetcher) Fetch(pageID string) (Content, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), f.timeout)
+	return f.FetchContext(context.Background(), pageID)
+}
+
+// FetchContext implements ContextFetcher: the caller's trace rides the
+// fetch frame to the remote broker.
+func (f clientFetcher) FetchContext(ctx context.Context, pageID string) (Content, error) {
+	ctx, cancel := context.WithTimeout(ctx, f.timeout)
 	defer cancel()
 	return f.c.Fetch(ctx, pageID)
 }

@@ -18,6 +18,7 @@ type serverConfig struct {
 	idleTimeout  time.Duration // 0 = default, negative = disabled
 	writeTimeout time.Duration
 	telemetry    *telemetry.Registry
+	spans        *telemetry.SpanCollector
 	listener     net.Listener // non-nil overrides addr
 }
 
@@ -44,6 +45,15 @@ func WithServerTelemetry(reg *telemetry.Registry) ServerOption {
 	return func(c *serverConfig) { c.telemetry = reg }
 }
 
+// WithServerTracer enables distributed tracing on the server: every
+// request is wrapped in a transport.server.<type> span (parented under
+// the client's span when the frame carries a trace context), the
+// broker stages it triggers become child spans, and notify frames sent
+// to subscribers carry the trace onward. Nil disables tracing.
+func WithServerTracer(c *telemetry.SpanCollector) ServerOption {
+	return func(cfg *serverConfig) { cfg.spans = c }
+}
+
 // WithListener serves on an existing listener instead of binding addr.
 // The server takes ownership and closes it on Close. This is the hook
 // the fault-injection harness (faultnet) uses to interpose on accepted
@@ -55,8 +65,10 @@ func WithListener(ln net.Listener) ServerOption {
 // clientConfig is the resolved client configuration.
 type clientConfig struct {
 	notify       func(Notification)
+	notifyCtx    func(context.Context, Notification)
 	writeTimeout time.Duration
 	telemetry    *telemetry.Registry
+	spans        *telemetry.SpanCollector
 
 	reconnect     bool
 	backoff       BackoffPolicy
@@ -117,6 +129,25 @@ type ClientOption func(*clientConfig)
 // returned by Subscribe (stable across reconnects).
 func WithNotify(fn func(Notification)) ClientOption {
 	return func(c *clientConfig) { c.notify = fn }
+}
+
+// WithNotifyContext installs a context-aware notification callback:
+// like WithNotify, but fn also receives a context carrying the trace
+// context the notify frame arrived with (when the sender traced it and
+// a collector is configured via WithClientTracer), so work triggered
+// by the notification continues the publisher's distributed trace.
+// When both WithNotify and WithNotifyContext are set, only fn is
+// invoked.
+func WithNotifyContext(fn func(ctx context.Context, n Notification)) ClientOption {
+	return func(c *clientConfig) { c.notifyCtx = fn }
+}
+
+// WithClientTracer enables distributed tracing on the client: each
+// request wraps in a transport.client.<type> span whose identity rides
+// the request frame, and notification contexts (WithNotifyContext)
+// carry the sender's trace. Nil disables tracing.
+func WithClientTracer(sc *telemetry.SpanCollector) ClientOption {
+	return func(c *clientConfig) { c.spans = sc }
 }
 
 // WithClientWriteTimeout bounds each request write. 0 means

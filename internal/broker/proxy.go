@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -17,6 +18,22 @@ import (
 // to it, so a proxy can fetch across a real network.
 type Fetcher interface {
 	Fetch(pageID string) (Content, error)
+}
+
+// ContextFetcher is an optional extension of Fetcher for
+// implementations that can carry the caller's context (and trace)
+// through the fetch. *Broker satisfies it.
+type ContextFetcher interface {
+	Fetcher
+	FetchContext(ctx context.Context, pageID string) (Content, error)
+}
+
+// fetchVia dispatches through FetchContext when available.
+func fetchVia(ctx context.Context, f Fetcher, pageID string) (Content, error) {
+	if cf, ok := f.(ContextFetcher); ok {
+		return cf.FetchContext(ctx, pageID)
+	}
+	return f.Fetch(pageID)
 }
 
 // Proxy is a content-distribution proxy server: it aggregates its users'
@@ -186,7 +203,9 @@ func NewProxy(id int, b *Broker, strategy core.Strategy, cost float64, opts ...P
 }
 
 var _ PushSink = (*Proxy)(nil)
+var _ ContextPushSink = (*Proxy)(nil)
 var _ Fetcher = (*Broker)(nil)
+var _ ContextFetcher = (*Broker)(nil)
 
 // ID returns the proxy identifier.
 func (p *Proxy) ID() int { return p.id }
@@ -194,6 +213,20 @@ func (p *Proxy) ID() int { return p.id }
 // Push implements PushSink: the content distribution engine offers a
 // freshly published page that matched `matched` local subscriptions.
 func (p *Proxy) Push(c Content, matched int) {
+	p.PushContext(context.Background(), c, matched)
+}
+
+// PushContext implements ContextPushSink: the placement decision (and
+// any journal write it causes) is recorded as a span in the trace
+// active in ctx — typically a child of the broker.push span of the
+// publish that triggered it.
+func (p *Proxy) PushContext(ctx context.Context, c Content, matched int) {
+	ctx, sp := telemetry.StartSpan(ctx, "proxy.push")
+	if sp != nil {
+		sp.SetAttrInt("proxy", int64(p.id))
+		sp.SetAttr("page", c.ID)
+		defer sp.End()
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.stats.PushesSeen++
@@ -205,30 +238,34 @@ func (p *Proxy) Push(c Content, matched int) {
 		p.bodies[c.ID] = c.Body
 		p.versions[c.ID] = c.Version
 		delete(p.warm, c.ID) // the push body supersedes a pending refill
-		p.journalAdmit(c.ID, c.Version, bodySize(c.Body), p.subs[c.ID])
+		p.journalAdmit(ctx, c.ID, c.Version, bodySize(c.Body), p.subs[c.ID])
+		sp.SetAttr("stored", "true")
 	} else {
-		p.evictLocked(c.ID)
+		p.evictLocked(ctx, c.ID)
+		sp.SetAttr("stored", "false")
 	}
 }
 
 // evictLocked drops a page from the cache, journaling the eviction
 // only when the page was actually resident. Caller holds p.mu.
-func (p *Proxy) evictLocked(pageID string) {
+func (p *Proxy) evictLocked(ctx context.Context, pageID string) {
 	_, hadBody := p.bodies[pageID]
 	_, wasWarm := p.warm[pageID]
 	delete(p.bodies, pageID)
 	delete(p.versions, pageID)
 	delete(p.warm, pageID)
 	if hadBody || wasWarm {
-		p.journalEvict(pageID)
+		p.journalEvict(ctx, pageID)
 	}
 }
 
 // fetch runs the primary fetch path and falls through the degradation
 // ladder on failure: serve the stale cached copy when one exists, then
-// the fallback origin. Caller holds p.mu.
-func (p *Proxy) fetch(pageID string, staleBody []byte, haveStale bool) (Content, bool, error) {
-	current, err := p.fetcher.Fetch(pageID)
+// the fallback origin. Caller holds p.mu. The degraded outcome is
+// annotated on the active span in ctx (degraded=stale|origin).
+func (p *Proxy) fetch(ctx context.Context, pageID string, staleBody []byte, haveStale bool) (Content, bool, error) {
+	sp := telemetry.SpanFromContext(ctx)
+	current, err := fetchVia(ctx, p.fetcher, pageID)
 	if err == nil {
 		return current, false, nil
 	}
@@ -241,15 +278,17 @@ func (p *Proxy) fetch(pageID string, staleBody []byte, haveStale bool) (Content,
 		if p.metrics != nil {
 			p.metrics.degradedStale.Inc()
 		}
+		sp.SetAttr("degraded", "stale")
 		return Content{ID: pageID, Version: p.versions[pageID], Body: staleBody}, true, nil
 	}
 	if p.origin != nil {
-		current, oerr := p.origin.Fetch(pageID)
+		current, oerr := fetchVia(ctx, p.origin, pageID)
 		if oerr == nil {
 			p.stats.OriginFallbacks++
 			if p.metrics != nil {
 				p.metrics.originFallbacks.Inc()
 			}
+			sp.SetAttr("degraded", "origin")
 			return current, false, nil
 		}
 	}
@@ -262,6 +301,23 @@ func (p *Proxy) fetch(pageID string, staleBody []byte, haveStale bool) (Content,
 // through pushes and fetches — like a real proxy, it has no invalidation
 // signal for pages its users never subscribed to.
 func (p *Proxy) Request(pageID string) ([]byte, error) {
+	return p.RequestContext(context.Background(), pageID)
+}
+
+// RequestContext is Request with a caller context. The serve is
+// recorded as a proxy.request span in any trace active in ctx, with
+// an outcome attribute (hit, stale_refresh, warm_refill, miss) and
+// degradation attributes when the fetch path was down.
+func (p *Proxy) RequestContext(ctx context.Context, pageID string) (body []byte, err error) {
+	ctx, sp := telemetry.StartSpan(ctx, "proxy.request")
+	if sp != nil {
+		sp.SetAttrInt("proxy", int64(p.id))
+		sp.SetAttr("page", pageID)
+		defer func() {
+			sp.SetError(err)
+			sp.End()
+		}()
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.stats.Requests++
@@ -271,12 +327,14 @@ func (p *Proxy) Request(pageID string) ([]byte, error) {
 		hit, stored := p.strategy.Request(meta, p.latest[pageID], p.subs[pageID])
 		if hit && p.versions[pageID] >= p.latest[pageID] {
 			p.stats.Hits++
+			sp.SetAttr("outcome", "hit")
 			return body, nil
 		}
 		// Stale copy: refetch and, when the strategy keeps the page,
 		// refresh the stored body. If the fetch path is down, degrade
 		// to the stale copy rather than failing the user.
-		current, degraded, err := p.fetch(pageID, body, true)
+		sp.SetAttr("outcome", "stale_refresh")
+		current, degraded, err := p.fetch(ctx, pageID, body, true)
 		if err != nil {
 			return nil, err
 		}
@@ -288,18 +346,20 @@ func (p *Proxy) Request(pageID string) ([]byte, error) {
 		if stored {
 			p.bodies[pageID] = current.Body
 			p.versions[pageID] = current.Version
-			p.journalAdmit(pageID, current.Version, bodySize(current.Body), p.subs[pageID])
+			p.journalAdmit(ctx, pageID, current.Version, bodySize(current.Body), p.subs[pageID])
 		} else {
-			p.evictLocked(pageID)
+			p.evictLocked(ctx, pageID)
 		}
 		return current.Body, nil
 	}
 
 	if _, warm := p.warm[pageID]; warm {
-		return p.refillWarm(pageID)
+		sp.SetAttr("outcome", "warm_refill")
+		return p.refillWarm(ctx, pageID)
 	}
 
-	current, degraded, err := p.fetch(pageID, nil, false)
+	sp.SetAttr("outcome", "miss")
+	current, degraded, err := p.fetch(ctx, pageID, nil, false)
 	if err != nil {
 		return nil, err
 	}
@@ -313,7 +373,7 @@ func (p *Proxy) Request(pageID string) ([]byte, error) {
 	if stored {
 		p.bodies[pageID] = current.Body
 		p.versions[pageID] = current.Version
-		p.journalAdmit(pageID, current.Version, bodySize(current.Body), p.subs[pageID])
+		p.journalAdmit(ctx, pageID, current.Version, bodySize(current.Body), p.subs[pageID])
 	}
 	return current.Body, nil
 }
@@ -323,11 +383,11 @@ func (p *Proxy) Request(pageID string) ([]byte, error) {
 // and when the strategy keeps the page, fill the cache. A failed
 // fetch leaves the warm placement intact — a transient outage should
 // not cost a recovered slot. Caller holds p.mu.
-func (p *Proxy) refillWarm(pageID string) ([]byte, error) {
+func (p *Proxy) refillWarm(ctx context.Context, pageID string) ([]byte, error) {
 	size := p.warm[pageID]
 	meta := core.PageMeta{ID: p.numericID(pageID), Size: size, Cost: p.cost}
 	_, stored := p.strategy.Request(meta, p.latest[pageID], p.subs[pageID])
-	current, degraded, err := p.fetch(pageID, nil, false)
+	current, degraded, err := p.fetch(ctx, pageID, nil, false)
 	if err != nil {
 		return nil, err
 	}
@@ -341,9 +401,9 @@ func (p *Proxy) refillWarm(pageID string) ([]byte, error) {
 		p.bodies[pageID] = current.Body
 		p.versions[pageID] = current.Version
 		delete(p.warm, pageID)
-		p.journalAdmit(pageID, current.Version, bodySize(current.Body), p.subs[pageID])
+		p.journalAdmit(ctx, pageID, current.Version, bodySize(current.Body), p.subs[pageID])
 	} else {
-		p.evictLocked(pageID)
+		p.evictLocked(ctx, pageID)
 	}
 	return current.Body, nil
 }

@@ -27,6 +27,12 @@ type brokerTelemetry struct {
 	fetchNanos   *telemetry.Histogram
 	matchFanout  *telemetry.Histogram
 	pushFanout   *telemetry.Histogram
+
+	// SLO counters: a publish "hits" the SLO when the whole
+	// publish→match→notify→placement fan-out completes within the
+	// budget (see Broker.SetPublishSLO).
+	sloHits   *telemetry.Counter
+	sloMisses *telemetry.Counter
 }
 
 // EnableTelemetry wires the broker to a metrics registry and an
@@ -54,6 +60,8 @@ func (b *Broker) EnableTelemetry(reg *telemetry.Registry, tracer *telemetry.Trac
 		fetchNanos:    reg.Histogram("broker.fetch_ns", lat),
 		matchFanout:   reg.Histogram("broker.match_fanout", fan),
 		pushFanout:    reg.Histogram("broker.push_fanout", fan),
+		sloHits:       reg.Counter("broker.slo.publish_to_placement.hit"),
+		sloMisses:     reg.Counter("broker.slo.publish_to_placement.miss"),
 	})
 }
 

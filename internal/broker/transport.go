@@ -43,6 +43,12 @@ type wireMessage struct {
 	SubID   int64  `json:"subId,omitempty"`
 	// Notification payload.
 	Notification *Notification `json:"notification,omitempty"`
+	// Trace is the optional distributed-trace context of the sender
+	// ("<32 hex trace ID>-<16 hex span ID>", see telemetry.SpanContext).
+	// Peers that predate tracing ignore the field; receivers treat a
+	// malformed value as absent — propagation is best-effort and never
+	// fails a request.
+	Trace string `json:"trace,omitempty"`
 }
 
 // decodeWireMessage parses one request line off the wire. It is the
@@ -128,6 +134,17 @@ func (m *serverMetrics) key(msgType string) string {
 	return "unknown"
 }
 
+// wireTypeKey maps a wire type to its span-name suffix, collapsing
+// unknown types so hostile input cannot mint unbounded span names.
+func wireTypeKey(msgType string) string {
+	for _, t := range wireTypes {
+		if t == msgType {
+			return t
+		}
+	}
+	return "unknown"
+}
+
 // Server exposes a Broker over TCP.
 type Server struct {
 	broker       *Broker
@@ -135,6 +152,7 @@ type Server struct {
 	idleTimeout  time.Duration
 	writeTimeout time.Duration
 	metrics      *serverMetrics
+	spans        *telemetry.SpanCollector // nil = tracing off
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -170,6 +188,7 @@ func NewServer(b *Broker, addr string, opts ...ServerOption) (*Server, error) {
 		idleTimeout:  defaultTimeout(cfg.idleTimeout, DefaultIdleTimeout),
 		writeTimeout: defaultTimeout(cfg.writeTimeout, DefaultWriteTimeout),
 		metrics:      newServerMetrics(cfg.telemetry),
+		spans:        cfg.spans,
 		conns:        make(map[net.Conn]struct{}),
 	}
 	s.wg.Add(1)
@@ -267,6 +286,10 @@ func (s *Server) draining() bool {
 	defer s.mu.Unlock()
 	return s.closed
 }
+
+// Accepting reports whether the server is still accepting traffic —
+// false once Close or Shutdown has begun. Suitable as a /readyz check.
+func (s *Server) Accepting() bool { return !s.draining() }
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
@@ -411,7 +434,14 @@ func (s *Server) handle(conn net.Conn) {
 			sm.recv[sm.key(m.Type)].Inc()
 			start = time.Now()
 		}
-		resp := s.dispatch(&m, cw, &subIDs)
+		ctx, sp := s.requestSpan(&m)
+		resp := s.dispatch(ctx, &m, cw, &subIDs)
+		if sp != nil {
+			if resp.Error != "" {
+				sp.SetError(errors.New(resp.Error))
+			}
+			sp.End()
+		}
 		if sm != nil {
 			sm.handleNanos[sm.key(m.Type)].Observe(time.Since(start).Nanoseconds())
 		}
@@ -422,20 +452,63 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-func (s *Server) dispatch(m *wireMessage, cw *connWriter, subIDs *[]int64) wireMessage {
+// requestSpan builds the per-request context: when tracing is on, the
+// incoming frame's trace context (if any) becomes the remote parent
+// and a transport.server.<type> span wraps the dispatch. With tracing
+// off it returns a background context and a nil span.
+func (s *Server) requestSpan(m *wireMessage) (context.Context, *telemetry.Span) {
+	if s.spans == nil {
+		return context.Background(), nil
+	}
+	ctx := telemetry.WithSpanCollector(context.Background(), s.spans)
+	if m.Trace != "" {
+		if sc, err := telemetry.ParseSpanContext(m.Trace); err == nil {
+			ctx = telemetry.WithRemoteSpanContext(ctx, sc)
+		}
+	}
+	return telemetry.StartSpan(ctx, "transport.server."+wireTypeKey(m.Type))
+}
+
+// connNotifier delivers a subscription's notifications over the
+// connection. It is context-aware: a notify caused by a traced publish
+// carries a transport.server.notify span whose identity rides the
+// notify frame, so the subscriber's reaction (e.g. a federation link's
+// bridge fetch) continues the publish's trace.
+type connNotifier struct {
+	s  *Server
+	cw *connWriter
+}
+
+func (cn connNotifier) Notify(n Notification) { cn.NotifyContext(context.Background(), n) }
+
+func (cn connNotifier) NotifyContext(ctx context.Context, n Notification) {
+	m := wireMessage{Type: msgNotify, Notification: &n}
+	_, sp := telemetry.StartSpan(ctx, "transport.server.notify")
+	if sp != nil {
+		sp.SetAttr("page", n.PageID)
+		m.Trace = sp.Context().String()
+	} else if sc := telemetry.SpanContextFromContext(ctx); sc.Valid() {
+		// No local collector but the caller is traced: still propagate.
+		m.Trace = sc.String()
+	}
+	err := cn.cw.send(m)
+	if err == nil {
+		if sm := cn.s.metrics; sm != nil {
+			sm.notifySends.Inc()
+		}
+	}
+	sp.SetError(err)
+	sp.End()
+}
+
+func (s *Server) dispatch(ctx context.Context, m *wireMessage, cw *connWriter, subIDs *[]int64) wireMessage {
 	switch m.Type {
 	case msgSubscribe:
-		id, err := s.broker.Subscribe(match.Subscription{
+		id, err := s.broker.SubscribeContext(ctx, match.Subscription{
 			Proxy:    m.Proxy,
 			Topics:   m.Topics,
 			Keywords: m.Keywords,
-		}, NotifierFunc(func(n Notification) {
-			if err := cw.send(wireMessage{Type: msgNotify, Notification: &n}); err == nil {
-				if sm := s.metrics; sm != nil {
-					sm.notifySends.Inc()
-				}
-			}
-		}))
+		}, connNotifier{s: s, cw: cw})
 		if err != nil {
 			return wireMessage{Type: msgResponse, Error: err.Error()}
 		}
@@ -451,7 +524,7 @@ func (s *Server) dispatch(m *wireMessage, cw *connWriter, subIDs *[]int64) wireM
 		if err != nil {
 			return wireMessage{Type: msgResponse, Error: "bad body encoding: " + err.Error()}
 		}
-		matched, err := s.broker.Publish(Content{
+		matched, err := s.broker.PublishContext(ctx, Content{
 			ID:       m.ID,
 			Version:  m.Version,
 			Topics:   m.Topics,
@@ -463,7 +536,7 @@ func (s *Server) dispatch(m *wireMessage, cw *connWriter, subIDs *[]int64) wireM
 		}
 		return wireMessage{Type: msgResponse, OK: true, Matched: matched}
 	case msgFetch:
-		c, err := s.broker.Fetch(m.ID)
+		c, err := s.broker.FetchContext(ctx, m.ID)
 		if err != nil {
 			return wireMessage{Type: msgResponse, Error: err.Error()}
 		}

@@ -21,6 +21,7 @@
 package journal
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -140,11 +141,12 @@ type Options struct {
 // telemetry registry hands out detached metrics when nil, so these
 // are always usable.
 type metrics struct {
-	appends      *telemetry.Counter
-	appendErrors *telemetry.Counter
-	fsyncs       *telemetry.Counter
-	truncations  *telemetry.Counter
-	snapshots    *telemetry.Counter
+	appends       *telemetry.Counter
+	appendErrors  *telemetry.Counter
+	fsyncs        *telemetry.Counter
+	truncations   *telemetry.Counter
+	snapshots     *telemetry.Counter
+	snapshotNanos *telemetry.Histogram
 }
 
 // ReplayStats describes what Open found in the directory.
@@ -209,11 +211,12 @@ func Open(dir string, opts Options) (*Journal, error) {
 		fs:     fsys,
 		policy: opts.Fsync,
 		m: metrics{
-			appends:      reg.Counter(prefix + ".appends"),
-			appendErrors: reg.Counter(prefix + ".append_errors"),
-			fsyncs:       reg.Counter(prefix + ".fsyncs"),
-			truncations:  reg.Counter(prefix + ".replay_truncations"),
-			snapshots:    reg.Counter(prefix + ".snapshots"),
+			appends:       reg.Counter(prefix + ".appends"),
+			appendErrors:  reg.Counter(prefix + ".append_errors"),
+			fsyncs:        reg.Counter(prefix + ".fsyncs"),
+			truncations:   reg.Counter(prefix + ".replay_truncations"),
+			snapshots:     reg.Counter(prefix + ".snapshots"),
+			snapshotNanos: reg.Histogram(prefix+".snapshot_ns", telemetry.LatencyBuckets()),
 		},
 	}
 	j.syncWait = sync.NewCond(&j.mu)
@@ -470,6 +473,31 @@ func (j *Journal) waitSyncedLocked(seq uint64) error {
 	return err
 }
 
+// AppendContext is Append, recorded as a "journal.append" span when ctx
+// carries an active trace — the span covers the OS write and, under
+// FsyncAlways, the (group-committed) fsync wait, so traces show exactly
+// where durability cost lands in the pipeline.
+func (j *Journal) AppendContext(ctx context.Context, rec []byte) error {
+	_, sp := telemetry.StartSpan(ctx, "journal.append")
+	if sp != nil {
+		sp.SetAttrInt("bytes", int64(len(rec)))
+		sp.SetAttr("fsync", j.policy.String())
+	}
+	err := j.Append(rec)
+	sp.SetError(err)
+	sp.End()
+	return err
+}
+
+// Healthy reports the journal's sticky error state: nil while usable,
+// the poisoning error after a failed write or fsync, ErrClosed after
+// Close or Crash. Health endpoints surface this.
+func (j *Journal) Healthy() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.usableLocked()
+}
+
 // Sync forces everything appended so far to stable storage.
 func (j *Journal) Sync() error {
 	j.mu.Lock()
@@ -515,6 +543,8 @@ func (j *Journal) WriteSnapshot(blob []byte) error {
 	if len(blob) > MaxRecordSize {
 		return fmt.Errorf("journal: snapshot of %d bytes exceeds max %d", len(blob), MaxRecordSize)
 	}
+	start := time.Now()
+	defer func() { j.m.snapshotNanos.Observe(time.Since(start).Nanoseconds()) }()
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if err := j.usableLocked(); err != nil {

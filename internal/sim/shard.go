@@ -1,10 +1,12 @@
 package sim
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
 	"pubsubcd/internal/core"
+	"pubsubcd/internal/telemetry"
 	"pubsubcd/internal/workload"
 )
 
@@ -63,14 +65,26 @@ func (sh *shard) run() {
 	}
 }
 
+// runTraced replays the shard under a sim.shard span (a no-op nil span
+// when tracing is off, so the hot event loop itself stays untouched).
+func (sh *shard) runTraced(ctx context.Context) {
+	_, sp := telemetry.StartSpan(ctx, "sim.shard")
+	if sp != nil {
+		sp.SetAttrInt("server", int64(sh.server))
+		sp.SetAttrInt("events", int64(len(sh.stream)))
+	}
+	sh.run()
+	sp.End()
+}
+
 // runShards executes the shards on a bounded worker pool of the given
 // parallelism (≥ 1). Shards are claimed in index order off an atomic
 // cursor; with parallelism 1 this degenerates to an in-order sequential
 // replay on the calling goroutine.
-func runShards(shards []*shard, parallelism int) {
+func runShards(ctx context.Context, shards []*shard, parallelism int) {
 	if parallelism <= 1 {
 		for _, sh := range shards {
-			sh.run()
+			sh.runTraced(ctx)
 		}
 		return
 	}
@@ -88,7 +102,7 @@ func runShards(shards []*shard, parallelism int) {
 				if i >= len(shards) {
 					return
 				}
-				shards[i].run()
+				shards[i].runTraced(ctx)
 			}
 		}()
 	}

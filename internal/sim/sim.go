@@ -11,6 +11,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -44,6 +45,11 @@ type Options struct {
 	// bit-identical for every value: shards share no mutable state and
 	// are merged in fixed server order.
 	Parallelism int
+	// Spans, when non-nil, records the run as a span tree: a sim.run
+	// root with one sim.shard child per proxy (server and event-count
+	// attributes), so per-shard wall time is visible on /trace/{id}.
+	// Nil keeps the run untraced at zero cost.
+	Spans *telemetry.SpanCollector
 }
 
 // DefaultOptions returns the paper's most common setting: 5 % capacity,
@@ -251,7 +257,16 @@ func Run(w *workload.Workload, factory core.Factory, opts Options) (*Result, err
 	if parallelism == 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
-	runShards(shards, parallelism)
+	ctx := telemetry.WithSpanCollector(context.Background(), opts.Spans)
+	ctx, sp := telemetry.StartSpan(ctx, "sim.run")
+	if sp != nil {
+		sp.SetAttr("strategy", factory.Name)
+		sp.SetAttr("trace", string(w.Config.Trace()))
+		sp.SetAttrInt("servers", int64(servers))
+		sp.SetAttrInt("parallelism", int64(parallelism))
+	}
+	runShards(ctx, shards, parallelism)
+	sp.End()
 
 	res := &Result{
 		Strategy:                factory.Name,

@@ -7,31 +7,83 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
+	"sync"
 	"time"
 )
 
-// AdminServer exposes a registry and tracer over HTTP for live
-// inspection of a running process:
+// AdminServer exposes the process's observability surface over HTTP:
 //
-//	/metrics        registry snapshot as JSON (expvar-style)
-//	/metrics?text=1 plain-text summary
-//	/trace          retained trace events as JSON
-//	/trace?page=X   events for one page ID
-//	/trace?n=100    at most the last 100 matching events
-//	/debug/pprof/   the standard pprof index (profile, heap, goroutine…)
+//	/metrics         registry snapshot as JSON (expvar-style)
+//	/metrics?text=1  plain-text summary
+//	/trace           retained ring-buffer trace events as JSON
+//	/trace?page=X    events for one page ID
+//	/trace?n=100     at most the last 100 matching events
+//	/traces          retained span traces (recent + slowest + errored)
+//	/trace/{id}      one span trace rendered as a tree (?text=1 for an
+//	                 indented plain-text view with per-stage durations)
+//	/healthz         liveness: 200 once the process is up
+//	/readyz          readiness: runs the registered health checks,
+//	                 503 when any fails
+//	/debug/pprof/    the standard pprof index (profile, heap, goroutine…)
 type AdminServer struct {
-	ln  net.Listener
-	srv *http.Server
+	ln    net.Listener
+	srv   *http.Server
+	start time.Time
+
+	mu     sync.Mutex
+	checks map[string]func() error
+}
+
+// AdminOption configures NewAdminServer beyond the registry and event
+// tracer.
+type AdminOption func(*adminConfig)
+
+type adminConfig struct {
+	spans  *SpanCollector
+	checks map[string]func() error
+}
+
+// WithSpans serves the collector's span traces on /traces and
+// /trace/{id}.
+func WithSpans(c *SpanCollector) AdminOption {
+	return func(cfg *adminConfig) { cfg.spans = c }
+}
+
+// WithHealthCheck registers a named readiness check evaluated by
+// /readyz; a nil error means healthy. Checks can also be added after
+// startup with RegisterHealthCheck.
+func WithHealthCheck(name string, check func() error) AdminOption {
+	return func(cfg *adminConfig) {
+		if cfg.checks == nil {
+			cfg.checks = make(map[string]func() error)
+		}
+		cfg.checks[name] = check
+	}
 }
 
 // NewAdminServer starts the admin endpoint on addr (e.g.
 // "127.0.0.1:6060"; use port 0 for an ephemeral port). reg and tr may
 // be nil; the corresponding endpoints then serve empty data.
-func NewAdminServer(addr string, reg *Registry, tr *Tracer) (*AdminServer, error) {
+func NewAdminServer(addr string, reg *Registry, tr *Tracer, opts ...AdminOption) (*AdminServer, error) {
+	var cfg adminConfig
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &AdminServer{
+		ln:     ln,
+		start:  time.Now(),
+		checks: cfg.checks,
+	}
+	if s.checks == nil {
+		s.checks = make(map[string]func() error)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -41,10 +93,7 @@ func NewAdminServer(addr string, reg *Registry, tr *Tracer) (*AdminServer, error
 			_ = snap.WriteSummary(w)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(snap)
+		writeJSON(w, snap)
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		events := tr.DumpPage(r.URL.Query().Get("page"))
@@ -58,11 +107,57 @@ func NewAdminServer(addr string, reg *Registry, tr *Tracer) (*AdminServer, error
 				events = events[len(events)-n:]
 			}
 		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(events)
+		writeJSON(w, events)
 	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		type summary struct {
+			TraceID   TraceID       `json:"traceId"`
+			Root      string        `json:"root"`
+			Start     time.Time     `json:"start"`
+			Duration  time.Duration `json:"durationNs"`
+			Spans     int           `json:"spans"`
+			Err       bool          `json:"err"`
+			Truncated bool          `json:"truncated,omitempty"`
+		}
+		traces := cfg.spans.Traces()
+		out := struct {
+			Stats  CollectorStats `json:"stats"`
+			Traces []summary      `json:"traces"`
+		}{Stats: cfg.spans.Stats(), Traces: make([]summary, 0, len(traces))}
+		for _, td := range traces {
+			out.Traces = append(out.Traces, summary{
+				TraceID: td.TraceID, Root: td.Root, Start: td.Start,
+				Duration: td.Duration, Spans: len(td.Spans),
+				Err: td.Err, Truncated: td.Truncated,
+			})
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("/trace/{id}", func(w http.ResponseWriter, r *http.Request) {
+		var tid TraceID
+		if err := tid.UnmarshalText([]byte(r.PathValue("id"))); err != nil {
+			http.Error(w, "bad trace ID: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		td, ok := cfg.spans.Trace(tid)
+		if !ok {
+			http.Error(w, "trace not retained", http.StatusNotFound)
+			return
+		}
+		if r.URL.Query().Get("text") != "" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = td.WriteTree(w)
+			return
+		}
+		writeJSON(w, td)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"status": "ok",
+			"uptime": time.Since(s.start).String(),
+		})
+	})
+	mux.HandleFunc("/readyz", s.handleReady)
 	// pprof must be mounted explicitly: the package's init only touches
 	// http.DefaultServeMux, which this server does not use.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -71,12 +166,9 @@ func NewAdminServer(addr string, reg *Registry, tr *Tracer) (*AdminServer, error
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
-	s := &AdminServer{
-		ln: ln,
-		srv: &http.Server{
-			Handler:           mux,
-			ReadHeaderTimeout: 10 * time.Second,
-		},
+	s.srv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
 	}
 	go func() {
 		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -86,6 +178,57 @@ func NewAdminServer(addr string, reg *Registry, tr *Tracer) (*AdminServer, error
 		}
 	}()
 	return s, nil
+}
+
+// writeJSON writes v as indented JSON.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// RegisterHealthCheck adds (or replaces) a named readiness check after
+// startup — components that come up after the admin endpoint (the
+// broker's journal, the transport listener, an uplink) register
+// themselves here.
+func (s *AdminServer) RegisterHealthCheck(name string, check func() error) {
+	s.mu.Lock()
+	s.checks[name] = check
+	s.mu.Unlock()
+}
+
+// handleReady runs every registered check and reports per-check status;
+// 503 when any check fails.
+func (s *AdminServer) handleReady(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.checks))
+	checks := make(map[string]func() error, len(s.checks))
+	for name, fn := range s.checks {
+		names = append(names, name)
+		checks[name] = fn
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	results := make(map[string]string, len(names))
+	ready := true
+	for _, name := range names {
+		if err := checks[name](); err != nil {
+			results[name] = err.Error()
+			ready = false
+		} else {
+			results[name] = "ok"
+		}
+	}
+	status := "ready"
+	w.Header().Set("Content-Type", "application/json")
+	if !ready {
+		status = "not ready"
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(map[string]any{"status": status, "checks": results})
 }
 
 // Addr returns the server's listen address.

@@ -1,0 +1,82 @@
+package telemetry
+
+// Structured logging on top of log/slog, correlated with the tracing
+// subsystem: every log record emitted with a context that carries an
+// active span (or a remote span context parsed off the wire) gains
+// trace_id/span_id attributes, so logs and traces cross-reference in
+// both directions.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLogLevel parses the -log-level flag enum: debug, info, warn or
+// error.
+func ParseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf(`telemetry: invalid log level %q (want "debug", "info", "warn" or "error")`, s)
+	}
+}
+
+// NewLogger builds a leveled slog.Logger writing to w. format selects
+// the handler: "text" for human-readable key=value lines, "json" for
+// one JSON object per line. Records logged with a context carrying a
+// span are annotated with trace_id and span_id.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	lvl, err := ParseLogLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "text", "":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf(`telemetry: invalid log format %q (want "text" or "json")`, format)
+	}
+	return slog.New(&correlatedHandler{inner: h}), nil
+}
+
+// correlatedHandler decorates records with the trace correlation fields
+// from the context.
+type correlatedHandler struct {
+	inner slog.Handler
+}
+
+func (h *correlatedHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *correlatedHandler) Handle(ctx context.Context, r slog.Record) error {
+	if sc := SpanContextFromContext(ctx); sc.Valid() {
+		r.AddAttrs(
+			slog.String("trace_id", sc.TraceID.String()),
+			slog.String("span_id", sc.SpanID.String()),
+		)
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+func (h *correlatedHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &correlatedHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h *correlatedHandler) WithGroup(name string) slog.Handler {
+	return &correlatedHandler{inner: h.inner.WithGroup(name)}
+}

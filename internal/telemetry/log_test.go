@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLogLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"info":  slog.LevelInfo,
+		"INFO":  slog.LevelInfo,
+		"warn":  slog.LevelWarn,
+		"error": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLogLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLogLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLogLevel("verbose"); err == nil {
+		t.Error("ParseLogLevel accepted an unknown level")
+	}
+}
+
+func TestNewLoggerRejectsBadInputs(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewLogger(&buf, "chatty", "text"); err == nil {
+		t.Error("NewLogger accepted a bad level")
+	}
+	if _, err := NewLogger(&buf, "info", "xml"); err == nil {
+		t.Error("NewLogger accepted a bad format")
+	}
+}
+
+func TestLoggerLevelsFilter(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := NewLogger(&buf, "warn", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("should be filtered")
+	logger.Warn("should appear")
+	out := buf.String()
+	if strings.Contains(out, "filtered") {
+		t.Error("info record passed a warn-level logger")
+	}
+	if !strings.Contains(out, "should appear") {
+		t.Error("warn record missing")
+	}
+}
+
+func TestLoggerCorrelatesTraceIDs(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := NewLogger(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewSpanCollector(CollectorOptions{})
+	ctx, sp := StartSpan(WithSpanCollector(context.Background(), c), "broker.publish")
+	defer sp.End()
+
+	logger.InfoContext(ctx, "page stored", "page", "p1")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["trace_id"] != sp.Context().TraceID.String() {
+		t.Errorf("trace_id = %v, want %s", rec["trace_id"], sp.Context().TraceID)
+	}
+	if rec["span_id"] != sp.Context().SpanID.String() {
+		t.Errorf("span_id = %v, want %s", rec["span_id"], sp.Context().SpanID)
+	}
+	if rec["page"] != "p1" {
+		t.Errorf("page attr = %v", rec["page"])
+	}
+
+	// Without a span in the context there must be no correlation noise.
+	buf.Reset()
+	logger.Info("no span here")
+	if strings.Contains(buf.String(), "trace_id") {
+		t.Errorf("uncorrelated record gained trace_id: %s", buf.String())
+	}
+}
+
+func TestLoggerCorrelatesRemoteContext(t *testing.T) {
+	// A record logged under a remote span context (trace parsed off the
+	// wire, no local collector) still carries the IDs.
+	var buf bytes.Buffer
+	logger, err := NewLogger(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := SpanContext{TraceID: newTraceID(), SpanID: newSpanID()}
+	ctx := WithRemoteSpanContext(context.Background(), sc)
+	logger.InfoContext(ctx, "bridged")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["trace_id"] != sc.TraceID.String() || rec["span_id"] != sc.SpanID.String() {
+		t.Errorf("remote correlation missing: %v", rec)
+	}
+}
+
+func TestLoggerWithAttrsAndGroupKeepCorrelation(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := NewLogger(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewSpanCollector(CollectorOptions{})
+	ctx, sp := StartSpan(WithSpanCollector(context.Background(), c), "op")
+	defer sp.End()
+
+	derived := logger.With("component", "uplink").WithGroup("conn")
+	derived.InfoContext(ctx, "redial", "attempt", 3)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["component"] != "uplink" {
+		t.Errorf("With attr lost: %v", rec)
+	}
+	conn, _ := rec["conn"].(map[string]any)
+	if conn == nil || conn["attempt"] != float64(3) {
+		t.Errorf("group lost: %v", rec)
+	}
+	if conn["trace_id"] != sp.Context().TraceID.String() {
+		t.Errorf("correlation under group: %v", rec)
+	}
+}

@@ -204,8 +204,26 @@ type (
 	EventTracer = telemetry.Tracer
 	// TraceEvent is one recorded tracer event.
 	TraceEvent = telemetry.TraceEvent
-	// AdminServer serves /metrics, /trace and /debug/pprof over HTTP.
+	// AdminServer serves /metrics, /trace, /traces, /healthz, /readyz
+	// and /debug/pprof over HTTP.
 	AdminServer = telemetry.AdminServer
+	// AdminOption configures NewAdminServer (span traces, health
+	// checks).
+	AdminOption = telemetry.AdminOption
+
+	// Span is one stage of a distributed trace; a nil *Span is the
+	// zero-cost disabled form.
+	Span = telemetry.Span
+	// SpanContext is a span's portable identity — what crosses the wire
+	// so a peer can continue the trace.
+	SpanContext = telemetry.SpanContext
+	// SpanCollector retains bounded trace trees (recent, slowest,
+	// errored) served on /traces and /trace/{id}.
+	SpanCollector = telemetry.SpanCollector
+	// SpanCollectorOptions bounds a SpanCollector.
+	SpanCollectorOptions = telemetry.CollectorOptions
+	// TraceData is one finalised span trace.
+	TraceData = telemetry.TraceData
 )
 
 // Telemetry constructors and helpers.
@@ -220,6 +238,20 @@ var (
 	LatencyBuckets = telemetry.LatencyBuckets
 	SizeBuckets    = telemetry.SizeBuckets
 	CountBuckets   = telemetry.CountBuckets
+
+	// Distributed tracing: install a collector in a context with
+	// WithSpanCollector, then StartSpan at each stage; spans started
+	// without a reachable collector are free no-ops. WithSpans serves a
+	// collector on the admin endpoint.
+	NewSpanCollector  = telemetry.NewSpanCollector
+	StartSpan         = telemetry.StartSpan
+	WithSpanCollector = telemetry.WithSpanCollector
+	WithSpans         = telemetry.WithSpans
+	WithHealthCheck   = telemetry.WithHealthCheck
+	// NewStructuredLogger builds the slog logger used by the cmds:
+	// leveled, text or JSON, and annotated with trace_id/span_id when a
+	// record is logged under an active span context.
+	NewStructuredLogger = telemetry.NewLogger
 )
 
 // Broker (live publish/subscribe system).
