@@ -7,9 +7,19 @@
 // carries a "speedup" block with the sequential/parallel ns-per-op
 // ratio — the headline number for the per-proxy sharding work.
 //
+// With -baseline, the parsed results are also compared against a
+// committed baseline document (the same JSON shape, e.g.
+// BENCH_sim.json): any benchmark present in both that regresses by
+// more than -max-ns-regression in ns/op or -max-allocs-regression in
+// allocs/op fails the run with a non-zero exit, turning the CI bench
+// smoke into a regression gate. Benchmarks only on one side are
+// reported but never fail the gate, so adding or retiring a bench
+// doesn't break CI.
+//
 // Usage:
 //
 //	go test -bench='BenchmarkSimulationRun' -benchtime=1x . | benchjson -out bench.json
+//	go test -bench=. -benchtime=1x . | benchjson -baseline BENCH_sim.json
 package main
 
 import (
@@ -58,6 +68,9 @@ func main() {
 func run(args []string, in io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	out := fs.String("out", "", "write JSON to this file instead of stdout")
+	baseline := fs.String("baseline", "", "baseline report JSON to gate against (empty disables the gate)")
+	maxNs := fs.Float64("max-ns-regression", 0.15, "fail when ns/op regresses by more than this fraction over the baseline")
+	maxAllocs := fs.Float64("max-allocs-regression", 0.10, "fail when allocs/op regresses by more than this fraction over the baseline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -79,7 +92,74 @@ func run(args []string, in io.Reader, stdout io.Writer) error {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if *baseline != "" {
+		base, err := loadReport(*baseline)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		return gate(os.Stderr, base, rep, *maxNs, *maxAllocs)
+	}
+	return nil
+}
+
+// loadReport reads a previously emitted Report document.
+func loadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// gate compares current against baseline per benchmark name and fails
+// when ns/op or allocs/op regress past the allowed fractions. Every
+// comparison is printed so the CI log shows the margin, not just the
+// verdict.
+func gate(log io.Writer, base, cur *Report, maxNs, maxAllocs float64) error {
+	byName := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	var failures []string
+	for _, c := range cur.Benchmarks {
+		b, ok := byName[c.Name]
+		if !ok {
+			fmt.Fprintf(log, "gate: %s: no baseline, skipped\n", c.Name)
+			continue
+		}
+		delete(byName, c.Name)
+		if b.NsPerOp > 0 {
+			frac := c.NsPerOp/b.NsPerOp - 1
+			fmt.Fprintf(log, "gate: %s: ns/op %.0f -> %.0f (%+.1f%%, limit +%.0f%%)\n",
+				c.Name, b.NsPerOp, c.NsPerOp, frac*100, maxNs*100)
+			if frac > maxNs {
+				failures = append(failures, fmt.Sprintf("%s ns/op regressed %+.1f%%", c.Name, frac*100))
+			}
+		}
+		if b.AllocsPerOp > 0 {
+			frac := float64(c.AllocsPerOp)/float64(b.AllocsPerOp) - 1
+			fmt.Fprintf(log, "gate: %s: allocs/op %d -> %d (%+.1f%%, limit +%.0f%%)\n",
+				c.Name, b.AllocsPerOp, c.AllocsPerOp, frac*100, maxAllocs*100)
+			if frac > maxAllocs {
+				failures = append(failures, fmt.Sprintf("%s allocs/op regressed %+.1f%%", c.Name, frac*100))
+			}
+		}
+	}
+	for name := range byName {
+		fmt.Fprintf(log, "gate: %s: in baseline but not in this run\n", name)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench regression gate failed: %s", strings.Join(failures, "; "))
+	}
+	return nil
 }
 
 // parse scans `go test -bench` output. Result lines look like

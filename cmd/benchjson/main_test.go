@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"math"
+	"os"
 	"strings"
 	"testing"
 )
@@ -76,5 +77,71 @@ func TestRunEmptyInput(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(nil, strings.NewReader("PASS\n"), &out); err == nil {
 		t.Error("expected an error for input with no benchmark lines")
+	}
+}
+
+func gateReports(nsFactor, allocFactor float64) (base, cur *Report) {
+	base = &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkSimulationRun", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "BenchmarkRetired", NsPerOp: 10},
+	}}
+	cur = &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkSimulationRun", NsPerOp: 1000 * nsFactor, AllocsPerOp: int64(100 * allocFactor)},
+		{Name: "BenchmarkBrandNew", NsPerOp: 5},
+	}}
+	return base, cur
+}
+
+func TestGatePassesWithinBudget(t *testing.T) {
+	base, cur := gateReports(1.10, 1.05) // +10% ns, +5% allocs: inside 15%/10%
+	var log bytes.Buffer
+	if err := gate(&log, base, cur, 0.15, 0.10); err != nil {
+		t.Fatalf("gate failed inside budget: %v\n%s", err, log.String())
+	}
+	// New and retired benches are reported, not failed.
+	if !strings.Contains(log.String(), "BenchmarkBrandNew") || !strings.Contains(log.String(), "BenchmarkRetired") {
+		t.Errorf("gate log should mention unmatched benches:\n%s", log.String())
+	}
+}
+
+func TestGateFailsOnNsRegression(t *testing.T) {
+	base, cur := gateReports(1.20, 1.0) // +20% ns > 15%
+	var log bytes.Buffer
+	err := gate(&log, base, cur, 0.15, 0.10)
+	if err == nil || !strings.Contains(err.Error(), "ns/op") {
+		t.Fatalf("gate should fail on ns/op regression, got %v", err)
+	}
+}
+
+func TestGateFailsOnAllocRegression(t *testing.T) {
+	base, cur := gateReports(1.0, 1.2) // +20% allocs > 10%
+	var log bytes.Buffer
+	err := gate(&log, base, cur, 0.15, 0.10)
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("gate should fail on allocs/op regression, got %v", err)
+	}
+}
+
+func TestRunWithBaselineFlag(t *testing.T) {
+	dir := t.TempDir()
+	basePath := dir + "/base.json"
+	baseRep := &Report{Benchmarks: []Benchmark{{Name: "BenchmarkSimulationRun", NsPerOp: 400000000, AllocsPerOp: 12}}}
+	raw, _ := json.Marshal(baseRep)
+	if err := os.WriteFile(basePath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	// sampleOutput's BenchmarkSimulationRun matches the baseline exactly.
+	if err := run([]string{"-baseline", basePath}, strings.NewReader(sampleOutput), &out); err != nil {
+		t.Fatalf("gate on identical numbers failed: %v", err)
+	}
+	// A much tighter baseline makes the same input fail.
+	tight := &Report{Benchmarks: []Benchmark{{Name: "BenchmarkSimulationRun", NsPerOp: 100, AllocsPerOp: 12}}}
+	raw, _ = json.Marshal(tight)
+	if err := os.WriteFile(basePath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-baseline", basePath}, strings.NewReader(sampleOutput), &out); err == nil {
+		t.Fatal("gate should fail against a much faster baseline")
 	}
 }

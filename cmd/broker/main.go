@@ -7,6 +7,7 @@
 //	broker -addr 127.0.0.1:7070 -metrics-addr 127.0.0.1:7071
 //	broker -addr 127.0.0.1:7070 -uplink hub.example:7070 -uplink-topics news,sports
 //	broker -addr 127.0.0.1:7070 -data-dir /var/lib/broker -fsync always -snapshot-interval 1m
+//	broker -addr 127.0.0.1:7070 -metrics-addr 127.0.0.1:7071 -fleet-scrape 127.0.0.1:7071,127.0.0.1:7171 -profile-dir /tmp/profiles
 //
 // With -data-dir, the broker is durable: subscriptions are written to
 // a CRC-framed write-ahead journal, snapshotted every
@@ -27,6 +28,19 @@
 // listener accepting, uplink connected), and /debug/pprof/. Logs are
 // structured (-log-level, -log-format text|json) and carry
 // trace_id/span_id when emitted under an active span.
+//
+// /metrics is content-negotiated: JSON by default, Prometheus text
+// 0.0.4 under Accept: text/plain, OpenMetrics 1.0 (with trace-ID
+// exemplars on histogram buckets) under Accept:
+// application/openmetrics-text or ?format=openmetrics. With
+// -fleet-scrape, the broker also aggregates a fleet: it polls the
+// listed admin endpoints every -fleet-interval and serves the merged
+// snapshot on /fleet and per-node + fleet-wide SLO attainment and
+// burn rate on /fleet/slo. With -profile-dir, an SLO-triggered
+// profiler captures CPU + heap profiles into a bounded ring when the
+// windowed publish-SLO miss rate or /readyz flap count crosses its
+// threshold; /profiles lists the ring and /profiles/{name} serves a
+// file for `go tool pprof`.
 //
 // With -uplink, the broker bridges itself into a remote broker: it
 // subscribes there for the -uplink-topics / -uplink-keywords interests
@@ -50,6 +64,7 @@ import (
 	"pubsubcd/internal/broker"
 	"pubsubcd/internal/journal"
 	"pubsubcd/internal/telemetry"
+	"pubsubcd/internal/telemetry/fleet"
 )
 
 func main() {
@@ -105,8 +120,26 @@ func run(args []string, stop <-chan struct{}, out *os.File) error {
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error")
 	logFormat := fs.String("log-format", "text", "log format: text or json")
 	publishSLO := fs.Duration("publish-slo", 0, "publish-to-placement latency budget for the slo hit/miss counters (0 = default 50ms)")
+	fleetScrape := fs.String("fleet-scrape", "", "comma-separated admin addresses to scrape and aggregate; serves /fleet and /fleet/slo on this node's admin endpoint (requires -metrics-addr)")
+	fleetInterval := fs.Duration("fleet-interval", 2*time.Second, "fleet scrape period")
+	sloTarget := fs.Float64("slo-target", 0.99, "SLO attainment objective in (0,1) for the fleet burn rate")
+	profileDir := fs.String("profile-dir", "", "capture pprof profiles into this directory when the SLO burns or /readyz flaps, served on /profiles (requires -metrics-addr; empty disables)")
+	profileMissRate := fs.Float64("profile-miss-threshold", 0.2, "windowed SLO miss-rate fraction that triggers a profile capture")
+	profileFlaps := fs.Int64("profile-flap-threshold", 3, "readyz flips per interval that trigger a profile capture")
+	profileInterval := fs.Duration("profile-interval", 10*time.Second, "profile trigger evaluation period")
+	profileCooldown := fs.Duration("profile-cooldown", 2*time.Minute, "minimum gap between profile captures")
+	profileCPU := fs.Duration("profile-cpu-duration", 2*time.Second, "length of each triggered CPU profile")
+	profileMax := fs.Int("profile-max", 16, "profile ring size: oldest captures beyond this are deleted")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *metricsAddr == "" {
+		if *fleetScrape != "" {
+			return fmt.Errorf("usage: -fleet-scrape requires -metrics-addr")
+		}
+		if *profileDir != "" {
+			return fmt.Errorf("usage: -profile-dir requires -metrics-addr")
+		}
 	}
 	fsyncPolicy, err := journal.ParseFsyncPolicy(*fsyncMode)
 	if err != nil {
@@ -144,6 +177,48 @@ func run(args []string, stop <-chan struct{}, out *os.File) error {
 			"metrics", fmt.Sprintf("http://%s/metrics", admin.Addr()),
 			"traces", fmt.Sprintf("http://%s/traces", admin.Addr()),
 			"healthz", fmt.Sprintf("http://%s/healthz", admin.Addr()))
+
+		if *fleetScrape != "" {
+			scraper, err := fleet.New(splitList(*fleetScrape), fleet.Options{
+				Interval:  *fleetInterval,
+				SLOTarget: *sloTarget,
+			})
+			if err != nil {
+				return fmt.Errorf("usage: %w", err)
+			}
+			scraper.Start()
+			defer scraper.Close()
+			admin.Handle("/fleet", scraper.FleetHandler())
+			admin.Handle("/fleet/slo", scraper.SLOHandler())
+			logger.Info("fleet aggregation up",
+				"targets", *fleetScrape,
+				"fleet", fmt.Sprintf("http://%s/fleet", admin.Addr()))
+		}
+		if *profileDir != "" {
+			trigger, err := telemetry.NewProfileTrigger(telemetry.ProfileConfig{
+				Dir:           *profileDir,
+				MaxProfiles:   *profileMax,
+				CPUDuration:   *profileCPU,
+				Interval:      *profileInterval,
+				Cooldown:      *profileCooldown,
+				MissRate:      *profileMissRate,
+				FlapThreshold: *profileFlaps,
+				Hits:          reg.Counter("broker.slo.publish_to_placement.hit").Value,
+				Misses:        reg.Counter("broker.slo.publish_to_placement.miss").Value,
+				Flaps:         admin.ReadyTransitions,
+				TraceHint:     telemetry.TraceHintFromCollector(spans),
+			}, reg)
+			if err != nil {
+				return fmt.Errorf("usage: %w", err)
+			}
+			trigger.Start()
+			defer trigger.Close()
+			admin.Handle("/profiles", trigger.Handler())
+			admin.Handle("/profiles/", trigger.Handler())
+			logger.Info("slo-triggered profiling armed",
+				"dir", *profileDir,
+				"profiles", fmt.Sprintf("http://%s/profiles", admin.Addr()))
+		}
 	}
 	b, err := broker.Open(
 		broker.WithDataDir(*dataDir),

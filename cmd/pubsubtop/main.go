@@ -1,0 +1,315 @@
+// Command pubsubtop is a live terminal dashboard over a fleet
+// aggregation point (a broker or sim node started with -fleet-scrape).
+// Each frame it polls /fleet and /fleet/slo, computes per-second rates
+// from the previous frame's counters, and redraws in place:
+//
+//   - fleet throughput (publishes, pushes, fetches per second)
+//   - cache hit ratio broken down by strategy, as bars
+//   - SLO attainment and burn rate against the error budget
+//   - the top-K hottest topics by publish count
+//   - a per-node table (up/down, publishes, scrape latency)
+//
+// Usage:
+//
+//	pubsubtop -fleet 127.0.0.1:7071
+//	pubsubtop -fleet 127.0.0.1:7071 -interval 1s -k 8
+//	pubsubtop -fleet 127.0.0.1:7071 -once            # one plain frame, no ANSI
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"pubsubcd/internal/telemetry"
+	"pubsubcd/internal/telemetry/fleet"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pubsubtop:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pubsubtop", flag.ContinueOnError)
+	target := fs.String("fleet", "", "fleet aggregation endpoint serving /fleet and /fleet/slo (host:port or URL)")
+	interval := fs.Duration("interval", 2*time.Second, "refresh period")
+	topK := fs.Int("k", 10, "hot topics shown")
+	once := fs.Bool("once", false, "render a single frame without ANSI control codes and exit")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-request timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *target == "" {
+		return fmt.Errorf("-fleet is required")
+	}
+	base := *target
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	client := &http.Client{Timeout: *timeout}
+
+	d := &dashboard{base: base, client: client, topK: *topK}
+	if *once {
+		return d.frame(out, false)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	// Hide the cursor while live; restore on exit.
+	fmt.Fprint(out, "\x1b[?25l")
+	defer fmt.Fprint(out, "\x1b[?25h\n")
+	if err := d.frame(out, true); err != nil {
+		return err
+	}
+	for {
+		select {
+		case <-sig:
+			return nil
+		case <-ticker.C:
+			if err := d.frame(out, true); err != nil {
+				// Transient scrape errors paint an error banner instead of
+				// killing the dashboard.
+				fmt.Fprintf(out, "\x1b[H\x1b[2K[pubsubtop] %v\n", err)
+			}
+		}
+	}
+}
+
+// dashboard holds the polling state: the previous frame's counters for
+// rate derivation.
+type dashboard struct {
+	base   string
+	client *http.Client
+	topK   int
+
+	prev   map[string]int64
+	prevAt time.Time
+}
+
+// fetch GETs one JSON endpoint into v.
+func (d *dashboard) fetch(path string, v any) error {
+	resp, err := d.client.Get(d.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// frame fetches the fleet state and renders one dashboard frame. With
+// ansi, the frame redraws in place (cursor home + clear-to-end).
+func (d *dashboard) frame(out io.Writer, ansi bool) error {
+	var snap fleet.Snapshot
+	if err := d.fetch("/fleet", &snap); err != nil {
+		return err
+	}
+	var slo fleet.SLOReport
+	if err := d.fetch("/fleet/slo", &slo); err != nil {
+		return err
+	}
+	now := time.Now()
+	var b strings.Builder
+	renderFrame(&b, snap, slo, d.rates(snap, now), d.topK)
+	if ansi {
+		fmt.Fprint(out, "\x1b[H\x1b[2J")
+	}
+	_, err := io.WriteString(out, b.String())
+	return err
+}
+
+// rates derives per-second counter rates from the previous frame and
+// stores the current counters for the next one. The first frame has no
+// baseline and yields nil (rates render as "-").
+func (d *dashboard) rates(snap fleet.Snapshot, now time.Time) map[string]float64 {
+	cur := snap.Merged.Counters
+	var rates map[string]float64
+	if d.prev != nil {
+		if dt := now.Sub(d.prevAt).Seconds(); dt > 0 {
+			rates = make(map[string]float64, len(cur))
+			for name, v := range cur {
+				if delta := v - d.prev[name]; delta >= 0 {
+					rates[name] = float64(delta) / dt
+				}
+			}
+		}
+	}
+	d.prev = make(map[string]int64, len(cur))
+	for name, v := range cur {
+		d.prev[name] = v
+	}
+	d.prevAt = now
+	return rates
+}
+
+// renderFrame writes one full dashboard frame. Pure function of its
+// inputs so tests can drive it with fixtures.
+func renderFrame(w io.Writer, snap fleet.Snapshot, slo fleet.SLOReport, rates map[string]float64, topK int) {
+	fmt.Fprintf(w, "pubsubtop — fleet of %d (%d up) — %s\n\n",
+		snap.Targets, snap.UpCount, snap.At.Format("15:04:05"))
+
+	// Throughput.
+	fmt.Fprintf(w, "throughput   publishes %s/s   pushes %s/s   fetches %s/s\n",
+		rate(rates, "broker.publishes"), rate(rates, "broker.pushes"), rate(rates, "broker.fetches"))
+	fmt.Fprintf(w, "lifetime     publishes %d   pushes %d   fetches %d   fetch misses %d\n\n",
+		snap.Merged.Counters["broker.publishes"], snap.Merged.Counters["broker.pushes"],
+		snap.Merged.Counters["broker.fetches"], snap.Merged.Counters["broker.fetch_misses"])
+
+	// SLO.
+	burn := "ok"
+	if slo.Window.BurnRate >= 1 {
+		burn = "BURNING"
+	}
+	fmt.Fprintf(w, "slo %s\n", slo.CounterBase)
+	fmt.Fprintf(w, "  attainment %.4f (target %.2f)   hits %d   misses %d\n",
+		slo.Attainment, slo.Target, slo.Hits, slo.Misses)
+	fmt.Fprintf(w, "  burn rate  %.2fx over %.0fs window [%s]\n\n",
+		slo.Window.BurnRate, slo.Window.Seconds, burn)
+
+	// Hit ratio by strategy from the labeled sim counters.
+	if byStrat := hitRatioByStrategy(snap.Merged.Counters); len(byStrat) > 0 {
+		fmt.Fprintln(w, "hit ratio by strategy")
+		for _, s := range byStrat {
+			fmt.Fprintf(w, "  %-10s %s %.4f  (%d/%d)\n", s.name, bar(s.ratio, 30), s.ratio, s.hits, s.requests)
+		}
+		fmt.Fprintln(w)
+	}
+
+	// Hot topics.
+	if topics := topTopics(snap.Merged.Counters, topK); len(topics) > 0 {
+		fmt.Fprintf(w, "top %d topics by publishes\n", len(topics))
+		max := topics[0].count
+		for _, t := range topics {
+			frac := 0.0
+			if max > 0 {
+				frac = float64(t.count) / float64(max)
+			}
+			fmt.Fprintf(w, "  %-16s %s %d\n", t.name, bar(frac, 30), t.count)
+		}
+		fmt.Fprintln(w)
+	}
+
+	// Per-node table.
+	fmt.Fprintln(w, "nodes")
+	fmt.Fprintf(w, "  %-28s %-5s %12s %12s %10s\n", "target", "up", "publishes", "requests", "scrape")
+	for _, n := range snap.Nodes {
+		if !n.Up {
+			fmt.Fprintf(w, "  %-28s %-5s %12s %12s %10s  %s\n", n.Target, "DOWN", "-", "-", "-", n.Error)
+			continue
+		}
+		fmt.Fprintf(w, "  %-28s %-5s %12d %12d %9.1fms\n",
+			n.Target, "up",
+			n.Metrics.Counters["broker.publishes"],
+			n.Metrics.Counters["sim.strategy.requests"]+n.Metrics.Counters["broker.fetches"],
+			float64(n.ScrapeNanos)/1e6)
+	}
+	if len(snap.Skipped) > 0 {
+		fmt.Fprintf(w, "\nskipped histograms (bucket layout mismatch): %s\n", strings.Join(snap.Skipped, ", "))
+	}
+}
+
+// rate formats a per-second rate, "-" before a baseline exists.
+func rate(rates map[string]float64, name string) string {
+	if rates == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", rates[name])
+}
+
+// stratRatio is one strategy's aggregated hit ratio.
+type stratRatio struct {
+	name           string
+	hits, requests int64
+	ratio          float64
+}
+
+// hitRatioByStrategy folds the labeled sim.strategy.{hits,requests}
+// series into per-strategy ratios, sorted by strategy name.
+func hitRatioByStrategy(counters map[string]int64) []stratRatio {
+	hits := make(map[string]int64)
+	reqs := make(map[string]int64)
+	for key, v := range counters {
+		name, labels := telemetry.ParseSeries(key)
+		strat, ok := labels["strategy"]
+		if !ok {
+			continue
+		}
+		switch name {
+		case "sim.strategy.hits":
+			hits[strat] += v
+		case "sim.strategy.requests":
+			reqs[strat] += v
+		}
+	}
+	out := make([]stratRatio, 0, len(reqs))
+	for strat, r := range reqs {
+		if r == 0 {
+			continue
+		}
+		h := hits[strat]
+		out = append(out, stratRatio{name: strat, hits: h, requests: r, ratio: float64(h) / float64(r)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// topicCount is one topic's aggregated publish count.
+type topicCount struct {
+	name  string
+	count int64
+}
+
+// topTopics ranks the labeled broker.publishes_by_topic series and
+// returns the top k (count desc, name asc for ties).
+func topTopics(counters map[string]int64, k int) []topicCount {
+	var out []topicCount
+	for key, v := range counters {
+		name, labels := telemetry.ParseSeries(key)
+		if name != "broker.publishes_by_topic" {
+			continue
+		}
+		topic, ok := labels["topic"]
+		if !ok {
+			continue
+		}
+		out = append(out, topicCount{name: topic, count: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].count != out[j].count {
+			return out[i].count > out[j].count
+		}
+		return out[i].name < out[j].name
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// bar renders a fixed-width unicode meter for a fraction in [0,1].
+func bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	full := int(frac*float64(width) + 0.5)
+	return "[" + strings.Repeat("█", full) + strings.Repeat("·", width-full) + "]"
+}

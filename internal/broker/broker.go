@@ -312,6 +312,9 @@ func (b *Broker) PublishContext(ctx context.Context, c Content) (int, error) {
 	b.mu.Unlock()
 	if bt != nil {
 		bt.publishes.Inc()
+		for _, topic := range c.Topics {
+			bt.publishesByTopic.With(topic).Inc()
+		}
 		bt.trace(telemetry.KindPublish, c.ID, -1, fmt.Sprintf("version=%d size=%d", c.Version, len(c.Body)))
 	}
 
@@ -381,7 +384,10 @@ func (b *Broker) PublishContext(ctx context.Context, c Content) (int, error) {
 	if bt != nil {
 		elapsed := time.Since(start)
 		bt.pushFanout.Observe(int64(len(sinks)))
-		bt.publishNanos.Observe(elapsed.Nanoseconds())
+		// The publish latency sample carries the trace ID as an
+		// exemplar, so the OpenMetrics bucket it lands in links to the
+		// retained span tree on /trace/{id}.
+		bt.publishNanos.ObserveExemplar(elapsed.Nanoseconds(), sp.Context().TraceID)
 		// The SLO clock covers publish entry through the last push
 		// placement — the paper's freshness path: by now every proxy
 		// with interested subscribers has been offered the page.
@@ -427,7 +433,7 @@ func (b *Broker) FetchContext(ctx context.Context, pageID string) (Content, erro
 		return Content{}, err
 	}
 	if bt != nil {
-		bt.fetchNanos.Observe(sinceNanos(start))
+		bt.fetchNanos.ObserveExemplar(sinceNanos(start), sp.Context().TraceID)
 		bt.trace(telemetry.KindFetch, pageID, -1, fmt.Sprintf("version=%d size=%d", c.Version, len(c.Body)))
 	}
 	return c, nil

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"strconv"
 	"sync"
 	"time"
 
@@ -102,11 +103,25 @@ type ProxyStats struct {
 	JournalErrors int64
 }
 
+// aliasedCounter advances a labeled series and its deprecated
+// unlabeled alias together, so dashboards reading the old proxy%d.*
+// names keep working for one release while the labeled proxy.*{proxy}
+// series become the canonical, fleet-mergeable form.
+type aliasedCounter struct {
+	labeled *telemetry.Counter
+	legacy  *telemetry.Counter
+}
+
+func (c aliasedCounter) Inc() {
+	c.labeled.Inc()
+	c.legacy.Inc()
+}
+
 // proxyMetrics are the proxy's degradation counters; nil when off.
 type proxyMetrics struct {
-	fetchErrors     *telemetry.Counter
-	degradedStale   *telemetry.Counter
-	originFallbacks *telemetry.Counter
+	fetchErrors     aliasedCounter
+	degradedStale   aliasedCounter
+	originFallbacks aliasedCounter
 }
 
 // proxyConfig collects option state for NewProxy.
@@ -181,10 +196,20 @@ func NewProxy(id int, b *Broker, strategy core.Strategy, cost float64, opts ...P
 		p.fetcher = b
 	}
 	if reg := cfg.telemetry; reg != nil {
+		// Canonical form: proxy.<what>{proxy="<id>"} label vectors.
+		// Deprecated: the fmt-formatted proxy<id>.<what> names, kept as
+		// an alias for one release.
+		proxyLabel := strconv.Itoa(id)
+		aliased := func(what string) aliasedCounter {
+			return aliasedCounter{
+				labeled: reg.CounterVec("proxy."+what, "proxy").With(proxyLabel),
+				legacy:  reg.Counter(fmt.Sprintf("proxy%d.%s", id, what)),
+			}
+		}
 		p.metrics = &proxyMetrics{
-			fetchErrors:     reg.Counter(fmt.Sprintf("proxy%d.fetch_errors", id)),
-			degradedStale:   reg.Counter(fmt.Sprintf("proxy%d.degraded_stale", id)),
-			originFallbacks: reg.Counter(fmt.Sprintf("proxy%d.origin_fallbacks", id)),
+			fetchErrors:     aliased("fetch_errors"),
+			degradedStale:   aliased("degraded_stale"),
+			originFallbacks: aliased("origin_fallbacks"),
 		}
 	}
 	if cfg.dataDir != "" {

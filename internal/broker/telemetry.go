@@ -28,6 +28,11 @@ type brokerTelemetry struct {
 	matchFanout  *telemetry.Histogram
 	pushFanout   *telemetry.Histogram
 
+	// publishesByTopic breaks publishes down per topic under a bounded
+	// label budget (hot-topic ranking for the fleet dashboard; combos
+	// past the budget collapse into the vec's overflow series).
+	publishesByTopic *telemetry.CounterVec
+
 	// SLO counters: a publish "hits" the SLO when the whole
 	// publish→match→notify→placement fan-out completes within the
 	// budget (see Broker.SetPublishSLO).
@@ -62,6 +67,8 @@ func (b *Broker) EnableTelemetry(reg *telemetry.Registry, tracer *telemetry.Trac
 		pushFanout:    reg.Histogram("broker.push_fanout", fan),
 		sloHits:       reg.Counter("broker.slo.publish_to_placement.hit"),
 		sloMisses:     reg.Counter("broker.slo.publish_to_placement.miss"),
+
+		publishesByTopic: reg.CounterVec("broker.publishes_by_topic", "topic"),
 	})
 }
 

@@ -225,7 +225,7 @@ func Run(w *workload.Workload, factory core.Factory, opts Options) (*Result, err
 	// while shards replay concurrently.
 	var stratMetrics *core.StrategyMetrics
 	if opts.Telemetry != nil {
-		stratMetrics = core.NewStrategyMetrics(opts.Telemetry, "sim.strategy")
+		stratMetrics = core.NewStrategyMetricsLabeled(opts.Telemetry, "sim.strategy", factory.Name)
 	}
 	strategies := make([]core.Strategy, servers)
 	for i := range strategies {

@@ -1,0 +1,427 @@
+// Package fleet aggregates the metrics of many admin endpoints into
+// one cross-broker view. A Scraper polls each target's /metrics (JSON
+// snapshot — brokers, proxies and sim nodes all serve the same shape),
+// merges counters, gauges and histograms into a fleet snapshot with a
+// per-node breakdown, derives fleet-wide SLO attainment and burn from
+// the broker.slo.publish_to_placement.{hit,miss} counters, and serves
+// the result on /fleet and /fleet/slo of whichever node was designated
+// the aggregation point with -fleet-scrape.
+//
+// The aggregator is deliberately pull-based and stateless beyond a
+// short burn-rate window: any node can be the scrape point, losing it
+// loses no data, and the per-node JSON it consumes is the same
+// endpoint a human or a Prometheus bridge reads.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"slices"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pubsubcd/internal/telemetry"
+)
+
+// DefaultSLOBase is the counter pair the SLO report reads:
+// <base>.hit and <base>.miss.
+const DefaultSLOBase = "broker.slo.publish_to_placement"
+
+// Options tune a Scraper; the zero value is usable.
+type Options struct {
+	// Interval between background scrape rounds (default 2s).
+	Interval time.Duration
+	// Timeout per target request (default 2s).
+	Timeout time.Duration
+	// SLOBase overrides the SLO counter pair (default DefaultSLOBase).
+	SLOBase string
+	// SLOTarget is the attainment objective in (0,1) used for the burn
+	// rate (default 0.99: a 1% error budget).
+	SLOTarget float64
+	// Window is how many merged scrape samples the burn-rate window
+	// retains (default 30 — one minute at the default interval).
+	Window int
+	// Client overrides the HTTP client (tests).
+	Client *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = 2 * time.Second
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Second
+	}
+	if o.SLOBase == "" {
+		o.SLOBase = DefaultSLOBase
+	}
+	if o.SLOTarget <= 0 || o.SLOTarget >= 1 {
+		o.SLOTarget = 0.99
+	}
+	if o.Window <= 0 {
+		o.Window = 30
+	}
+	return o
+}
+
+// Node is one scraped target's latest state.
+type Node struct {
+	Target      string             `json:"target"`
+	Up          bool               `json:"up"`
+	Error       string             `json:"error,omitempty"`
+	LastScrape  time.Time          `json:"lastScrape"`
+	ScrapeNanos int64              `json:"scrapeNanos"`
+	Metrics     telemetry.Snapshot `json:"metrics"`
+}
+
+// Snapshot is the merged fleet view plus the per-node breakdown.
+type Snapshot struct {
+	At      time.Time          `json:"at"`
+	Targets int                `json:"targets"`
+	UpCount int                `json:"upCount"`
+	Nodes   []Node             `json:"nodes"`
+	Merged  telemetry.Snapshot `json:"merged"`
+	// Skipped lists histogram names whose bucket layouts disagreed
+	// across nodes and were therefore left out of Merged (they remain
+	// in the per-node breakdown) — disagreements are reported, never
+	// silently dropped.
+	Skipped []string `json:"skippedHistograms,omitempty"`
+}
+
+// NodeSLO is one node's share of the SLO counters.
+type NodeSLO struct {
+	Target     string  `json:"target"`
+	Hits       int64   `json:"hits"`
+	Misses     int64   `json:"misses"`
+	Attainment float64 `json:"attainment"`
+}
+
+// SLOReport is the fleet SLO view: lifetime attainment plus a windowed
+// burn rate against the configured objective.
+type SLOReport struct {
+	CounterBase string    `json:"counterBase"`
+	Target      float64   `json:"target"`
+	At          time.Time `json:"at"`
+	Hits        int64     `json:"hits"`
+	Misses      int64     `json:"misses"`
+	Attainment  float64   `json:"attainment"` // lifetime hit fraction; 1 when idle
+	Window      struct {
+		Seconds  float64 `json:"seconds"`
+		Hits     int64   `json:"hits"`
+		Misses   int64   `json:"misses"`
+		MissRate float64 `json:"missRate"`
+		// BurnRate is MissRate divided by the error budget (1-Target):
+		// 1.0 burns the budget exactly, >1 exhausts it early.
+		BurnRate float64 `json:"burnRate"`
+	} `json:"window"`
+	PerNode []NodeSLO `json:"perNode"`
+}
+
+// sloSample is one merged scrape's SLO counter reading.
+type sloSample struct {
+	at           time.Time
+	hits, misses int64
+}
+
+// Scraper polls a fixed target set and maintains the merged state.
+type Scraper struct {
+	targets []string
+	opts    Options
+	client  *http.Client
+
+	mu      sync.Mutex
+	nodes   map[string]*Node
+	last    Snapshot
+	window  []sloSample
+	scraped bool
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// New builds a scraper over the given admin addresses ("host:port" or
+// full "http://host:port" URLs).
+func New(targets []string, opts Options) (*Scraper, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("fleet: no scrape targets")
+	}
+	opts = opts.withDefaults()
+	norm := make([]string, 0, len(targets))
+	seen := make(map[string]bool)
+	for _, t := range targets {
+		t = strings.TrimSpace(t)
+		if t == "" {
+			continue
+		}
+		if !strings.Contains(t, "://") {
+			t = "http://" + t
+		}
+		t = strings.TrimRight(t, "/")
+		if !seen[t] {
+			seen[t] = true
+			norm = append(norm, t)
+		}
+	}
+	if len(norm) == 0 {
+		return nil, fmt.Errorf("fleet: no scrape targets")
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: opts.Timeout}
+	}
+	return &Scraper{
+		targets: norm,
+		opts:    opts,
+		client:  client,
+		nodes:   make(map[string]*Node),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}, nil
+}
+
+// Targets returns the normalised target list.
+func (s *Scraper) Targets() []string { return slices.Clone(s.targets) }
+
+// Start launches the background scrape loop (one immediate round, then
+// every Interval). Close stops it.
+func (s *Scraper) Start() {
+	go func() {
+		defer close(s.done)
+		ctx := context.Background()
+		s.ScrapeOnce(ctx)
+		ticker := time.NewTicker(s.opts.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-ticker.C:
+				s.ScrapeOnce(ctx)
+			}
+		}
+	}()
+}
+
+// Close stops the background loop.
+func (s *Scraper) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// ScrapeOnce polls every target concurrently, merges the results and
+// returns the fresh fleet snapshot. Exported for deterministic tests
+// and for serving a cold /fleet before the first background round.
+func (s *Scraper) ScrapeOnce(ctx context.Context) Snapshot {
+	type result struct {
+		target string
+		node   Node
+	}
+	results := make(chan result, len(s.targets))
+	for _, target := range s.targets {
+		go func(target string) {
+			results <- result{target: target, node: s.scrapeTarget(ctx, target)}
+		}(target)
+	}
+	nodes := make([]Node, 0, len(s.targets))
+	byTarget := make(map[string]Node, len(s.targets))
+	for range s.targets {
+		r := <-results
+		byTarget[r.target] = r.node
+	}
+	// Fixed target order keeps /fleet output stable across rounds.
+	for _, target := range s.targets {
+		nodes = append(nodes, byTarget[target])
+	}
+	snap := mergeNodes(nodes)
+	s.mu.Lock()
+	s.last = snap
+	s.scraped = true
+	hits, misses := snap.Merged.Counters[s.opts.SLOBase+".hit"], snap.Merged.Counters[s.opts.SLOBase+".miss"]
+	s.window = append(s.window, sloSample{at: snap.At, hits: hits, misses: misses})
+	if len(s.window) > s.opts.Window {
+		s.window = s.window[len(s.window)-s.opts.Window:]
+	}
+	s.mu.Unlock()
+	return snap
+}
+
+// scrapeTarget fetches one node's JSON metrics snapshot.
+func (s *Scraper) scrapeTarget(ctx context.Context, target string) Node {
+	node := Node{Target: target, LastScrape: time.Now()}
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/metrics?format=json", nil)
+	if err != nil {
+		node.Error = err.Error()
+		return node
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err := s.client.Do(req)
+	if err != nil {
+		node.Error = err.Error()
+		return node
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		node.Error = fmt.Sprintf("status %d", resp.StatusCode)
+		return node
+	}
+	var snap telemetry.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		node.Error = "decode: " + err.Error()
+		return node
+	}
+	node.Up = true
+	node.ScrapeNanos = time.Since(start).Nanoseconds()
+	node.Metrics = snap
+	return node
+}
+
+// mergeNodes folds the up nodes' snapshots into one: counters and
+// gauges sum per name (labeled series keys merge like any other name,
+// so per-strategy and per-topic breakdowns survive aggregation), and
+// histograms with identical bucket layouts sum bucket-wise. Exemplars
+// are per-node evidence and stay in the breakdown only.
+func mergeNodes(nodes []Node) Snapshot {
+	snap := Snapshot{
+		At:      time.Now(),
+		Targets: len(nodes),
+		Nodes:   nodes,
+		Merged: telemetry.Snapshot{
+			Counters:   map[string]int64{},
+			Gauges:     map[string]int64{},
+			Histograms: map[string]telemetry.HistogramSnapshot{},
+		},
+	}
+	skipped := make(map[string]bool)
+	for _, n := range nodes {
+		if !n.Up {
+			continue
+		}
+		snap.UpCount++
+		for name, v := range n.Metrics.Counters {
+			snap.Merged.Counters[name] += v
+		}
+		for name, v := range n.Metrics.Gauges {
+			snap.Merged.Gauges[name] += v
+		}
+		for name, h := range n.Metrics.Histograms {
+			if skipped[name] {
+				continue
+			}
+			cur, ok := snap.Merged.Histograms[name]
+			if !ok {
+				snap.Merged.Histograms[name] = telemetry.HistogramSnapshot{
+					Count:  h.Count,
+					Sum:    h.Sum,
+					Bounds: slices.Clone(h.Bounds),
+					Counts: slices.Clone(h.Counts),
+				}
+				continue
+			}
+			if !slices.Equal(cur.Bounds, h.Bounds) || len(cur.Counts) != len(h.Counts) {
+				skipped[name] = true
+				delete(snap.Merged.Histograms, name)
+				continue
+			}
+			cur.Count += h.Count
+			cur.Sum += h.Sum
+			for i := range h.Counts {
+				cur.Counts[i] += h.Counts[i]
+			}
+			snap.Merged.Histograms[name] = cur
+		}
+	}
+	for name := range skipped {
+		snap.Skipped = append(snap.Skipped, name)
+	}
+	sort.Strings(snap.Skipped)
+	return snap
+}
+
+// Snapshot returns the latest merged fleet view, scraping synchronously
+// if no round has completed yet.
+func (s *Scraper) Snapshot() Snapshot {
+	s.mu.Lock()
+	scraped, last := s.scraped, s.last
+	s.mu.Unlock()
+	if scraped {
+		return last
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.opts.Timeout+time.Second)
+	defer cancel()
+	return s.ScrapeOnce(ctx)
+}
+
+// SLO derives the fleet SLO report from the latest snapshot and the
+// burn window.
+func (s *Scraper) SLO() SLOReport {
+	snap := s.Snapshot()
+	rep := SLOReport{
+		CounterBase: s.opts.SLOBase,
+		Target:      s.opts.SLOTarget,
+		At:          snap.At,
+	}
+	hitName, missName := s.opts.SLOBase+".hit", s.opts.SLOBase+".miss"
+	rep.Hits = snap.Merged.Counters[hitName]
+	rep.Misses = snap.Merged.Counters[missName]
+	if total := rep.Hits + rep.Misses; total > 0 {
+		rep.Attainment = float64(rep.Hits) / float64(total)
+	} else {
+		rep.Attainment = 1
+	}
+	for _, n := range snap.Nodes {
+		if !n.Up {
+			continue
+		}
+		ns := NodeSLO{
+			Target: n.Target,
+			Hits:   n.Metrics.Counters[hitName],
+			Misses: n.Metrics.Counters[missName],
+		}
+		if total := ns.Hits + ns.Misses; total > 0 {
+			ns.Attainment = float64(ns.Hits) / float64(total)
+		} else {
+			ns.Attainment = 1
+		}
+		rep.PerNode = append(rep.PerNode, ns)
+	}
+	s.mu.Lock()
+	if len(s.window) >= 2 {
+		first, last := s.window[0], s.window[len(s.window)-1]
+		rep.Window.Seconds = last.at.Sub(first.at).Seconds()
+		rep.Window.Hits = last.hits - first.hits
+		rep.Window.Misses = last.misses - first.misses
+		if total := rep.Window.Hits + rep.Window.Misses; total > 0 {
+			rep.Window.MissRate = float64(rep.Window.Misses) / float64(total)
+		}
+		rep.Window.BurnRate = rep.Window.MissRate / (1 - s.opts.SLOTarget)
+	}
+	s.mu.Unlock()
+	return rep
+}
+
+// FleetHandler serves the merged fleet snapshot as JSON on /fleet.
+func (s *Scraper) FleetHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Snapshot())
+	})
+}
+
+// SLOHandler serves the fleet SLO report as JSON on /fleet/slo.
+func (s *Scraper) SLOHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.SLO())
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

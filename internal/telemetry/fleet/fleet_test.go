@@ -1,0 +1,230 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"sync/atomic"
+	"testing"
+
+	"pubsubcd/internal/telemetry"
+)
+
+// metricsServer serves a registry's JSON snapshot the way a real admin
+// endpoint does.
+func metricsServer(t *testing.T, reg *telemetry.Registry) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(reg.Snapshot())
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestScrapeMergesCountersGaugesHistograms(t *testing.T) {
+	regs := make([]*telemetry.Registry, 3)
+	targets := make([]string, 3)
+	bounds := []int64{10, 100}
+	for i := range regs {
+		regs[i] = telemetry.NewRegistry()
+		regs[i].Counter("broker.publishes").Add(int64(10 * (i + 1)))
+		regs[i].CounterVec("broker.publishes_by_topic", "topic").With("news").Add(int64(i + 1))
+		regs[i].Gauge("broker.live_subscriptions").Set(int64(i))
+		regs[i].Histogram("broker.publish_ns", bounds).Observe(int64(50 * i))
+		targets[i] = metricsServer(t, regs[i]).URL
+	}
+	s, err := New(targets, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := s.ScrapeOnce(context.Background())
+	if snap.UpCount != 3 || snap.Targets != 3 {
+		t.Fatalf("up/targets = %d/%d, want 3/3", snap.UpCount, snap.Targets)
+	}
+	if got := snap.Merged.Counters["broker.publishes"]; got != 60 {
+		t.Errorf("merged publishes = %d, want 60", got)
+	}
+	if got := snap.Merged.Counters[`broker.publishes_by_topic{topic="news"}`]; got != 6 {
+		t.Errorf("merged labeled series = %d, want 6", got)
+	}
+	if got := snap.Merged.Gauges["broker.live_subscriptions"]; got != 3 {
+		t.Errorf("merged gauge = %d, want 3", got)
+	}
+	h, ok := snap.Merged.Histograms["broker.publish_ns"]
+	if !ok {
+		t.Fatal("merged histogram missing")
+	}
+	if h.Count != 3 || h.Sum != 150 || !slices.Equal(h.Bounds, bounds) {
+		t.Errorf("merged histogram = %+v", h)
+	}
+	// Per-node totals must sum to the merged value (the federated
+	// invariant the e2e test checks over real brokers).
+	var perNode int64
+	for _, n := range snap.Nodes {
+		perNode += n.Metrics.Counters["broker.publishes"]
+	}
+	if perNode != snap.Merged.Counters["broker.publishes"] {
+		t.Errorf("per-node sum %d != merged %d", perNode, snap.Merged.Counters["broker.publishes"])
+	}
+}
+
+func TestScrapeSkipsMismatchedHistograms(t *testing.T) {
+	a, b := telemetry.NewRegistry(), telemetry.NewRegistry()
+	a.Histogram("h", []int64{10, 100}).Observe(5)
+	b.Histogram("h", []int64{16, 256}).Observe(5)
+	s, err := New([]string{metricsServer(t, a).URL, metricsServer(t, b).URL}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := s.ScrapeOnce(context.Background())
+	if _, ok := snap.Merged.Histograms["h"]; ok {
+		t.Error("mismatched histogram should not merge")
+	}
+	if !slices.Contains(snap.Skipped, "h") {
+		t.Errorf("Skipped = %v, want [h] — disagreements must be reported", snap.Skipped)
+	}
+	for _, n := range snap.Nodes {
+		if _, ok := n.Metrics.Histograms["h"]; !ok {
+			t.Error("per-node breakdown should retain the skipped histogram")
+		}
+	}
+}
+
+func TestScrapeDownNode(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("c").Add(7)
+	up := metricsServer(t, reg)
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	t.Cleanup(down.Close)
+	s, err := New([]string{up.URL, down.URL}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := s.ScrapeOnce(context.Background())
+	if snap.UpCount != 1 {
+		t.Errorf("UpCount = %d, want 1", snap.UpCount)
+	}
+	if snap.Merged.Counters["c"] != 7 {
+		t.Errorf("merged counter = %d, want 7 (down node excluded)", snap.Merged.Counters["c"])
+	}
+	var sawDown bool
+	for _, n := range snap.Nodes {
+		if !n.Up {
+			sawDown = true
+			if n.Error == "" {
+				t.Error("down node should carry its error")
+			}
+		}
+	}
+	if !sawDown {
+		t.Error("down node missing from breakdown")
+	}
+}
+
+func TestSLOReportAndBurn(t *testing.T) {
+	var hits, misses atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		snap := telemetry.Snapshot{
+			Counters: map[string]int64{
+				DefaultSLOBase + ".hit":  hits.Load(),
+				DefaultSLOBase + ".miss": misses.Load(),
+			},
+			Gauges:     map[string]int64{},
+			Histograms: map[string]telemetry.HistogramSnapshot{},
+		}
+		_ = json.NewEncoder(w).Encode(snap)
+	}))
+	t.Cleanup(srv.Close)
+	s, err := New([]string{srv.URL}, Options{SLOTarget: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits.Store(90)
+	misses.Store(10)
+	s.ScrapeOnce(context.Background())
+	hits.Store(140) // +50 hits, +50 misses in the window: 50% miss rate
+	misses.Store(60)
+	s.ScrapeOnce(context.Background())
+
+	rep := s.SLO()
+	if rep.Hits != 140 || rep.Misses != 60 {
+		t.Errorf("lifetime hits/misses = %d/%d", rep.Hits, rep.Misses)
+	}
+	if rep.Attainment != 0.7 {
+		t.Errorf("attainment = %g, want 0.7", rep.Attainment)
+	}
+	if rep.Window.Hits != 50 || rep.Window.Misses != 50 {
+		t.Errorf("window deltas = %+v", rep.Window)
+	}
+	if rep.Window.MissRate != 0.5 {
+		t.Errorf("window miss rate = %g, want 0.5", rep.Window.MissRate)
+	}
+	// Burn = missRate / errorBudget = 0.5 / 0.1 = 5x.
+	if rep.Window.BurnRate < 4.99 || rep.Window.BurnRate > 5.01 {
+		t.Errorf("burn rate = %g, want 5", rep.Window.BurnRate)
+	}
+	if len(rep.PerNode) != 1 || rep.PerNode[0].Attainment != 0.7 {
+		t.Errorf("per-node = %+v", rep.PerNode)
+	}
+}
+
+func TestFleetHandlers(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter(DefaultSLOBase + ".hit").Add(5)
+	s, err := New([]string{metricsServer(t, reg).URL}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleetSrv := httptest.NewServer(s.FleetHandler())
+	t.Cleanup(fleetSrv.Close)
+	resp, err := http.Get(fleetSrv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.UpCount != 1 {
+		t.Errorf("handler snapshot UpCount = %d", snap.UpCount)
+	}
+
+	sloSrv := httptest.NewServer(s.SLOHandler())
+	t.Cleanup(sloSrv.Close)
+	resp2, err := http.Get(sloSrv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var rep SLOReport
+	if err := json.NewDecoder(resp2.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Hits != 5 || rep.Attainment != 1 {
+		t.Errorf("slo report = %+v", rep)
+	}
+}
+
+func TestNewNormalizesTargets(t *testing.T) {
+	s, err := New([]string{" 127.0.0.1:7071 ", "http://127.0.0.1:7071/", "127.0.0.1:7072"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://127.0.0.1:7071", "http://127.0.0.1:7072"}
+	if got := s.Targets(); !slices.Equal(got, want) {
+		t.Errorf("targets = %v, want %v", got, want)
+	}
+	if _, err := New(nil, Options{}); err == nil {
+		t.Error("empty target list should fail")
+	}
+}

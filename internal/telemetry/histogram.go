@@ -3,6 +3,7 @@ package telemetry
 import (
 	"math"
 	"sync/atomic"
+	"time"
 )
 
 // Histogram is a fixed-bucket histogram over non-negative int64 samples
@@ -17,6 +18,22 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1; last is overflow
 	count  atomic.Int64
 	sum    atomic.Int64
+
+	// exemplars holds the most recent traced sample per bucket (nil
+	// entries until a traced observation lands there). Written only by
+	// ObserveExemplar, so untraced hot paths never touch it.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one histogram bucket to a concrete traced sample: the
+// observed value and the ID of the distributed trace that produced it,
+// so a latency bucket on /metrics resolves to a retained span tree on
+// /trace/{id}.
+type Exemplar struct {
+	Bucket  int       `json:"bucket"` // index into Counts
+	Value   int64     `json:"value"`
+	TraceID TraceID   `json:"traceId"`
+	Time    time.Time `json:"time"`
 }
 
 // NewHistogram builds a histogram with the given ascending upper bounds.
@@ -33,15 +50,16 @@ func NewHistogram(bounds []int64) *Histogram {
 	}
 	b := make([]int64, len(bounds))
 	copy(b, bounds)
-	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	return &Histogram{
+		bounds:    b,
+		counts:    make([]atomic.Int64, len(b)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(b)+1),
+	}
 }
 
-// Observe records a sample. Negative samples are clamped to 0.
-func (h *Histogram) Observe(v int64) {
-	if v < 0 {
-		v = 0
-	}
-	// Binary search for the first bound >= v.
+// bucketIndex returns the index of the first bound >= v (binary
+// search); len(bounds) is the overflow bucket.
+func (h *Histogram) bucketIndex(v int64) int {
 	lo, hi := 0, len(h.bounds)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -51,9 +69,34 @@ func (h *Histogram) Observe(v int64) {
 			lo = mid + 1
 		}
 	}
+	return lo
+}
+
+// Observe records a sample. Negative samples are clamped to 0.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	lo := h.bucketIndex(v)
 	h.counts[lo].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
+}
+
+// ObserveExemplar records a sample and, when tid is non-zero, stores it
+// as the bucket's exemplar so the OpenMetrics exposition can link the
+// bucket to the retained trace. With a zero tid it is exactly Observe.
+func (h *Histogram) ObserveExemplar(v int64, tid TraceID) {
+	if v < 0 {
+		v = 0
+	}
+	lo := h.bucketIndex(v)
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	if !tid.IsZero() {
+		h.exemplars[lo].Store(&Exemplar{Bucket: lo, Value: v, TraceID: tid, Time: time.Now()})
+	}
 }
 
 // Count returns the number of samples observed.
@@ -68,6 +111,9 @@ type HistogramSnapshot struct {
 	Sum    int64   `json:"sum"`
 	Bounds []int64 `json:"bounds"` // ascending upper bounds; last bucket is overflow
 	Counts []int64 `json:"counts"` // len(Bounds)+1
+	// Exemplars holds at most one traced sample per bucket (only
+	// buckets that saw a traced observation appear).
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // Snapshot copies the histogram state. Writers are not stopped, so the
@@ -81,6 +127,11 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
+	}
+	for i := range h.exemplars {
+		if e := h.exemplars[i].Load(); e != nil {
+			s.Exemplars = append(s.Exemplars, *e)
+		}
 	}
 	return s
 }

@@ -9,13 +9,21 @@ import (
 	"net/http/pprof"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // AdminServer exposes the process's observability surface over HTTP:
 //
-//	/metrics         registry snapshot as JSON (expvar-style)
+//	/metrics         registry snapshot as JSON (expvar-style); content
+//	                 negotiated: Accept: application/openmetrics-text
+//	                 serves OpenMetrics 1.0 with trace-ID exemplars,
+//	                 Accept: text/plain serves the Prometheus text
+//	                 format, and ?format=json|prometheus|openmetrics
+//	                 overrides. Both text flavors include Go runtime
+//	                 vitals (go_goroutines, go_heap_alloc_bytes, …).
 //	/metrics?text=1  plain-text summary
 //	/trace           retained ring-buffer trace events as JSON
 //	/trace?page=X    events for one page ID
@@ -27,13 +35,21 @@ import (
 //	/readyz          readiness: runs the registered health checks,
 //	                 503 when any fails
 //	/debug/pprof/    the standard pprof index (profile, heap, goroutine…)
+//
+// Additional surfaces (/fleet, /profiles) are mounted with Handle.
 type AdminServer struct {
 	ln    net.Listener
 	srv   *http.Server
+	mux   *http.ServeMux
 	start time.Time
 
 	mu     sync.Mutex
 	checks map[string]func() error
+
+	// Readiness flap tracking: lastReady is -1 before the first /readyz
+	// evaluation, else 0/1; flaps counts ready<->not-ready transitions.
+	lastReady atomic.Int32
+	flaps     atomic.Int64
 }
 
 // AdminOption configures NewAdminServer beyond the registry and event
@@ -82,18 +98,28 @@ func NewAdminServer(addr string, reg *Registry, tr *Tracer, opts ...AdminOption)
 		start:  time.Now(),
 		checks: cfg.checks,
 	}
+	s.lastReady.Store(-1)
 	if s.checks == nil {
 		s.checks = make(map[string]func() error)
 	}
 	mux := http.NewServeMux()
+	s.mux = mux
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		snap := reg.Snapshot()
-		if r.URL.Query().Get("text") != "" {
+		snap.AddRuntime()
+		switch negotiateMetricsFormat(r) {
+		case "summary":
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			_ = snap.WriteSummary(w)
-			return
+		case "openmetrics":
+			w.Header().Set("Content-Type", ContentTypeOpenMetrics)
+			_ = snap.WriteOpenMetrics(w)
+		case "prometheus":
+			w.Header().Set("Content-Type", ContentTypePrometheus)
+			_ = snap.WritePrometheus(w)
+		default:
+			writeJSON(w, snap)
 		}
-		writeJSON(w, snap)
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		events := tr.DumpPage(r.URL.Query().Get("page"))
@@ -180,6 +206,29 @@ func NewAdminServer(addr string, reg *Registry, tr *Tracer, opts ...AdminOption)
 	return s, nil
 }
 
+// negotiateMetricsFormat picks the /metrics representation: the
+// explicit ?format= and legacy ?text=1 overrides win, then the Accept
+// header (OpenMetrics preferred over plain text, matching the
+// preference order Prometheus scrapers send), defaulting to JSON so
+// existing scrapers — including the fleet aggregator — are unaffected.
+func negotiateMetricsFormat(r *http.Request) string {
+	if r.URL.Query().Get("text") != "" {
+		return "summary"
+	}
+	switch f := r.URL.Query().Get("format"); f {
+	case "json", "prometheus", "openmetrics":
+		return f
+	}
+	accept := r.Header.Get("Accept")
+	if strings.Contains(accept, "application/openmetrics-text") {
+		return "openmetrics"
+	}
+	if strings.Contains(accept, "text/plain") {
+		return "prometheus"
+	}
+	return "json"
+}
+
 // writeJSON writes v as indented JSON.
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -220,6 +269,15 @@ func (s *AdminServer) handleReady(w http.ResponseWriter, r *http.Request) {
 			results[name] = "ok"
 		}
 	}
+	// Track ready<->not-ready transitions ("flaps"); a flapping node is
+	// the readiness-side trigger for SLO-correlated profile capture.
+	now := int32(0)
+	if ready {
+		now = 1
+	}
+	if prev := s.lastReady.Swap(now); prev >= 0 && prev != now {
+		s.flaps.Add(1)
+	}
 	status := "ready"
 	w.Header().Set("Content-Type", "application/json")
 	if !ready {
@@ -229,6 +287,20 @@ func (s *AdminServer) handleReady(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(map[string]any{"status": status, "checks": results})
+}
+
+// ReadyTransitions returns how many times /readyz has flipped between
+// ready and not ready since startup — the readiness "flap" count
+// consumed by the profile-capture trigger.
+func (s *AdminServer) ReadyTransitions() int64 { return s.flaps.Load() }
+
+// Handle mounts an additional handler on the admin mux (e.g. the fleet
+// aggregator's /fleet endpoints or the profile ring's /profiles). Safe
+// to call while the server is running — components that come up after
+// the admin endpoint mount themselves here, mirroring
+// RegisterHealthCheck.
+func (s *AdminServer) Handle(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, h)
 }
 
 // Addr returns the server's listen address.

@@ -1,0 +1,261 @@
+package telemetry
+
+// Prometheus / OpenMetrics text exposition for Snapshot. The registry's
+// dot-separated metric names are sanitised to the exposition alphabet
+// (dots and dashes become underscores), labeled series keys produced by
+// the vecs are already in exposition syntax, and histograms are
+// re-rendered as cumulative le-buckets with _sum and _count. The
+// OpenMetrics flavor additionally carries trace-ID exemplars on bucket
+// lines and the terminating # EOF marker, so a scraped latency bucket
+// links straight to a retained span tree on /trace/{id}.
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// expositionFlavor selects between the classic Prometheus text format
+// (0.0.4) and OpenMetrics 1.0.
+type expositionFlavor int
+
+const (
+	flavorPrometheus expositionFlavor = iota
+	flavorOpenMetrics
+)
+
+// Content types served by the /metrics handler for each flavor.
+const (
+	ContentTypePrometheus  = "text/plain; version=0.0.4; charset=utf-8"
+	ContentTypeOpenMetrics = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text format
+// (version 0.0.4): # TYPE comments, plain counter names, cumulative
+// histogram buckets.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	return s.writeExposition(w, flavorPrometheus)
+}
+
+// WriteOpenMetrics renders the snapshot as OpenMetrics 1.0: counters
+// gain the _total suffix, histogram buckets carry exemplars for traced
+// samples, and the stream ends with # EOF.
+func (s Snapshot) WriteOpenMetrics(w io.Writer) error {
+	return s.writeExposition(w, flavorOpenMetrics)
+}
+
+// SanitizeMetricName maps a registry metric name onto the exposition
+// name alphabet [a-zA-Z0-9_:], replacing every other byte with '_' and
+// prefixing a leading digit with '_'.
+func SanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// series is one exposition sample: the sanitised family name, the
+// rendered label body ("" or `{l="v"}`-style without the braces), and
+// the value.
+type series struct {
+	labels string // label pairs without braces, "" when unlabeled
+	value  int64
+	hist   *HistogramSnapshot
+}
+
+// splitKey splits a registry key into its metric name and raw label
+// body (without braces); "" when the key is unlabeled.
+func splitKey(key string) (name, labelBody string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 && strings.HasSuffix(key, "}") {
+		return key[:i], key[i+1 : len(key)-1]
+	}
+	return key, ""
+}
+
+// collectFamilies groups the given keys by sanitised family name.
+func collectFamilies[V any](m map[string]V, add func(fam *family, labelBody string, v V)) map[string]*family {
+	fams := make(map[string]*family)
+	for key, v := range m {
+		name, labelBody := splitKey(key)
+		san := SanitizeMetricName(name)
+		fam := fams[san]
+		if fam == nil {
+			fam = &family{name: san}
+			fams[san] = fam
+		}
+		add(fam, labelBody, v)
+	}
+	return fams
+}
+
+type family struct {
+	name   string
+	series []series
+}
+
+func (f *family) sorted() []series {
+	sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+	return f.series
+}
+
+func sortedFamilies(fams map[string]*family) []*family {
+	out := make([]*family, 0, len(fams))
+	for _, f := range fams {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// formatBound renders a bucket bound as an le label value.
+func formatBound(b int64) string {
+	return strconv.FormatFloat(float64(b), 'g', -1, 64)
+}
+
+func (s Snapshot) writeExposition(w io.Writer, flavor expositionFlavor) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	// Counters.
+	counterFams := collectFamilies(s.Counters, func(f *family, labelBody string, v int64) {
+		f.series = append(f.series, series{labels: labelBody, value: v})
+	})
+	for _, fam := range sortedFamilies(counterFams) {
+		if err := p("# TYPE %s counter\n", fam.name); err != nil {
+			return err
+		}
+		name := fam.name
+		if flavor == flavorOpenMetrics {
+			name += "_total"
+		}
+		for _, sr := range fam.sorted() {
+			if err := p("%s%s %d\n", name, braced(sr.labels), sr.value); err != nil {
+				return err
+			}
+		}
+	}
+	// Gauges.
+	gaugeFams := collectFamilies(s.Gauges, func(f *family, labelBody string, v int64) {
+		f.series = append(f.series, series{labels: labelBody, value: v})
+	})
+	for _, fam := range sortedFamilies(gaugeFams) {
+		if err := p("# TYPE %s gauge\n", fam.name); err != nil {
+			return err
+		}
+		for _, sr := range fam.sorted() {
+			if err := p("%s%s %d\n", fam.name, braced(sr.labels), sr.value); err != nil {
+				return err
+			}
+		}
+	}
+	// Histograms: cumulative buckets, +Inf, _sum, _count, exemplars on
+	// the OpenMetrics flavor.
+	histFams := collectFamilies(s.Histograms, func(f *family, labelBody string, v HistogramSnapshot) {
+		h := v
+		f.series = append(f.series, series{labels: labelBody, hist: &h})
+	})
+	for _, fam := range sortedFamilies(histFams) {
+		if err := p("# TYPE %s histogram\n", fam.name); err != nil {
+			return err
+		}
+		for _, sr := range fam.sorted() {
+			if err := writeHistogramSeries(p, fam.name, sr, flavor); err != nil {
+				return err
+			}
+		}
+	}
+	if flavor == flavorOpenMetrics {
+		return p("# EOF\n")
+	}
+	return nil
+}
+
+// braced wraps a non-empty label body in braces.
+func braced(labelBody string) string {
+	if labelBody == "" {
+		return ""
+	}
+	return "{" + labelBody + "}"
+}
+
+// bucketLabels merges the series labels with an le pair.
+func bucketLabels(labelBody, le string) string {
+	if labelBody == "" {
+		return `{le="` + le + `"}`
+	}
+	return "{" + labelBody + `,le="` + le + `"}`
+}
+
+func writeHistogramSeries(p func(string, ...any) error, name string, sr series, flavor expositionFlavor) error {
+	h := sr.hist
+	exemplarFor := func(bucket int) string {
+		if flavor != flavorOpenMetrics {
+			return ""
+		}
+		for _, e := range h.Exemplars {
+			if e.Bucket == bucket {
+				return fmt.Sprintf(" # {trace_id=\"%s\"} %d %.3f",
+					e.TraceID, e.Value, float64(e.Time.UnixMilli())/1000)
+			}
+		}
+		return ""
+	}
+	var cum int64
+	for i, bound := range h.Bounds {
+		if i >= len(h.Counts) {
+			break
+		}
+		cum += h.Counts[i]
+		if err := p("%s_bucket%s %d%s\n",
+			name, bucketLabels(sr.labels, formatBound(bound)), cum, exemplarFor(i)); err != nil {
+			return err
+		}
+	}
+	if len(h.Counts) > len(h.Bounds) {
+		cum += h.Counts[len(h.Bounds)]
+	}
+	if err := p("%s_bucket%s %d%s\n",
+		name, bucketLabels(sr.labels, "+Inf"), cum, exemplarFor(len(h.Bounds))); err != nil {
+		return err
+	}
+	if err := p("%s_sum%s %d\n", name, braced(sr.labels), h.Sum); err != nil {
+		return err
+	}
+	return p("%s_count%s %d\n", name, braced(sr.labels), h.Count)
+}
+
+// AddRuntime injects the Go runtime's health metrics into the snapshot
+// as gauges (go.goroutines, go.heap_alloc_bytes, go.gc_pause_total_ns,
+// …), so every exposition flavor — and the fleet scraper's per-node
+// breakdown — carries process vitals alongside the application metrics.
+func (s Snapshot) AddRuntime() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.Gauges["go.goroutines"] = int64(runtime.NumGoroutine())
+	s.Gauges["go.gomaxprocs"] = int64(runtime.GOMAXPROCS(0))
+	s.Gauges["go.heap_alloc_bytes"] = int64(ms.HeapAlloc)
+	s.Gauges["go.heap_sys_bytes"] = int64(ms.HeapSys)
+	s.Gauges["go.heap_objects"] = int64(ms.HeapObjects)
+	s.Gauges["go.gc_cycles"] = int64(ms.NumGC)
+	s.Gauges["go.gc_pause_total_ns"] = int64(ms.PauseTotalNs)
+	if ms.NumGC > 0 {
+		s.Gauges["go.gc_pause_last_ns"] = int64(ms.PauseNs[(ms.NumGC+255)%256])
+	}
+}

@@ -1,0 +1,379 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fixedSnapshot builds a deterministic snapshot covering every
+// exposition feature: labeled and unlabeled counters, gauges, a
+// histogram with an exemplar, and a name needing sanitisation.
+func fixedSnapshot() Snapshot {
+	tid := TraceID{0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	return Snapshot{
+		Counters: map[string]int64{
+			"broker.publishes":                          42,
+			`broker.publishes_by_topic{topic="news"}`:   30,
+			`broker.publishes_by_topic{topic="sports"}`: 12,
+			`sim.strategy.hits{strategy="GD*"}`:         7,
+		},
+		Gauges: map[string]int64{
+			"broker.live_subscriptions": 5,
+			"go.goroutines":             11,
+		},
+		Histograms: map[string]HistogramSnapshot{
+			"broker.publish_ns": {
+				Count:  6,
+				Sum:    1000,
+				Bounds: []int64{10, 100, 1000},
+				Counts: []int64{1, 2, 2, 1},
+				Exemplars: []Exemplar{{
+					Bucket:  1,
+					Value:   50,
+					TraceID: tid,
+					Time:    time.Unix(1700000000, 123000000).UTC(),
+				}},
+			},
+		},
+	}
+}
+
+// TestExpositionGolden locks the byte-exact text of both flavors.
+// Regenerate with UPDATE_GOLDEN=1 go test ./internal/telemetry -run Golden.
+func TestExpositionGolden(t *testing.T) {
+	snap := fixedSnapshot()
+	for _, tc := range []struct {
+		golden string
+		write  func(*strings.Builder) error
+	}{
+		{"metrics.prom.golden", func(b *strings.Builder) error { return snap.WritePrometheus(b) }},
+		{"metrics.om.golden", func(b *strings.Builder) error { return snap.WriteOpenMetrics(b) }},
+	} {
+		var b strings.Builder
+		if err := tc.write(&b); err != nil {
+			t.Fatalf("%s: write: %v", tc.golden, err)
+		}
+		path := filepath.Join("testdata", tc.golden)
+		if os.Getenv("UPDATE_GOLDEN") != "" {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with UPDATE_GOLDEN=1 to generate)", tc.golden, err)
+		}
+		if got := b.String(); got != string(want) {
+			t.Errorf("%s: exposition drifted.\n--- got ---\n%s\n--- want ---\n%s", tc.golden, got, want)
+		}
+	}
+}
+
+// promFamily is one parsed metric family from the mini parser below.
+type promFamily struct {
+	kind    string // counter, gauge, histogram
+	samples []promSample
+}
+
+type promSample struct {
+	name     string // full sample name including _bucket/_sum/_count/_total
+	labels   map[string]string
+	value    float64
+	exemplar string // trace_id of the sample's exemplar, "" when none
+}
+
+// parseExposition is a strict miniature parser for the Prometheus text
+// format (and its OpenMetrics superset): every line must be a # TYPE
+// comment, a sample whose name resolves to a declared family, # EOF, or
+// blank. It stands in for a real Prometheus parser, which this module
+// deliberately does not depend on.
+func parseExposition(t *testing.T, text string, openMetrics bool) map[string]*promFamily {
+	t.Helper()
+	fams := make(map[string]*promFamily)
+	sawEOF := false
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if sawEOF {
+			t.Fatalf("line %d: content after # EOF: %q", ln+1, line)
+		}
+		if strings.HasPrefix(line, "#") {
+			if line == "# EOF" {
+				sawEOF = true
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "TYPE" {
+				t.Fatalf("line %d: unrecognised comment %q", ln+1, line)
+			}
+			name, kind := fields[2], fields[3]
+			switch kind {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown type %q", ln+1, kind)
+			}
+			if fams[name] != nil {
+				t.Fatalf("line %d: duplicate TYPE for %q", ln+1, name)
+			}
+			fams[name] = &promFamily{kind: kind}
+			continue
+		}
+		s := parseSampleLine(t, ln+1, line)
+		fam := familyFor(fams, s.name)
+		if fam == nil {
+			t.Fatalf("line %d: sample %q has no TYPE declaration", ln+1, s.name)
+		}
+		fam.samples = append(fam.samples, s)
+	}
+	if openMetrics && !sawEOF {
+		t.Fatal("OpenMetrics output missing # EOF terminator")
+	}
+	if !openMetrics && sawEOF {
+		t.Fatal("Prometheus output must not carry # EOF")
+	}
+	return fams
+}
+
+// familyFor resolves a sample name to its declared family, trying the
+// histogram/counter suffixes.
+func familyFor(fams map[string]*promFamily, name string) *promFamily {
+	if f := fams[name]; f != nil {
+		return f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count", "_total"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if f := fams[base]; f != nil {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+func parseSampleLine(t *testing.T, ln int, line string) promSample {
+	t.Helper()
+	s := promSample{labels: map[string]string{}}
+	rest := line
+	// Exemplar suffix: " # {trace_id=\"...\"} <value> <ts>".
+	if i := strings.Index(rest, " # "); i >= 0 {
+		ex := rest[i+3:]
+		rest = rest[:i]
+		if !strings.HasPrefix(ex, `{trace_id="`) {
+			t.Fatalf("line %d: malformed exemplar %q", ln, ex)
+		}
+		ex = strings.TrimPrefix(ex, `{trace_id="`)
+		j := strings.IndexByte(ex, '"')
+		if j < 0 {
+			t.Fatalf("line %d: unterminated exemplar label", ln)
+		}
+		s.exemplar = ex[:j]
+		// After the closing quote comes `} <value> [<timestamp>]`.
+		fields := strings.Fields(ex[j+1:])
+		if len(fields) < 2 || len(fields) > 3 || fields[0] != "}" {
+			t.Fatalf("line %d: exemplar needs `} value [timestamp]`, got %q", ln, ex)
+		}
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			t.Fatalf("line %d: bad exemplar value %q", ln, fields[1])
+		}
+	}
+	// Name and optional label body.
+	var valuePart string
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			t.Fatalf("line %d: unbalanced braces in %q", ln, rest)
+		}
+		s.name = rest[:i]
+		_, labels := ParseSeries(rest[:j+1])
+		if labels == nil {
+			t.Fatalf("line %d: bad label body in %q", ln, rest)
+		}
+		s.labels = labels
+		valuePart = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			t.Fatalf("line %d: sample needs name and value: %q", ln, rest)
+		}
+		s.name = fields[0]
+		valuePart = strings.Join(fields[1:], " ")
+	}
+	fields := strings.Fields(valuePart)
+	if len(fields) < 1 {
+		t.Fatalf("line %d: missing value in %q", ln, line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		t.Fatalf("line %d: bad value %q: %v", ln, fields[0], err)
+	}
+	s.value = v
+	for i := 0; i < len(s.name); i++ {
+		c := s.name[i]
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == ':') {
+			t.Fatalf("line %d: name %q outside exposition alphabet", ln, s.name)
+		}
+	}
+	return s
+}
+
+// TestExpositionParses runs both flavors of a live registry's snapshot
+// through the mini parser and cross-checks the structure.
+func TestExpositionParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("broker.publishes").Add(42)
+	r.CounterVec("broker.publishes_by_topic", "topic").With("news").Add(30)
+	r.CounterVec("broker.publishes_by_topic", "topic").With("sports").Add(12)
+	r.Gauge("broker.live_subscriptions").Set(5)
+	h := r.Histogram("broker.publish_ns", []int64{10, 100, 1000})
+	tid := TraceID{1}
+	h.Observe(5)
+	h.ObserveExemplar(50, tid)
+	h.Observe(5000)
+	snap := r.Snapshot()
+
+	for _, flavor := range []string{"prometheus", "openmetrics"} {
+		t.Run(flavor, func(t *testing.T) {
+			var b strings.Builder
+			var err error
+			om := flavor == "openmetrics"
+			if om {
+				err = snap.WriteOpenMetrics(&b)
+			} else {
+				err = snap.WritePrometheus(&b)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			fams := parseExposition(t, b.String(), om)
+
+			pubName := "broker_publishes"
+			if om {
+				pubName += "_total"
+			}
+			fam := fams["broker_publishes"]
+			if fam == nil || fam.kind != "counter" {
+				t.Fatalf("broker_publishes family = %+v, want counter", fam)
+			}
+			if len(fam.samples) != 1 || fam.samples[0].name != pubName || fam.samples[0].value != 42 {
+				t.Errorf("broker_publishes samples = %+v", fam.samples)
+			}
+
+			topics := fams["broker_publishes_by_topic"]
+			if topics == nil || len(topics.samples) != 2 {
+				t.Fatalf("topic family = %+v, want 2 series", topics)
+			}
+			var sum float64
+			for _, s := range topics.samples {
+				if s.labels["topic"] == "" {
+					t.Errorf("topic sample missing label: %+v", s)
+				}
+				sum += s.value
+			}
+			if sum != 42 {
+				t.Errorf("topic series sum = %g, want 42", sum)
+			}
+
+			hist := fams["broker_publish_ns"]
+			if hist == nil || hist.kind != "histogram" {
+				t.Fatalf("histogram family = %+v", hist)
+			}
+			var buckets []promSample
+			var count, total float64
+			sawExemplar := false
+			for _, s := range hist.samples {
+				switch s.name {
+				case "broker_publish_ns_bucket":
+					buckets = append(buckets, s)
+					if s.exemplar != "" {
+						sawExemplar = true
+						if s.exemplar != tid.String() {
+							t.Errorf("exemplar trace ID = %q, want %q", s.exemplar, tid)
+						}
+					}
+				case "broker_publish_ns_count":
+					count = s.value
+				case "broker_publish_ns_sum":
+					total = s.value
+				}
+			}
+			if count != 3 || total != 5055 {
+				t.Errorf("count/sum = %g/%g, want 3/5055", count, total)
+			}
+			sort.Slice(buckets, func(i, j int) bool {
+				return leValue(buckets[i].labels["le"]) < leValue(buckets[j].labels["le"])
+			})
+			if len(buckets) != 4 {
+				t.Fatalf("bucket count = %d, want 4 (3 bounds + +Inf)", len(buckets))
+			}
+			for i := 1; i < len(buckets); i++ {
+				if buckets[i].value < buckets[i-1].value {
+					t.Errorf("buckets not cumulative: %+v", buckets)
+				}
+			}
+			if inf := buckets[len(buckets)-1]; inf.labels["le"] != "+Inf" || inf.value != count {
+				t.Errorf("+Inf bucket = %+v, want le=+Inf value=%g", inf, count)
+			}
+			if om != sawExemplar {
+				t.Errorf("exemplar present = %v, want %v (flavor %s)", sawExemplar, om, flavor)
+			}
+		})
+	}
+}
+
+func leValue(le string) float64 {
+	if le == "+Inf" {
+		return 1e300
+	}
+	v, _ := strconv.ParseFloat(le, 64)
+	return v
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"broker.publish_ns": "broker_publish_ns",
+		"proxy-3.errors":    "proxy_3_errors",
+		"9lives":            "_9lives",
+		"ok_name:sub":       "ok_name:sub",
+	}
+	for in, want := range cases {
+		if got := SanitizeMetricName(in); got != want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHistogramExemplarRoundTrip(t *testing.T) {
+	h := NewHistogram([]int64{10, 100})
+	tid := TraceID{0xab, 0xcd}
+	h.ObserveExemplar(50, tid)
+	h.ObserveExemplar(5, TraceID{}) // zero trace ID records no exemplar
+	snap := h.Snapshot()
+	if len(snap.Exemplars) != 1 {
+		t.Fatalf("exemplars = %+v, want exactly 1", snap.Exemplars)
+	}
+	e := snap.Exemplars[0]
+	if e.Bucket != 1 || e.Value != 50 || e.TraceID != tid {
+		t.Errorf("exemplar = %+v", e)
+	}
+}
+
+func TestAddRuntime(t *testing.T) {
+	snap := Snapshot{Counters: map[string]int64{}, Gauges: map[string]int64{}, Histograms: map[string]HistogramSnapshot{}}
+	snap.AddRuntime()
+	if snap.Gauges["go.goroutines"] <= 0 {
+		t.Errorf("go.goroutines = %d, want > 0", snap.Gauges["go.goroutines"])
+	}
+	if snap.Gauges["go.heap_alloc_bytes"] <= 0 {
+		t.Errorf("go.heap_alloc_bytes = %d, want > 0", snap.Gauges["go.heap_alloc_bytes"])
+	}
+}

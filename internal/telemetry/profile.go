@@ -1,0 +1,411 @@
+package telemetry
+
+// SLO-triggered continuous profiling. A ProfileTrigger watches two
+// burn signals — the publish→placement SLO miss rate (from the hit and
+// miss counters) and /readyz flapping — and, when either crosses its
+// threshold, captures a bounded ring of pprof profiles (heap
+// immediately, CPU for a short window) whose filenames carry the
+// trigger reason and a correlated trace ID, so "the fleet burned its
+// SLO at 12:04" resolves to both a profile and a span tree without
+// anyone having been at a terminal when it happened.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// cpuProfileMu serialises CPU profiling process-wide: the runtime
+// supports only one CPU profile at a time (the pprof HTTP handler
+// competes for it too, in which case capture degrades to heap-only).
+var cpuProfileMu sync.Mutex
+
+// ProfileConfig configures a ProfileTrigger. Dir is required; every
+// other field has a usable default.
+type ProfileConfig struct {
+	// Dir receives the captured .pprof files; created if missing.
+	Dir string
+	// MaxProfiles bounds the ring: oldest captures are deleted once
+	// more than this many files exist (default 16 files).
+	MaxProfiles int
+	// CPUDuration is how long each CPU capture runs (default 2s).
+	CPUDuration time.Duration
+	// Interval is the signal evaluation period (default 10s).
+	Interval time.Duration
+	// Cooldown is the minimum gap between captures (default 2m).
+	Cooldown time.Duration
+
+	// MissRate triggers a capture when misses/(hits+misses) over the
+	// last interval reaches this fraction (default 0.2; <0 disables).
+	MissRate float64
+	// MinEvents is the minimum hit+miss delta per interval for the
+	// miss-rate signal to count (default 10) — a single slow publish in
+	// an idle window is noise, not a burn.
+	MinEvents int64
+	// FlapThreshold triggers a capture when /readyz flips state at
+	// least this many times within one interval (default 3; 0 disables
+	// when no Flaps source is set).
+	FlapThreshold int64
+
+	// Hits and Misses source the SLO counters (typically
+	// reg.Counter("broker.slo.publish_to_placement.hit").Value).
+	Hits, Misses func() int64
+	// Flaps sources the readiness transition count (typically
+	// AdminServer.ReadyTransitions). Nil disables the flap signal.
+	Flaps func() int64
+	// TraceHint returns a trace ID to correlate into capture filenames;
+	// nil or empty means uncorrelated. See TraceHintFromCollector.
+	TraceHint func() string
+}
+
+func (c ProfileConfig) withDefaults() ProfileConfig {
+	if c.MaxProfiles <= 0 {
+		c.MaxProfiles = 16
+	}
+	if c.CPUDuration <= 0 {
+		c.CPUDuration = 2 * time.Second
+	}
+	if c.Interval <= 0 {
+		c.Interval = 10 * time.Second
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Minute
+	}
+	if c.MissRate == 0 {
+		c.MissRate = 0.2
+	}
+	if c.MinEvents <= 0 {
+		c.MinEvents = 10
+	}
+	if c.FlapThreshold <= 0 {
+		c.FlapThreshold = 3
+	}
+	return c
+}
+
+// TraceHintFromCollector returns a TraceHint that picks the most
+// interesting retained trace: the slowest errored one, else the
+// slowest overall — the span tree a human would open first when
+// diagnosing the burn that triggered the capture.
+func TraceHintFromCollector(c *SpanCollector) func() string {
+	return func() string {
+		if c == nil {
+			return ""
+		}
+		var best *TraceData
+		for _, td := range c.Traces() {
+			if best == nil ||
+				(td.Err && !best.Err) ||
+				(td.Err == best.Err && td.Duration > best.Duration) {
+				best = td
+			}
+		}
+		if best == nil {
+			return ""
+		}
+		return best.TraceID.String()
+	}
+}
+
+// CapturedProfile describes one retained .pprof file.
+type CapturedProfile struct {
+	Name    string    `json:"name"` // filename under Dir, servable at /profiles/{name}
+	Kind    string    `json:"kind"` // "cpu" or "heap"
+	Reason  string    `json:"reason"`
+	TraceID string    `json:"traceId,omitempty"`
+	Size    int64     `json:"sizeBytes"`
+	Time    time.Time `json:"time"`
+}
+
+// ProfileTrigger owns the capture ring. Create with NewProfileTrigger,
+// start the watch loop with Start, serve the ring with Handler.
+type ProfileTrigger struct {
+	cfg ProfileConfig
+
+	mu          sync.Mutex
+	lastCapture time.Time
+	lastHits    int64
+	lastMisses  int64
+	lastFlaps   int64
+	primed      bool
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+	captures *Counter // telemetry.profiles.captured when wired
+}
+
+// NewProfileTrigger validates the config and prepares the capture
+// directory. reg may be nil; when set, captures tick
+// telemetry.profiles.captured.
+func NewProfileTrigger(cfg ProfileConfig, reg *Registry) (*ProfileTrigger, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("telemetry: profile capture needs a directory")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("telemetry: profile dir: %w", err)
+	}
+	return &ProfileTrigger{
+		cfg:      cfg.withDefaults(),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		captures: reg.Counter("telemetry.profiles.captured"),
+	}, nil
+}
+
+// Start launches the background watch loop. Close stops it.
+func (t *ProfileTrigger) Start() {
+	go func() {
+		defer close(t.done)
+		ticker := time.NewTicker(t.cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-t.stop:
+				return
+			case <-ticker.C:
+				t.evaluate()
+			}
+		}
+	}()
+}
+
+// Close stops the watch loop (captures already in flight finish).
+func (t *ProfileTrigger) Close() {
+	t.stopOnce.Do(func() { close(t.stop) })
+	<-t.done
+}
+
+// evaluate runs one signal check: windowed SLO miss rate and readiness
+// flap count since the previous tick.
+func (t *ProfileTrigger) evaluate() {
+	var hits, misses, flaps int64
+	if t.cfg.Hits != nil {
+		hits = t.cfg.Hits()
+	}
+	if t.cfg.Misses != nil {
+		misses = t.cfg.Misses()
+	}
+	if t.cfg.Flaps != nil {
+		flaps = t.cfg.Flaps()
+	}
+	t.mu.Lock()
+	dh, dm, df := hits-t.lastHits, misses-t.lastMisses, flaps-t.lastFlaps
+	primed := t.primed
+	t.lastHits, t.lastMisses, t.lastFlaps = hits, misses, flaps
+	t.primed = true
+	cooling := time.Since(t.lastCapture) < t.cfg.Cooldown
+	t.mu.Unlock()
+	if !primed || cooling {
+		// The first tick only establishes the window baseline.
+		return
+	}
+	var reason string
+	if t.cfg.Misses != nil && t.cfg.MissRate >= 0 && dh+dm >= t.cfg.MinEvents {
+		if rate := float64(dm) / float64(dh+dm); rate >= t.cfg.MissRate {
+			reason = fmt.Sprintf("slo-miss-rate-%.0fpct", rate*100)
+		}
+	}
+	if reason == "" && t.cfg.Flaps != nil && df >= t.cfg.FlapThreshold {
+		reason = fmt.Sprintf("readyz-flaps-%d", df)
+	}
+	if reason == "" {
+		return
+	}
+	_, _ = t.Capture(reason)
+}
+
+// Capture takes one heap profile and one CPU profile (bounded by
+// CPUDuration), names them after the reason and the current trace
+// hint, prunes the ring and returns the new entries. Exported so an
+// operator (or a test) can force a capture.
+func (t *ProfileTrigger) Capture(reason string) ([]CapturedProfile, error) {
+	t.mu.Lock()
+	t.lastCapture = time.Now()
+	t.mu.Unlock()
+	tid := ""
+	if t.cfg.TraceHint != nil {
+		tid = t.cfg.TraceHint()
+	}
+	base := fmt.Sprintf("%d-%s", time.Now().UnixNano(), sanitizeFileComponent(reason))
+	if tid != "" {
+		base += "-" + tid
+	}
+	var out []CapturedProfile
+	var firstErr error
+	record := func(kind, name string, err error) {
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		fi, serr := os.Stat(filepath.Join(t.cfg.Dir, name))
+		var size int64
+		if serr == nil {
+			size = fi.Size()
+		}
+		out = append(out, CapturedProfile{
+			Name: name, Kind: kind, Reason: reason, TraceID: tid,
+			Size: size, Time: time.Now(),
+		})
+		t.captures.Inc()
+	}
+	heapName := base + ".heap.pprof"
+	record("heap", heapName, t.writeHeapProfile(heapName))
+	cpuName := base + ".cpu.pprof"
+	record("cpu", cpuName, t.writeCPUProfile(cpuName))
+	t.prune()
+	if len(out) == 0 {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+func (t *ProfileTrigger) writeHeapProfile(name string) error {
+	f, err := os.Create(filepath.Join(t.cfg.Dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return pprof.WriteHeapProfile(f)
+}
+
+func (t *ProfileTrigger) writeCPUProfile(name string) error {
+	cpuProfileMu.Lock()
+	defer cpuProfileMu.Unlock()
+	f, err := os.Create(filepath.Join(t.cfg.Dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := pprof.StartCPUProfile(f); err != nil {
+		// Another profiler (e.g. /debug/pprof/profile) holds the CPU
+		// profile; drop the file and settle for the heap capture.
+		_ = f.Close()
+		_ = os.Remove(filepath.Join(t.cfg.Dir, name))
+		return err
+	}
+	time.Sleep(t.cfg.CPUDuration)
+	pprof.StopCPUProfile()
+	return nil
+}
+
+// prune deletes the oldest captures beyond MaxProfiles.
+func (t *ProfileTrigger) prune() {
+	infos := t.list()
+	for i := t.cfg.MaxProfiles; i < len(infos); i++ {
+		_ = os.Remove(filepath.Join(t.cfg.Dir, infos[i].Name))
+	}
+}
+
+// List returns the retained captures, newest first.
+func (t *ProfileTrigger) List() []CapturedProfile {
+	return t.list()
+}
+
+func (t *ProfileTrigger) list() []CapturedProfile {
+	entries, err := os.ReadDir(t.cfg.Dir)
+	if err != nil {
+		return nil
+	}
+	var out []CapturedProfile
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".pprof") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		out = append(out, parseProfileName(name, info.Size(), info.ModTime()))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name > out[j].Name })
+	return out
+}
+
+// parseProfileName recovers the capture metadata encoded in the
+// filename: <unixnano>-<reason>[-<traceid>].<kind>.pprof.
+func parseProfileName(name string, size int64, mod time.Time) CapturedProfile {
+	p := CapturedProfile{Name: name, Size: size, Time: mod}
+	stem := strings.TrimSuffix(name, ".pprof")
+	if strings.HasSuffix(stem, ".cpu") {
+		p.Kind = "cpu"
+		stem = strings.TrimSuffix(stem, ".cpu")
+	} else if strings.HasSuffix(stem, ".heap") {
+		p.Kind = "heap"
+		stem = strings.TrimSuffix(stem, ".heap")
+	}
+	parts := strings.SplitN(stem, "-", 2)
+	if len(parts) == 2 {
+		rest := parts[1]
+		// A trailing 32-hex segment is the correlated trace ID.
+		if i := strings.LastIndexByte(rest, '-'); i >= 0 && len(rest)-i-1 == 32 && isHex(rest[i+1:]) {
+			p.TraceID = rest[i+1:]
+			rest = rest[:i]
+		}
+		p.Reason = rest
+	}
+	return p
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func sanitizeFileComponent(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '.' || c == '-' {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// Handler serves the capture ring: GET /profiles lists the retained
+// captures as JSON; GET /profiles/{name} streams one .pprof file (for
+// `go tool pprof http://node:port/profiles/<name>`).
+func (t *ProfileTrigger) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(strings.TrimPrefix(r.URL.Path, "/profiles"), "/")
+		if rest == "" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(struct {
+				Dir      string            `json:"dir"`
+				Profiles []CapturedProfile `json:"profiles"`
+			}{Dir: t.cfg.Dir, Profiles: t.List()})
+			return
+		}
+		if strings.ContainsAny(rest, "/\\") || !strings.HasSuffix(rest, ".pprof") {
+			http.Error(w, "bad profile name", http.StatusBadRequest)
+			return
+		}
+		path := filepath.Join(t.cfg.Dir, rest)
+		if _, err := os.Stat(path); err != nil {
+			http.Error(w, "profile not retained", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		http.ServeFile(w, r, path)
+	})
+}

@@ -1,0 +1,200 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testProfileConfig(dir string) ProfileConfig {
+	return ProfileConfig{
+		Dir:         dir,
+		CPUDuration: 10 * time.Millisecond,
+		Interval:    5 * time.Millisecond,
+		Cooldown:    time.Millisecond,
+		MinEvents:   10,
+	}
+}
+
+func TestProfileTriggerOnMissRate(t *testing.T) {
+	var hits, misses atomic.Int64
+	reg := NewRegistry()
+	cfg := testProfileConfig(t.TempDir())
+	cfg.Hits = hits.Load
+	cfg.Misses = misses.Load
+	trig, err := NewProfileTrigger(cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trig.evaluate() // primes the window baseline, must not capture
+	if got := trig.List(); len(got) != 0 {
+		t.Fatalf("captured on priming tick: %+v", got)
+	}
+	hits.Store(50)
+	misses.Store(50) // 50% miss rate over the window
+	trig.evaluate()
+	profiles := trig.List()
+	if len(profiles) < 1 {
+		t.Fatal("no profile captured after induced SLO burn")
+	}
+	for _, p := range profiles {
+		if !strings.HasPrefix(p.Reason, "slo-miss-rate-") {
+			t.Errorf("reason = %q, want slo-miss-rate-*", p.Reason)
+		}
+		if p.Kind != "cpu" && p.Kind != "heap" {
+			t.Errorf("kind = %q", p.Kind)
+		}
+		if p.Size <= 0 {
+			t.Errorf("profile %s has size %d", p.Name, p.Size)
+		}
+	}
+	if got := reg.Counter("telemetry.profiles.captured").Value(); got != int64(len(profiles)) {
+		t.Errorf("captured counter = %d, want %d", got, len(profiles))
+	}
+}
+
+func TestProfileTriggerIgnoresIdleWindow(t *testing.T) {
+	var misses atomic.Int64
+	cfg := testProfileConfig(t.TempDir())
+	cfg.Hits = func() int64 { return 0 }
+	cfg.Misses = misses.Load
+	trig, err := NewProfileTrigger(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trig.evaluate()
+	misses.Store(5) // 100% miss rate but below MinEvents
+	trig.evaluate()
+	if got := trig.List(); len(got) != 0 {
+		t.Errorf("captured on a sub-MinEvents window: %+v", got)
+	}
+}
+
+func TestProfileTriggerOnFlaps(t *testing.T) {
+	var flaps atomic.Int64
+	cfg := testProfileConfig(t.TempDir())
+	cfg.Flaps = flaps.Load
+	cfg.FlapThreshold = 3
+	trig, err := NewProfileTrigger(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trig.evaluate()
+	flaps.Store(4)
+	trig.evaluate()
+	profiles := trig.List()
+	if len(profiles) == 0 {
+		t.Fatal("no profile captured after readyz flapping")
+	}
+	if want := "readyz-flaps-4"; profiles[0].Reason != want {
+		t.Errorf("reason = %q, want %q", profiles[0].Reason, want)
+	}
+}
+
+func TestProfileRingBoundAndTraceID(t *testing.T) {
+	cfg := testProfileConfig(t.TempDir())
+	cfg.MaxProfiles = 4
+	tid := TraceID{0xaa, 0xbb}
+	cfg.TraceHint = func() string { return tid.String() }
+	trig, err := NewProfileTrigger(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := trig.Capture("test-burn"); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond) // distinct UnixNano prefixes
+	}
+	profiles := trig.List()
+	if len(profiles) != 4 {
+		t.Fatalf("ring holds %d profiles, want 4 (MaxProfiles)", len(profiles))
+	}
+	for _, p := range profiles {
+		if p.TraceID != tid.String() {
+			t.Errorf("profile %s trace ID = %q, want %q", p.Name, p.TraceID, tid)
+		}
+		if p.Reason != "test-burn" {
+			t.Errorf("profile %s reason = %q", p.Name, p.Reason)
+		}
+	}
+}
+
+func TestProfileHandler(t *testing.T) {
+	cfg := testProfileConfig(t.TempDir())
+	trig, err := NewProfileTrigger(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trig.Capture("handler-test"); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(trig.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/profiles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var listing struct {
+		Profiles []CapturedProfile `json:"profiles"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Profiles) == 0 {
+		t.Fatal("empty /profiles listing")
+	}
+
+	one, err := http.Get(srv.URL + "/profiles/" + listing.Profiles[0].Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one.Body.Close()
+	if one.StatusCode != http.StatusOK {
+		t.Errorf("GET profile = %d", one.StatusCode)
+	}
+	for _, bad := range []string{"/profiles/../etc/passwd", "/profiles/nope.txt"} {
+		resp, err := http.Get(srv.URL + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Errorf("GET %s should be rejected", bad)
+		}
+	}
+}
+
+func TestParseProfileName(t *testing.T) {
+	tid := strings.Repeat("ab", 16)
+	p := parseProfileName("1700000000000000000-slo-miss-rate-40pct-"+tid+".cpu.pprof", 10, time.Now())
+	if p.Kind != "cpu" || p.Reason != "slo-miss-rate-40pct" || p.TraceID != tid {
+		t.Errorf("parsed = %+v", p)
+	}
+	p = parseProfileName("1700000000000000000-readyz-flaps-3.heap.pprof", 10, time.Now())
+	if p.Kind != "heap" || p.Reason != "readyz-flaps-3" || p.TraceID != "" {
+		t.Errorf("parsed = %+v", p)
+	}
+}
+
+func TestTraceHintFromCollector(t *testing.T) {
+	if got := TraceHintFromCollector(nil)(); got != "" {
+		t.Errorf("nil collector hint = %q", got)
+	}
+	c := NewSpanCollector(CollectorOptions{})
+	ctx := WithSpanCollector(context.Background(), c)
+	_, sp := StartSpan(ctx, "slow")
+	slow := sp.Context().TraceID
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	if got := TraceHintFromCollector(c)(); got != slow.String() {
+		t.Errorf("hint = %q, want slowest trace %q", got, slow)
+	}
+}

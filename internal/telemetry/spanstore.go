@@ -10,6 +10,7 @@ package telemetry
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"time"
@@ -347,7 +348,7 @@ func (c *SpanCollector) Trace(tid TraceID) (*TraceData, bool) {
 
 // WriteTree renders the trace as an indented text tree with per-stage
 // durations, children sorted by start time.
-func (td *TraceData) WriteTree(w interface{ Write([]byte) (int, error) }) error {
+func (td *TraceData) WriteTree(w io.Writer) error {
 	p := func(format string, args ...interface{}) error {
 		_, err := fmt.Fprintf(w, format, args...)
 		return err

@@ -16,6 +16,7 @@ package telemetry
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -59,6 +60,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	vecs       map[string]*vecSpec
 }
 
 // NewRegistry returns an empty registry.
@@ -67,6 +69,7 @@ func NewRegistry() *Registry {
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
+		vecs:       make(map[string]*vecSpec),
 	}
 }
 
@@ -189,7 +192,7 @@ func (r *Registry) CounterNames() []string {
 
 // WriteSummary renders a sorted plain-text summary of the snapshot, used
 // by the CLI tools and the report's telemetry section.
-func (s Snapshot) WriteSummary(w interface{ Write([]byte) (int, error) }) error {
+func (s Snapshot) WriteSummary(w io.Writer) error {
 	p := func(format string, args ...interface{}) error {
 		_, err := fmt.Fprintf(w, format, args...)
 		return err

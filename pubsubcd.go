@@ -37,6 +37,7 @@ import (
 	"pubsubcd/internal/match"
 	"pubsubcd/internal/sim"
 	"pubsubcd/internal/telemetry"
+	"pubsubcd/internal/telemetry/fleet"
 	"pubsubcd/internal/workload"
 )
 
@@ -224,6 +225,31 @@ type (
 	SpanCollectorOptions = telemetry.CollectorOptions
 	// TraceData is one finalised span trace.
 	TraceData = telemetry.TraceData
+
+	// CounterVec, GaugeVec and HistogramVec are labeled metric
+	// families; With resolves one label combination to an ordinary
+	// handle (resolve once on hot paths). Each vec is
+	// cardinality-bounded; past the budget, series collapse into one
+	// overflow series.
+	CounterVec   = telemetry.CounterVec
+	GaugeVec     = telemetry.GaugeVec
+	HistogramVec = telemetry.HistogramVec
+	// ProfileTrigger captures CPU/heap profiles into a bounded ring
+	// when the SLO burns or readiness flaps; ProfileConfig tunes the
+	// thresholds.
+	ProfileTrigger = telemetry.ProfileTrigger
+	// ProfileConfig configures NewProfileTrigger.
+	ProfileConfig = telemetry.ProfileConfig
+	// FleetScraper polls a set of admin endpoints and serves the
+	// merged fleet snapshot on /fleet and the SLO report on /fleet/slo.
+	FleetScraper = fleet.Scraper
+	// FleetOptions configures NewFleetScraper.
+	FleetOptions = fleet.Options
+	// FleetSnapshot is a merged fleet view with per-node breakdown.
+	FleetSnapshot = fleet.Snapshot
+	// FleetSLOReport is per-node and fleet-wide SLO attainment plus a
+	// windowed burn rate.
+	FleetSLOReport = fleet.SLOReport
 )
 
 // Telemetry constructors and helpers.
@@ -252,6 +278,14 @@ var (
 	// leveled, text or JSON, and annotated with trace_id/span_id when a
 	// record is logged under an active span context.
 	NewStructuredLogger = telemetry.NewLogger
+
+	// NewProfileTrigger arms SLO-triggered profile capture; its
+	// Handler serves the profile ring. TraceHintFromCollector tags
+	// captures with the most interesting retained trace ID.
+	NewProfileTrigger      = telemetry.NewProfileTrigger
+	TraceHintFromCollector = telemetry.TraceHintFromCollector
+	// NewFleetScraper aggregates /metrics across admin endpoints.
+	NewFleetScraper = fleet.New
 )
 
 // Broker (live publish/subscribe system).
