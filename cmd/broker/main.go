@@ -49,6 +49,23 @@
 // -backoff-max), probes liveness (-heartbeat, -heartbeat-timeout) and
 // retries idempotent requests (-retry-budget, -request-timeout) across
 // remote restarts.
+//
+// With -cluster-peers, the broker runs as one member of a horizontally
+// sharded cluster instead of a standalone node:
+//
+//	broker -node-id n1 -addr 127.0.0.1:7070 -partitions 16 \
+//	    -cluster-peers n1=127.0.0.1:7070,n2=127.0.0.1:7170,n3=127.0.0.1:7270
+//
+// Topics are consistent-hashed onto -partitions fixed partitions and
+// partitions onto the live members; a publish, subscribe or fetch sent
+// to any member is routed to the owner over the resilient transport.
+// Every member must be started with the same -partitions and the same
+// -cluster-peers list (its own entry included). Membership follows the
+// heartbeat failure detector; joins and graceful leaves move partition
+// state to the new owners through journaled handoffs (with -data-dir,
+// each partition journals and recovers under data-dir/part-NNNN). On
+// SIGINT/SIGTERM the member retires first — handing its partitions to
+// the survivors — unless -retire-on-shutdown=false.
 package main
 
 import (
@@ -62,6 +79,7 @@ import (
 	"time"
 
 	"pubsubcd/internal/broker"
+	"pubsubcd/internal/cluster"
 	"pubsubcd/internal/journal"
 	"pubsubcd/internal/telemetry"
 	"pubsubcd/internal/telemetry/fleet"
@@ -93,6 +111,25 @@ func splitList(s string) []string {
 		}
 	}
 	return out
+}
+
+// parsePeers parses "id=addr,id=addr" into a peer map.
+func parsePeers(s string) (map[string]string, error) {
+	peers := map[string]string{}
+	for _, part := range splitList(s) {
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad -cluster-peers entry %q, want id=addr", part)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("duplicate -cluster-peers id %q", id)
+		}
+		peers[id] = addr
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("-cluster-peers is empty")
+	}
+	return peers, nil
 }
 
 // run starts the broker server and blocks until stop is closed.
@@ -130,6 +167,11 @@ func run(args []string, stop <-chan struct{}, out *os.File) error {
 	profileCooldown := fs.Duration("profile-cooldown", 2*time.Minute, "minimum gap between profile captures")
 	profileCPU := fs.Duration("profile-cpu-duration", 2*time.Second, "length of each triggered CPU profile")
 	profileMax := fs.Int("profile-max", 16, "profile ring size: oldest captures beyond this are deleted")
+	nodeID := fs.String("node-id", "", "this member's name in the cluster (required with -cluster-peers)")
+	clusterPeers := fs.String("cluster-peers", "", "comma-separated id=addr cluster members, this node included (empty = standalone broker)")
+	partitions := fs.Int("partitions", cluster.DefaultPartitions, "fixed topic-partition count; every member must agree")
+	clusterHeartbeat := fs.Duration("cluster-heartbeat", 0, "peer-liveness probe interval (0 = default)")
+	retireOnShutdown := fs.Bool("retire-on-shutdown", true, "hand partitions to the surviving members before exiting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -144,6 +186,21 @@ func run(args []string, stop <-chan struct{}, out *os.File) error {
 	fsyncPolicy, err := journal.ParseFsyncPolicy(*fsyncMode)
 	if err != nil {
 		return fmt.Errorf("usage: %w (valid: always, interval, none)", err)
+	}
+	var peers map[string]string
+	if *clusterPeers != "" {
+		if *nodeID == "" {
+			return fmt.Errorf("usage: -cluster-peers requires -node-id")
+		}
+		if *uplink != "" {
+			return fmt.Errorf("usage: -uplink cannot be combined with -cluster-peers")
+		}
+		if peers, err = parsePeers(*clusterPeers); err != nil {
+			return fmt.Errorf("usage: %w", err)
+		}
+		if _, ok := peers[*nodeID]; !ok {
+			return fmt.Errorf("usage: -cluster-peers must include this node (%s)", *nodeID)
+		}
 	}
 	if *dataDir != "" && *snapshotInterval <= 0 {
 		return fmt.Errorf("usage: -snapshot-interval must be positive with -data-dir, got %v", *snapshotInterval)
@@ -220,6 +277,47 @@ func run(args []string, stop <-chan struct{}, out *os.File) error {
 				"profiles", fmt.Sprintf("http://%s/profiles", admin.Addr()))
 		}
 	}
+	if peers != nil {
+		node, err := cluster.Start(cluster.Config{
+			NodeID:            *nodeID,
+			Addr:              *addr,
+			Peers:             peers,
+			Partitions:        *partitions,
+			DataDir:           *dataDir,
+			Fsync:             fsyncPolicy,
+			SnapshotInterval:  *snapshotInterval,
+			Registry:          reg,
+			Spans:             spans,
+			HeartbeatInterval: *clusterHeartbeat,
+		})
+		if err != nil {
+			return err
+		}
+		if admin != nil {
+			admin.RegisterHealthCheck("cluster", func() error {
+				if !node.Ring().HasMember(node.NodeID()) {
+					return fmt.Errorf("node %s retired from the ring", node.NodeID())
+				}
+				return nil
+			})
+		}
+		logger.Info("cluster member up",
+			"node", node.NodeID(), "addr", node.Addr(),
+			"partitions", *partitions, "peers", len(peers)-1)
+		<-stop
+		logger.Info("shutting down")
+		if *retireOnShutdown {
+			ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+			if err := node.Retire(ctx); err != nil {
+				logger.Warn("retirement failed, closing without handoff", "error", err)
+			} else {
+				logger.Info("retired: partitions handed to the survivors")
+			}
+			cancel()
+		}
+		return node.Close()
+	}
+
 	b, err := broker.Open(
 		broker.WithDataDir(*dataDir),
 		broker.WithFsyncPolicy(fsyncPolicy),

@@ -62,6 +62,10 @@ func run(args []string, out io.Writer) error {
 
 	d := &dashboard{base: base, client: client, topK: *topK}
 	if *once {
+		// One-shot mode is used from scripts and CI: an unreachable or
+		// empty aggregation point must fail the invocation loudly, not
+		// render an empty frame and exit 0.
+		d.strict = true
 		return d.frame(out, false)
 	}
 
@@ -95,6 +99,9 @@ type dashboard struct {
 	base   string
 	client *http.Client
 	topK   int
+	// strict fails a frame on an empty fleet snapshot instead of
+	// rendering it (one-shot mode).
+	strict bool
 
 	prev   map[string]int64
 	prevAt time.Time
@@ -104,11 +111,12 @@ type dashboard struct {
 func (d *dashboard) fetch(path string, v any) error {
 	resp, err := d.client.Get(d.base + path)
 	if err != nil {
-		return err
+		return fmt.Errorf("fleet endpoint %s unreachable: %w", d.base, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("%s: status %d", path, resp.StatusCode)
+		return fmt.Errorf("fleet endpoint %s: %s returned status %d (is this node running with -fleet-scrape?)",
+			d.base, path, resp.StatusCode)
 	}
 	return json.NewDecoder(resp.Body).Decode(v)
 }
@@ -119,6 +127,9 @@ func (d *dashboard) frame(out io.Writer, ansi bool) error {
 	var snap fleet.Snapshot
 	if err := d.fetch("/fleet", &snap); err != nil {
 		return err
+	}
+	if d.strict && snap.Targets == 0 {
+		return fmt.Errorf("fleet endpoint %s has no scrape targets (start the node with -fleet-scrape)", d.base)
 	}
 	var slo fleet.SLOReport
 	if err := d.fetch("/fleet/slo", &slo); err != nil {
@@ -216,7 +227,7 @@ func renderFrame(w io.Writer, snap fleet.Snapshot, slo fleet.SLOReport, rates ma
 		fmt.Fprintf(w, "  %-28s %-5s %12d %12d %9.1fms\n",
 			n.Target, "up",
 			n.Metrics.Counters["broker.publishes"],
-			n.Metrics.Counters["sim.strategy.requests"]+n.Metrics.Counters["broker.fetches"],
+			sumSeries(n.Metrics.Counters, "sim.strategy.requests")+n.Metrics.Counters["broker.fetches"],
 			float64(n.ScrapeNanos)/1e6)
 	}
 	if len(snap.Skipped) > 0 {
@@ -230,6 +241,19 @@ func rate(rates map[string]float64, name string) string {
 		return "-"
 	}
 	return fmt.Sprintf("%.1f", rates[name])
+}
+
+// sumSeries totals every labeled variant of a counter name. The
+// unlabeled strategy aliases are gone, so node-level totals fold the
+// per-strategy series instead.
+func sumSeries(counters map[string]int64, name string) int64 {
+	var total int64
+	for key, v := range counters {
+		if n, _ := telemetry.ParseSeries(key); n == name {
+			total += v
+		}
+	}
+	return total
 }
 
 // stratRatio is one strategy's aggregated hit ratio.

@@ -112,6 +112,46 @@ func TestRunValidation(t *testing.T) {
 	}
 }
 
+func TestOnceFailsWhenEndpointUnreachable(t *testing.T) {
+	// A listener that is closed immediately: the port is known-dead.
+	srv := httptest.NewServer(http.NotFoundHandler())
+	addr := srv.URL
+	srv.Close()
+	var out strings.Builder
+	err := run([]string{"-fleet", addr, "-once", "-timeout", "2s"}, &out)
+	if err == nil {
+		t.Fatalf("-once against dead endpoint succeeded, frame:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "unreachable") {
+		t.Errorf("error should name the endpoint as unreachable, got: %v", err)
+	}
+}
+
+func TestOnceFailsOnNonFleetEndpoint(t *testing.T) {
+	// Reachable server without fleet routes (node without -fleet-scrape).
+	srv := httptest.NewServer(http.NotFoundHandler())
+	t.Cleanup(srv.Close)
+	err := run([]string{"-fleet", srv.URL, "-once"}, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "status 404") {
+		t.Errorf("want a status 404 error naming the endpoint, got: %v", err)
+	}
+}
+
+func TestOnceFailsOnEmptyFleet(t *testing.T) {
+	// /fleet answers, but the aggregation point scrapes nothing: the
+	// one-shot frame would be empty, so it must fail instead.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fleet", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(fleet.Snapshot{})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	err := run([]string{"-fleet", srv.URL, "-once"}, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "no scrape targets") {
+		t.Errorf("want a no-scrape-targets error, got: %v", err)
+	}
+}
+
 func TestTopTopics(t *testing.T) {
 	counters := map[string]int64{
 		`broker.publishes_by_topic{topic="a"}`: 5,
@@ -130,7 +170,7 @@ func TestHitRatioByStrategy(t *testing.T) {
 		`sim.strategy.hits{strategy="X"}`:     3,
 		`sim.strategy.requests{strategy="X"}`: 4,
 		`sim.strategy.requests{strategy="Y"}`: 0, // zero requests: dropped
-		"sim.strategy.hits":                   99, // unlabeled alias: ignored
+		"sim.strategy.hits":                   99, // no strategy label: ignored
 	}
 	got := hitRatioByStrategy(counters)
 	if len(got) != 1 || got[0].name != "X" || got[0].ratio != 0.75 {

@@ -113,6 +113,7 @@ type clientSub struct {
 	proxy    int
 	topics   []string
 	keywords []string
+	part     int   // wire partition header (partition+1), 0 = unrouted
 	serverID int64 // broker-side ID on the current connection
 }
 
@@ -139,6 +140,10 @@ type Client struct {
 	closeOnce sync.Once
 	done      chan struct{} // closed when the supervisor exits
 	rng       *rand.Rand    // backoff jitter; supervisor-only
+
+	// serverRing is the highest ring version seen in responses from a
+	// clustered server (0 for non-clustered peers).
+	serverRing atomic.Uint64
 }
 
 // Dial connects to a broker server, configured by functional options
@@ -344,9 +349,14 @@ func (c *Client) resubscribe(cc *clientConn) bool {
 			timeout = 5 * time.Second
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), timeout)
-		resp, err := c.exchange(ctx, cc, wireMessage{
+		m := wireMessage{
 			Type: msgSubscribe, Proxy: s.proxy, Topics: s.topics, Keywords: s.keywords,
-		})
+			Part: s.part,
+		}
+		if fn := c.cfg.ringVersion; fn != nil {
+			m.Ring = fn()
+		}
+		resp, err := c.exchange(ctx, cc, m)
 		cancel()
 		if err != nil {
 			select {
@@ -435,6 +445,14 @@ func (c *Client) readLoop(cc *clientConn) {
 				}
 			}
 		case msgResponse:
+			if m.Ring != 0 {
+				for {
+					cur := c.serverRing.Load()
+					if m.Ring <= cur || c.serverRing.CompareAndSwap(cur, m.Ring) {
+						break
+					}
+				}
+			}
 			if m.Seq == 0 {
 				continue // ping pong, or a response nobody correlates
 			}
@@ -534,10 +552,11 @@ func (c *Client) waitConn(ctx context.Context) (*clientConn, error) {
 
 // retryable reports whether requests of this type are idempotent and
 // may be transparently retried. Publish is excluded: replaying it could
-// double-publish a version.
+// double-publish a version. Handoff is retryable because partition
+// state import is additive and replay-safe.
 func retryable(msgType string) bool {
 	switch msgType {
-	case msgFetch, msgSubscribe, msgUnsubscribe, msgPing:
+	case msgFetch, msgSubscribe, msgUnsubscribe, msgPing, msgHandoff:
 		return true
 	}
 	return false
@@ -598,6 +617,11 @@ var errRetryable = errors.New("broker: retryable transport failure")
 
 // attempt runs a single request attempt under the per-request deadline.
 func (c *Client) attempt(ctx context.Context, m wireMessage) (wireMessage, error) {
+	// The ring-version header is stamped per attempt, so a retry after a
+	// stale-ring rejection carries the sender's refreshed view.
+	if fn := c.cfg.ringVersion; fn != nil && m.Ring == 0 {
+		m.Ring = fn()
+	}
 	actx := ctx
 	if c.cfg.requestTimeout > 0 {
 		var cancel context.CancelFunc
@@ -687,8 +711,26 @@ func (c *Client) pendingCount() int {
 // Notifications arrive via the WithNotify callback with SubscriptionID
 // set to this ID.
 func (c *Client) Subscribe(ctx context.Context, proxy int, topics, keywords []string) (int64, error) {
+	return c.subscribe(ctx, 0, proxy, topics, keywords)
+}
+
+// SubscribePartition is Subscribe scoped to one partition of a
+// clustered peer: the subscription is registered in that partition's
+// registry only, and the partition header rides every resubscribe
+// after a reconnect. Cluster member links use it to pin a
+// subscription to the partition they resolved as the topic's owner.
+func (c *Client) SubscribePartition(ctx context.Context, partition, proxy int, topics, keywords []string) (int64, error) {
+	if partition < 0 {
+		return 0, fmt.Errorf("broker: negative partition %d", partition)
+	}
+	return c.subscribe(ctx, partition+1, proxy, topics, keywords)
+}
+
+// subscribe sends the subscribe frame (part is the wire partition
+// header, 0 = unrouted) and records the registry entry.
+func (c *Client) subscribe(ctx context.Context, part, proxy int, topics, keywords []string) (int64, error) {
 	resp, err := c.roundTrip(ctx, wireMessage{
-		Type: msgSubscribe, Proxy: proxy, Topics: topics, Keywords: keywords,
+		Type: msgSubscribe, Proxy: proxy, Topics: topics, Keywords: keywords, Part: part,
 	})
 	if err != nil {
 		return 0, err
@@ -701,6 +743,7 @@ func (c *Client) Subscribe(ctx context.Context, proxy int, topics, keywords []st
 		proxy:    proxy,
 		topics:   append([]string(nil), topics...),
 		keywords: append([]string(nil), keywords...),
+		part:     part,
 		serverID: resp.SubID,
 	}
 	c.byServer[resp.SubID] = id
@@ -739,10 +782,26 @@ func (c *Client) Subscriptions() int {
 // Publish is not idempotent and is never retried automatically: on
 // connection loss the caller decides whether to replay.
 func (c *Client) Publish(ctx context.Context, content Content) (int, error) {
+	return c.publish(ctx, 0, content)
+}
+
+// PublishPartition is Publish scoped to one partition of a clustered
+// peer: the receiver applies the content to that partition's engine
+// only instead of re-routing it, and rejects the request with a
+// stale-ring error when it no longer owns the partition.
+func (c *Client) PublishPartition(ctx context.Context, partition int, content Content) (int, error) {
+	if partition < 0 {
+		return 0, fmt.Errorf("broker: negative partition %d", partition)
+	}
+	return c.publish(ctx, partition+1, content)
+}
+
+func (c *Client) publish(ctx context.Context, part int, content Content) (int, error) {
 	resp, err := c.roundTrip(ctx, wireMessage{
 		Type: msgPublish, ID: content.ID, Version: content.Version,
 		Topics: content.Topics, Keywords: content.Keywords,
 		Body: base64.StdEncoding.EncodeToString(content.Body),
+		Part: part,
 	})
 	if err != nil {
 		return 0, err
@@ -750,9 +809,40 @@ func (c *Client) Publish(ctx context.Context, content Content) (int, error) {
 	return resp.Matched, nil
 }
 
+// Handoff transfers partition state to the peer: the payload is the
+// cluster layer's snapshot stream for the partition, ringVersion the
+// ring revision the transfer belongs to. Import on the receiver is
+// additive and replay-safe, so handoffs retry like idempotent
+// requests.
+func (c *Client) Handoff(ctx context.Context, partition int, ringVersion uint64, payload []byte) error {
+	if partition < 0 {
+		return fmt.Errorf("broker: negative partition %d", partition)
+	}
+	_, err := c.roundTrip(ctx, wireMessage{
+		Type: msgHandoff, Part: partition + 1, Ring: ringVersion,
+		Body: base64.StdEncoding.EncodeToString(payload),
+	})
+	return err
+}
+
 // Fetch retrieves the current content of a page.
 func (c *Client) Fetch(ctx context.Context, pageID string) (Content, error) {
-	resp, err := c.roundTrip(ctx, wireMessage{Type: msgFetch, ID: pageID})
+	return c.fetch(ctx, 0, pageID)
+}
+
+// FetchPartition is Fetch scoped to one partition of a clustered
+// peer: the receiver reads that partition's store directly instead of
+// probing the cluster. Routers use it to sweep partitions for a page
+// without forwarding loops.
+func (c *Client) FetchPartition(ctx context.Context, partition int, pageID string) (Content, error) {
+	if partition < 0 {
+		return Content{}, fmt.Errorf("broker: negative partition %d", partition)
+	}
+	return c.fetch(ctx, partition+1, pageID)
+}
+
+func (c *Client) fetch(ctx context.Context, part int, pageID string) (Content, error) {
+	resp, err := c.roundTrip(ctx, wireMessage{Type: msgFetch, ID: pageID, Part: part})
 	if err != nil {
 		return Content{}, err
 	}
@@ -771,4 +861,12 @@ func (c *Client) Fetch(ctx context.Context, pageID string) (Content, error) {
 func (c *Client) Ping(ctx context.Context) error {
 	_, err := c.roundTrip(ctx, wireMessage{Type: msgPing})
 	return err
+}
+
+// ServerRingVersion reports the highest cluster ring version observed
+// in this server's responses, 0 when the peer is not clustered (or
+// nothing has round-tripped yet). Cluster failure detectors use it to
+// keep ring versions comparable across members.
+func (c *Client) ServerRingVersion() uint64 {
+	return c.serverRing.Load()
 }

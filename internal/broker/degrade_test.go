@@ -84,8 +84,8 @@ func TestProxyServesStaleWhenFetchPathDown(t *testing.T) {
 	if st.DegradedStale != 1 || st.FetchErrors != 1 {
 		t.Errorf("stats = %+v, want DegradedStale=1 FetchErrors=1", st)
 	}
-	if n := reg.Counter("proxy3.degraded_stale").Value(); n != 1 {
-		t.Errorf("proxy3.degraded_stale = %d, want 1", n)
+	if n := reg.CounterVec("proxy.degraded_stale", "proxy").With("3").Value(); n != 1 {
+		t.Errorf(`proxy.degraded_stale{proxy="3"} = %d, want 1`, n)
 	}
 
 	// When the path heals, the refetch resumes and the fresh version is
@@ -127,8 +127,8 @@ func TestProxyFallsBackToOriginOnMiss(t *testing.T) {
 	if st.OriginFallbacks != 1 || st.FetchErrors != 1 {
 		t.Errorf("stats = %+v, want OriginFallbacks=1 FetchErrors=1", st)
 	}
-	if n := reg.Counter("proxy4.origin_fallbacks").Value(); n != 1 {
-		t.Errorf("proxy4.origin_fallbacks = %d, want 1", n)
+	if n := reg.CounterVec("proxy.origin_fallbacks", "proxy").With("4").Value(); n != 1 {
+		t.Errorf(`proxy.origin_fallbacks{proxy="4"} = %d, want 1`, n)
 	}
 	if origin.calls.Load() != 1 {
 		t.Errorf("origin calls = %d, want 1", origin.calls.Load())

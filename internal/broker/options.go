@@ -83,6 +83,8 @@ type clientConfig struct {
 	dialTimeout time.Duration
 	dialFunc    func(ctx context.Context, addr string) (net.Conn, error)
 	onState     func(ConnState)
+
+	ringVersion func() uint64
 }
 
 // defaultClientConfig returns the pre-option client configuration.
@@ -231,6 +233,15 @@ func WithDialFunc(fn func(ctx context.Context, addr string) (net.Conn, error)) C
 			c.dialFunc = fn
 		}
 	}
+}
+
+// WithRingVersion stamps every outgoing request with the sender's
+// current cluster ring version (re-evaluated per attempt, so retries
+// after a stale-ring rejection carry the refreshed view). Cluster
+// member links use it; plain clients leave it unset and send
+// unversioned requests, which clustered servers accept but re-route.
+func WithRingVersion(fn func() uint64) ClientOption {
+	return func(c *clientConfig) { c.ringVersion = fn }
 }
 
 // WithConnStateHook observes connection state transitions

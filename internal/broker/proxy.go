@@ -103,25 +103,13 @@ type ProxyStats struct {
 	JournalErrors int64
 }
 
-// aliasedCounter advances a labeled series and its deprecated
-// unlabeled alias together, so dashboards reading the old proxy%d.*
-// names keep working for one release while the labeled proxy.*{proxy}
-// series become the canonical, fleet-mergeable form.
-type aliasedCounter struct {
-	labeled *telemetry.Counter
-	legacy  *telemetry.Counter
-}
-
-func (c aliasedCounter) Inc() {
-	c.labeled.Inc()
-	c.legacy.Inc()
-}
-
 // proxyMetrics are the proxy's degradation counters; nil when off.
+// They are labeled series (proxy.<what>{proxy="<id>"}); the old
+// unlabeled proxy<id>.<what> aliases have been removed.
 type proxyMetrics struct {
-	fetchErrors     aliasedCounter
-	degradedStale   aliasedCounter
-	originFallbacks aliasedCounter
+	fetchErrors     *telemetry.Counter
+	degradedStale   *telemetry.Counter
+	originFallbacks *telemetry.Counter
 }
 
 // proxyConfig collects option state for NewProxy.
@@ -196,20 +184,14 @@ func NewProxy(id int, b *Broker, strategy core.Strategy, cost float64, opts ...P
 		p.fetcher = b
 	}
 	if reg := cfg.telemetry; reg != nil {
-		// Canonical form: proxy.<what>{proxy="<id>"} label vectors.
-		// Deprecated: the fmt-formatted proxy<id>.<what> names, kept as
-		// an alias for one release.
 		proxyLabel := strconv.Itoa(id)
-		aliased := func(what string) aliasedCounter {
-			return aliasedCounter{
-				labeled: reg.CounterVec("proxy."+what, "proxy").With(proxyLabel),
-				legacy:  reg.Counter(fmt.Sprintf("proxy%d.%s", id, what)),
-			}
+		counter := func(what string) *telemetry.Counter {
+			return reg.CounterVec("proxy."+what, "proxy").With(proxyLabel)
 		}
 		p.metrics = &proxyMetrics{
-			fetchErrors:     aliased("fetch_errors"),
-			degradedStale:   aliased("degraded_stale"),
-			originFallbacks: aliased("origin_fallbacks"),
+			fetchErrors:     counter("fetch_errors"),
+			degradedStale:   counter("degraded_stale"),
+			originFallbacks: counter("origin_fallbacks"),
 		}
 	}
 	if cfg.dataDir != "" {

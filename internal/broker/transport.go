@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -43,6 +44,13 @@ type wireMessage struct {
 	SubID   int64  `json:"subId,omitempty"`
 	// Notification payload.
 	Notification *Notification `json:"notification,omitempty"`
+	// Cluster routing headers. Ring is the sender's ring version (0 =
+	// not clustered); a clustered backend rejects requests routed with
+	// a stale view so the sender re-resolves ownership. Part is the
+	// target partition plus one (0 = unrouted), so partition 0 survives
+	// omitempty.
+	Ring uint64 `json:"ring,omitempty"`
+	Part int    `json:"part,omitempty"`
 	// Trace is the optional distributed-trace context of the sender
 	// ("<32 hex trace ID>-<16 hex span ID>", see telemetry.SpanContext).
 	// Peers that predate tracing ignore the field; receivers treat a
@@ -71,7 +79,85 @@ const (
 	msgPing        = "ping"
 	msgNotify      = "notify"
 	msgResponse    = "response"
+	msgHandoff     = "handoff"
 )
+
+// Backend is the surface a Server fronts. *Broker implements it; a
+// cluster router implements it too, so the same wire protocol serves
+// both a single broker and a cluster member.
+type Backend interface {
+	SubscribeContext(ctx context.Context, sub match.Subscription, n Notifier) (int64, error)
+	Unsubscribe(id int64) error
+	PublishContext(ctx context.Context, c Content) (int, error)
+	FetchContext(ctx context.Context, pageID string) (Content, error)
+}
+
+// RingChecker is an optional Backend extension: clustered backends
+// validate the routing headers of each forwarded request before it is
+// dispatched. version is the sender's ring version (0 = unversioned),
+// partition the explicit target partition (-1 = none). A rejection
+// should be a stale-ring error (see StaleRingError) so the sender
+// re-resolves ownership and retries.
+type RingChecker interface {
+	CheckRing(version uint64, partition int) error
+}
+
+// RingVersioner is an optional Backend extension: when implemented,
+// every response frame carries the backend's current ring version, so
+// clients learn how far ahead a peer's routing view is without a
+// dedicated gossip channel.
+type RingVersioner interface {
+	RingVersion() uint64
+}
+
+// HandoffReceiver is an optional Backend extension: clustered backends
+// accept partition state transfers. payload is an opaque blob defined
+// by the cluster layer.
+type HandoffReceiver interface {
+	ReceiveHandoff(ctx context.Context, partition int, ringVersion uint64, payload []byte) error
+}
+
+// staleRingPrefix marks rejection errors caused by a stale routing
+// view. The marker must survive the wire (errors travel as strings),
+// so detection is by prefix, not by errors.Is.
+const staleRingPrefix = "stale ring: "
+
+// StaleRingError builds a rejection error that IsStaleRing recognizes
+// on both sides of the wire.
+func StaleRingError(format string, args ...any) error {
+	return fmt.Errorf(staleRingPrefix+format, args...)
+}
+
+// IsStaleRing reports whether err is a stale-ring rejection —
+// possibly one that round-tripped through the wire as a string.
+func IsStaleRing(err error) bool {
+	return err != nil && strings.Contains(err.Error(), staleRingPrefix)
+}
+
+// Route is the cluster routing metadata of a forwarded request. The
+// server attaches it to the request context so a clustered backend can
+// distinguish "apply to this partition" forwards from fresh edge
+// requests that still need routing.
+type Route struct {
+	// Partition is the explicit target partition, -1 when absent.
+	Partition int
+	// Ring is the sender's ring version, 0 when absent.
+	Ring uint64
+}
+
+type routeCtxKey struct{}
+
+// withRoute attaches routing metadata to ctx.
+func withRoute(ctx context.Context, r Route) context.Context {
+	return context.WithValue(ctx, routeCtxKey{}, r)
+}
+
+// RouteFromContext returns the routing metadata attached by the
+// transport, if any.
+func RouteFromContext(ctx context.Context) (Route, bool) {
+	r, ok := ctx.Value(routeCtxKey{}).(Route)
+	return r, ok
+}
 
 // Default connection deadlines. A stalled or vanished peer must not
 // wedge a handler goroutine forever: every write is bounded by the
@@ -99,7 +185,7 @@ type serverMetrics struct {
 }
 
 // wireTypes are the request types the server accounts per-type.
-var wireTypes = []string{msgSubscribe, msgUnsubscribe, msgPublish, msgFetch, msgPing}
+var wireTypes = []string{msgSubscribe, msgUnsubscribe, msgPublish, msgFetch, msgPing, msgHandoff}
 
 func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 	if reg == nil {
@@ -145,9 +231,9 @@ func wireTypeKey(msgType string) string {
 	return "unknown"
 }
 
-// Server exposes a Broker over TCP.
+// Server exposes a Backend over TCP.
 type Server struct {
-	broker       *Broker
+	backend      Backend
 	ln           net.Listener
 	idleTimeout  time.Duration
 	writeTimeout time.Duration
@@ -160,13 +246,14 @@ type Server struct {
 	closed bool
 }
 
-// NewServer starts a TCP server for the broker on addr (e.g.
-// "127.0.0.1:0"), configured by functional options. The returned server
-// is already accepting connections. With WithListener, addr is ignored
-// and the provided listener is served instead.
-func NewServer(b *Broker, addr string, opts ...ServerOption) (*Server, error) {
+// NewServer starts a TCP server for a backend — usually a *Broker,
+// or a cluster router — on addr (e.g. "127.0.0.1:0"), configured by
+// functional options. The returned server is already accepting
+// connections. With WithListener, addr is ignored and the provided
+// listener is served instead.
+func NewServer(b Backend, addr string, opts ...ServerOption) (*Server, error) {
 	if b == nil {
-		return nil, errors.New("broker: nil broker")
+		return nil, errors.New("broker: nil backend")
 	}
 	var cfg serverConfig
 	for _, o := range opts {
@@ -183,7 +270,7 @@ func NewServer(b *Broker, addr string, opts ...ServerOption) (*Server, error) {
 		}
 	}
 	s := &Server{
-		broker:       b,
+		backend:      b,
 		ln:           ln,
 		idleTimeout:  defaultTimeout(cfg.idleTimeout, DefaultIdleTimeout),
 		writeTimeout: defaultTimeout(cfg.writeTimeout, DefaultWriteTimeout),
@@ -391,15 +478,17 @@ func (s *Server) handle(conn net.Conn) {
 	var subIDs []int64
 	defer func() {
 		// A client that left gets its subscriptions cleaned up. A server
-		// that is shutting down over a durable broker keeps them: they
+		// that is shutting down over a durable backend keeps them: they
 		// outlive this process and are recovered on the next Open. On an
-		// in-memory broker there is no next incarnation, so shutdown
+		// in-memory backend there is no next incarnation, so shutdown
 		// cleans up like a disconnect (clients re-subscribe on redial).
-		if s.draining() && s.broker.durable() {
-			return
+		if s.draining() {
+			if d, ok := s.backend.(interface{ Durable() bool }); ok && d.Durable() {
+				return
+			}
 		}
 		for _, id := range subIDs {
-			_ = s.broker.Unsubscribe(id)
+			_ = s.backend.Unsubscribe(id)
 		}
 	}()
 
@@ -446,6 +535,9 @@ func (s *Server) handle(conn net.Conn) {
 			sm.handleNanos[sm.key(m.Type)].Observe(time.Since(start).Nanoseconds())
 		}
 		resp.Seq = m.Seq
+		if rv, ok := s.backend.(RingVersioner); ok {
+			resp.Ring = rv.RingVersion()
+		}
 		if err := cw.send(resp); err != nil {
 			return
 		}
@@ -502,9 +594,19 @@ func (cn connNotifier) NotifyContext(ctx context.Context, n Notification) {
 }
 
 func (s *Server) dispatch(ctx context.Context, m *wireMessage, cw *connWriter, subIDs *[]int64) wireMessage {
+	if m.Ring != 0 || m.Part != 0 {
+		// Handoff frames are exempt: they target a partition the
+		// receiver does not own yet — ReceiveHandoff validates them.
+		if rc, ok := s.backend.(RingChecker); ok && m.Type != msgHandoff {
+			if err := rc.CheckRing(m.Ring, m.Part-1); err != nil {
+				return wireMessage{Type: msgResponse, Error: err.Error()}
+			}
+		}
+		ctx = withRoute(ctx, Route{Partition: m.Part - 1, Ring: m.Ring})
+	}
 	switch m.Type {
 	case msgSubscribe:
-		id, err := s.broker.SubscribeContext(ctx, match.Subscription{
+		id, err := s.backend.SubscribeContext(ctx, match.Subscription{
 			Proxy:    m.Proxy,
 			Topics:   m.Topics,
 			Keywords: m.Keywords,
@@ -515,7 +617,7 @@ func (s *Server) dispatch(ctx context.Context, m *wireMessage, cw *connWriter, s
 		*subIDs = append(*subIDs, id)
 		return wireMessage{Type: msgResponse, OK: true, SubID: id}
 	case msgUnsubscribe:
-		if err := s.broker.Unsubscribe(m.SubID); err != nil {
+		if err := s.backend.Unsubscribe(m.SubID); err != nil {
 			return wireMessage{Type: msgResponse, Error: err.Error()}
 		}
 		return wireMessage{Type: msgResponse, OK: true}
@@ -524,7 +626,7 @@ func (s *Server) dispatch(ctx context.Context, m *wireMessage, cw *connWriter, s
 		if err != nil {
 			return wireMessage{Type: msgResponse, Error: "bad body encoding: " + err.Error()}
 		}
-		matched, err := s.broker.PublishContext(ctx, Content{
+		matched, err := s.backend.PublishContext(ctx, Content{
 			ID:       m.ID,
 			Version:  m.Version,
 			Topics:   m.Topics,
@@ -536,7 +638,7 @@ func (s *Server) dispatch(ctx context.Context, m *wireMessage, cw *connWriter, s
 		}
 		return wireMessage{Type: msgResponse, OK: true, Matched: matched}
 	case msgFetch:
-		c, err := s.broker.FetchContext(ctx, m.ID)
+		c, err := s.backend.FetchContext(ctx, m.ID)
 		if err != nil {
 			return wireMessage{Type: msgResponse, Error: err.Error()}
 		}
@@ -546,6 +648,19 @@ func (s *Server) dispatch(ctx context.Context, m *wireMessage, cw *connWriter, s
 			Body: base64.StdEncoding.EncodeToString(c.Body),
 		}
 	case msgPing:
+		return wireMessage{Type: msgResponse, OK: true}
+	case msgHandoff:
+		hr, ok := s.backend.(HandoffReceiver)
+		if !ok {
+			return wireMessage{Type: msgResponse, Error: "backend does not accept partition handoffs"}
+		}
+		payload, err := base64.StdEncoding.DecodeString(m.Body)
+		if err != nil {
+			return wireMessage{Type: msgResponse, Error: "bad handoff encoding: " + err.Error()}
+		}
+		if err := hr.ReceiveHandoff(ctx, m.Part-1, m.Ring, payload); err != nil {
+			return wireMessage{Type: msgResponse, Error: err.Error()}
+		}
 		return wireMessage{Type: msgResponse, OK: true}
 	default:
 		return wireMessage{Type: msgResponse, Error: fmt.Sprintf("unknown message type %q", m.Type)}

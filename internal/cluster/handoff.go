@@ -1,0 +1,191 @@
+package cluster
+
+// Journaled partition handoff. When ownership of a partition moves
+// while its current owner is alive (a peer joined, or this node is
+// retiring), the owner exports the partition engine's journal-backed
+// snapshot — subscription registry, proxy placement metadata and
+// content store — and streams it to the new owner, which replays it
+// before the sender's ring version takes effect. Publishes in flight
+// during the move are rejected as stale at both ends and so stay
+// buffered in their senders' forwarding loops until the new owner is
+// ready; acked subscriptions are re-bound by their edge routers.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"pubsubcd/internal/broker"
+)
+
+// handoffPayload is the wire body of one partition handoff.
+type handoffPayload struct {
+	// From is the ceding owner.
+	From string `json:"from"`
+	// Members is the alive set of the ring the handoff belongs to; the
+	// receiver adopts it (at the frame's ring version) when it is
+	// ahead of its own view, so graceful transitions propagate faster
+	// than the failure detector.
+	Members []string `json:"members"`
+	// State is the partition engine's exported registry snapshot (the
+	// journal's snapshot encoding).
+	State []byte `json:"state"`
+	// Pages is the partition's content store. The registry rides the
+	// journal encoding, but page bodies are never journaled — the
+	// handoff stream is the only copy that survives the move.
+	Pages []broker.Content `json:"pages,omitempty"`
+}
+
+// handoffPartition exports partition p and streams it to its owner
+// under ring neu. Caller holds rebalanceMu and still owns p under the
+// current ring.
+func (n *Node) handoffPartition(ctx context.Context, p int, eng *broker.Broker, neu *Ring) error {
+	to := neu.Owner(p)
+	if to == "" || to == n.cfg.NodeID {
+		return nil
+	}
+	start := time.Now()
+	state, err := eng.ExportState()
+	if err != nil {
+		return fmt.Errorf("cluster: export partition %d: %w", p, err)
+	}
+	blob, err := json.Marshal(handoffPayload{
+		From:    n.cfg.NodeID,
+		Members: neu.Members(),
+		State:   state,
+		Pages:   eng.Pages(),
+	})
+	if err != nil {
+		return err
+	}
+	l, err := n.link(to)
+	if err != nil {
+		return err
+	}
+	// Bound the transfer by a few request attempts, not ForwardTimeout:
+	// this runs under rebalanceMu, and a receiver that dies mid-handoff
+	// must not freeze the failure detector for the full buffering
+	// window. A failed handoff costs the partition's state, not the
+	// cluster's availability — the new owner adopts it behind the
+	// settle quarantine like any crash.
+	hctx, cancel := context.WithTimeout(ctx, 3*n.cfg.RequestTimeout)
+	defer cancel()
+	cl, err := l.get(hctx)
+	if err != nil {
+		return fmt.Errorf("cluster: handoff partition %d to %s: %w", p, to, err)
+	}
+	if err := cl.Handoff(hctx, p, neu.Version(), blob); err != nil {
+		return fmt.Errorf("cluster: handoff partition %d to %s: %w", p, to, err)
+	}
+	if n.met != nil {
+		n.met.handoffsSent.Inc()
+		n.met.handoffNanos.Observe(time.Since(start).Nanoseconds())
+	}
+	return nil
+}
+
+// ReceiveHandoff implements broker.HandoffReceiver: a peer is ceding
+// a partition to this node. The state is replayed into the local
+// partition engine (checkpointing through its journal when durable)
+// before this node starts answering for the partition, and the
+// sender's membership view is adopted when it is ahead of ours.
+func (n *Node) ReceiveHandoff(ctx context.Context, partition int, ringVersion uint64, payload []byte) error {
+	if n.retired.Load() {
+		return broker.StaleRingError("node %s has retired from the cluster", n.cfg.NodeID)
+	}
+	start := time.Now()
+	var hp handoffPayload
+	if err := json.Unmarshal(payload, &hp); err != nil {
+		return fmt.Errorf("cluster: decode handoff payload: %w", err)
+	}
+	if partition < 0 || partition >= n.cfg.Partitions {
+		return fmt.Errorf("cluster: handoff for partition %d out of range (cluster has %d)", partition, n.cfg.Partitions)
+	}
+	n.noteVersionFloor(ringVersion)
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return fmt.Errorf("cluster: node closed")
+	}
+	// Mark the state as arrived first so whichever transition adopts
+	// this partition — the fast path below or a detector pass — skips
+	// the settle quarantine for it.
+	n.received[partition] = true
+	cur := n.ring
+	n.mu.Unlock()
+
+	// Best-effort fast adoption of the sender's membership view. This
+	// must NOT wait for rebalanceMu: the sender holds its own while
+	// streaming to us, and during a mutual rebalance (every member
+	// admitting every other) waiting here deadlocks the whole cluster
+	// until the transfer deadlines fire. When the lock is busy our own
+	// probe loop is mid-transition and will converge via the version
+	// floor instead.
+	if ringVersion > cur.Version() && containsMember(hp.Members, n.cfg.NodeID) && n.rebalanceMu.TryLock() {
+		n.adoptMembershipLocked(ctx, hp.Members, ringVersion)
+		n.rebalanceMu.Unlock()
+	}
+
+	n.mu.Lock()
+	err := n.ensurePartitionLocked(partition)
+	eng := n.parts[partition]
+	delete(n.quarantine, partition)
+	delete(n.received, partition)
+	n.mu.Unlock()
+	if err != nil {
+		if n.met != nil {
+			n.met.handoffErrors.Inc()
+		}
+		return err
+	}
+	if err := eng.ImportState(hp.State); err != nil {
+		if n.met != nil {
+			n.met.handoffErrors.Inc()
+		}
+		return fmt.Errorf("cluster: import partition %d: %w", partition, err)
+	}
+	eng.ImportPages(hp.Pages)
+	if n.met != nil {
+		n.met.handoffsReceived.Inc()
+		n.met.handoffNanos.Observe(time.Since(start).Nanoseconds())
+	}
+	n.nudgeProbe()
+	return nil
+}
+
+// adoptMembershipLocked installs a peer-advertised alive set at
+// exactly the advertised version, so every receiver of the same
+// transition converges on an identical ring without waiting a probe
+// cycle. Releases are not handed off here — a membership adoption
+// only ever grows or preserves this node's ownership except for a
+// fresh joiner, whose partitions are empty anyway. Caller holds
+// rebalanceMu.
+func (n *Node) adoptMembershipLocked(ctx context.Context, members []string, version uint64) {
+	n.mu.Lock()
+	if n.closed || version <= n.ring.Version() {
+		n.mu.Unlock()
+		return
+	}
+	for id := range n.alive {
+		n.alive[id] = containsMember(members, id)
+	}
+	for _, id := range members {
+		n.alive[id] = true
+		n.misses[id] = 0
+	}
+	old := n.ring
+	n.mu.Unlock()
+	neu := NewRing(n.cfg.Partitions, n.cfg.VirtualNodes, members, version)
+	n.transitionLocked(ctx, old, neu, false)
+}
+
+func containsMember(members []string, id string) bool {
+	for _, m := range members {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}

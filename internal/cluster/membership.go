@@ -1,0 +1,399 @@
+package cluster
+
+// Membership and rebalancing. Peers are a static list; liveness is
+// decided by a heartbeat prober (K consecutive missed pings declare a
+// live peer dead), and every membership transition rebuilds the ring
+// at a strictly higher version, hands journaled partition state to
+// the new owners when the old owner is still alive (join, graceful
+// retirement), and re-binds the edge subscription routes. All
+// transitions are serialized by rebalanceMu, network included.
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"time"
+)
+
+// heartbeatLoop drives the failure detector until Close.
+func (n *Node) heartbeatLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+		case <-n.probeNow:
+		}
+		n.ProbeOnce(context.Background())
+	}
+}
+
+// ProbeOnce runs one failure-detector pass: ping every configured
+// peer in parallel, fold the advertised ring versions into the
+// version floor, and apply any liveness transitions. Tests with the
+// heartbeat loop disabled call it directly.
+func (n *Node) ProbeOnce(ctx context.Context) {
+	n.rebalanceMu.Lock()
+	defer n.rebalanceMu.Unlock()
+	n.probeOnceLocked(ctx)
+}
+
+type probeResult struct {
+	id  string
+	ver uint64
+	err error
+}
+
+func (n *Node) probeOnceLocked(ctx context.Context) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	ids := make([]string, 0, len(n.cfg.Peers))
+	for id := range n.cfg.Peers {
+		if id != n.cfg.NodeID {
+			ids = append(ids, id)
+		}
+	}
+	n.mu.Unlock()
+	sort.Strings(ids)
+
+	results := make(chan probeResult, len(ids))
+	for _, id := range ids {
+		go func(id string) {
+			pctx, cancel := context.WithTimeout(ctx, n.cfg.RequestTimeout)
+			defer cancel()
+			l, err := n.link(id)
+			if err != nil {
+				results <- probeResult{id: id, err: err}
+				return
+			}
+			ver, err := l.ping(pctx)
+			results <- probeResult{id: id, ver: ver, err: err}
+		}(id)
+	}
+	for range ids {
+		r := <-results
+		if r.err == nil {
+			n.noteVersionFloor(r.ver)
+			n.mu.Lock()
+			n.misses[r.id] = 0
+			known := n.alive[r.id]
+			n.mu.Unlock()
+			if !known {
+				n.markAliveLocked(ctx, r.id)
+			}
+			continue
+		}
+		n.mu.Lock()
+		n.misses[r.id]++
+		expel := n.alive[r.id] && n.misses[r.id] >= n.cfg.HeartbeatMisses
+		n.mu.Unlock()
+		if expel {
+			n.markDeadLocked(ctx, r.id)
+		}
+	}
+	n.maybeRaiseVersionLocked()
+	n.repairRoutesLocked(ctx)
+}
+
+// nextVersionLocked picks the version for the next ring rebuild:
+// strictly above both the current ring and every peer version seen on
+// the wire, so independently rebuilding members stay comparable.
+func (n *Node) nextVersionLocked(cur *Ring) uint64 {
+	v := cur.Version()
+	if f := n.versionFloor.Load(); f > v {
+		v = f
+	}
+	return v + 1
+}
+
+// aliveMembersLocked snapshots the current alive set. Caller holds
+// n.mu.
+func (n *Node) aliveMembersLocked() []string {
+	out := make([]string, 0, len(n.alive))
+	for id, ok := range n.alive {
+		if ok {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// markAliveLocked admits a peer (join or recovery) and rebalances,
+// handing the partitions this node cedes over to their new owners.
+// Caller holds rebalanceMu.
+func (n *Node) markAliveLocked(ctx context.Context, id string) {
+	n.mu.Lock()
+	if n.closed || n.alive[id] {
+		n.mu.Unlock()
+		return
+	}
+	n.alive[id] = true
+	n.misses[id] = 0
+	old := n.ring
+	members := n.aliveMembersLocked()
+	n.mu.Unlock()
+	neu := NewRing(n.cfg.Partitions, n.cfg.VirtualNodes, members, n.nextVersionLocked(old))
+	n.transitionLocked(ctx, old, neu, true)
+	if n.met != nil {
+		n.met.peerRecoveries.Inc()
+	}
+}
+
+// markDeadLocked expels a peer the prober lost. Its partition state
+// is unreachable (the journals stay on its disk); the survivors adopt
+// the orphaned partitions behind a settle quarantine so edge routers
+// re-bind their acked subscriptions before publishes land. Caller
+// holds rebalanceMu.
+func (n *Node) markDeadLocked(ctx context.Context, id string) {
+	n.mu.Lock()
+	if n.closed || !n.alive[id] {
+		n.mu.Unlock()
+		return
+	}
+	n.alive[id] = false
+	l := n.links[id]
+	old := n.ring
+	members := n.aliveMembersLocked()
+	n.mu.Unlock()
+	if l != nil {
+		l.close()
+	}
+	neu := NewRing(n.cfg.Partitions, n.cfg.VirtualNodes, members, n.nextVersionLocked(old))
+	n.transitionLocked(ctx, old, neu, false)
+	if n.met != nil {
+		n.met.peerFailures.Inc()
+	}
+}
+
+// maybeRaiseVersionLocked aligns this member's ring version with the
+// highest version seen on the wire when membership already agrees.
+// Without it, two members that rebuilt the same membership through
+// different transition orders would reject each other's forwards as
+// stale forever. Same members means same ownership, so no state moves
+// and no routes re-bind. Caller holds rebalanceMu.
+func (n *Node) maybeRaiseVersionLocked() {
+	floor := n.versionFloor.Load()
+	n.mu.Lock()
+	cur := n.ring
+	if n.closed || floor <= cur.Version() {
+		n.mu.Unlock()
+		return
+	}
+	neu := NewRing(n.cfg.Partitions, n.cfg.VirtualNodes, cur.Members(), floor)
+	n.ring = neu
+	n.ringV.Store(floor)
+	n.mu.Unlock()
+	n.observeRing(neu)
+}
+
+// transitionLocked installs a new ring: hand ceded partitions to
+// their new owners (when handoff is true and this node still holds
+// them), adopt newly owned ones (quarantined unless their state just
+// arrived via handoff), then re-bind every edge route whose partition
+// owners moved. Caller holds rebalanceMu.
+func (n *Node) transitionLocked(ctx context.Context, old, neu *Ring, handoff bool) {
+	me := n.cfg.NodeID
+	var adopts, releases []int
+	for p := 0; p < neu.Partitions(); p++ {
+		was, is := old.Owner(p) == me, neu.Owner(p) == me
+		switch {
+		case is && !was:
+			adopts = append(adopts, p)
+		case was && !is:
+			releases = append(releases, p)
+		}
+	}
+
+	if handoff {
+		for _, p := range releases {
+			n.mu.Lock()
+			eng := n.parts[p]
+			n.mu.Unlock()
+			if eng == nil {
+				continue
+			}
+			if err := n.handoffPartition(ctx, p, eng, neu); err != nil && n.met != nil {
+				n.met.handoffErrors.Inc()
+			}
+		}
+	}
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	now := time.Now()
+	for _, p := range adopts {
+		if err := n.ensurePartitionLocked(p); err != nil {
+			// The partition cannot open (disk trouble); leave it
+			// unowned locally — CheckRing will keep rejecting it and
+			// senders keep buffering.
+			continue
+		}
+		if n.received[p] {
+			delete(n.received, p)
+			delete(n.quarantine, p)
+		} else {
+			n.quarantine[p] = now.Add(n.cfg.Settle)
+		}
+	}
+	dropped := make([]int, 0, len(releases))
+	var engines []*brokerEngine
+	for _, p := range releases {
+		if eng := n.parts[p]; eng != nil {
+			engines = append(engines, &brokerEngine{p: p, eng: eng})
+			delete(n.parts, p)
+			dropped = append(dropped, p)
+		}
+		delete(n.quarantine, p)
+	}
+	n.ring = neu
+	n.ringV.Store(neu.Version())
+	n.mu.Unlock()
+
+	for _, e := range engines {
+		_ = e.eng.Close()
+	}
+	for _, p := range dropped {
+		n.met.setOwned(p, false)
+	}
+	n.observeRing(neu)
+	if n.met != nil {
+		n.met.rebalances.Inc()
+	}
+	n.rebindRoutesLocked(ctx, neu)
+}
+
+type brokerEngine struct {
+	p   int
+	eng interface{ Close() error }
+}
+
+// Retire gracefully removes this node from the cluster: every owned
+// partition is exported and handed to its new owner under a ring that
+// excludes this node, and only then does the node adopt that ring and
+// start rejecting ring-stamped traffic (which is how the peers'
+// failure detectors expel it). The node keeps serving its own edge
+// clients — their routes re-bind to the survivors — until Close.
+func (n *Node) Retire(ctx context.Context) error {
+	n.rebalanceMu.Lock()
+	defer n.rebalanceMu.Unlock()
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return errors.New("cluster: node closed")
+	}
+	old := n.ring
+	n.alive[n.cfg.NodeID] = false
+	members := n.aliveMembersLocked()
+	if len(members) == 0 {
+		n.alive[n.cfg.NodeID] = true
+		n.mu.Unlock()
+		return errors.New("cluster: no live peers to retire to")
+	}
+	n.mu.Unlock()
+	neu := NewRing(n.cfg.Partitions, n.cfg.VirtualNodes, members, n.nextVersionLocked(old))
+	n.transitionLocked(ctx, old, neu, true)
+	n.retired.Store(true)
+	return nil
+}
+
+// rebindRoutesLocked re-binds every edge route after a ring change.
+// Caller holds rebalanceMu.
+func (n *Node) rebindRoutesLocked(ctx context.Context, neu *Ring) {
+	n.mu.Lock()
+	routes := make([]*edgeSub, 0, len(n.routes))
+	for _, es := range n.routes {
+		routes = append(routes, es)
+	}
+	n.mu.Unlock()
+	sort.Slice(routes, func(i, j int) bool { return routes[i].id < routes[j].id })
+	for _, es := range routes {
+		n.rebindRouteLocked(ctx, es, neu)
+	}
+}
+
+// rebindRoute is rebindRouteLocked for callers outside a rebalance
+// (the subscribe path's post-ack ring-race check).
+func (n *Node) rebindRoute(es *edgeSub, r *Ring) {
+	n.rebalanceMu.Lock()
+	defer n.rebalanceMu.Unlock()
+	n.rebindRouteLocked(context.Background(), es, r)
+}
+
+// rebindRouteLocked moves one edge route's bindings to the partition
+// owners of ring r. The new binding is established before the old one
+// is dropped, and a binding whose re-bind fails is kept — the next
+// transition retries it. Caller holds rebalanceMu.
+func (n *Node) rebindRouteLocked(ctx context.Context, es *edgeSub, r *Ring) {
+	n.mu.Lock()
+	if _, live := n.routes[es.id]; !live || n.closed {
+		n.mu.Unlock()
+		return
+	}
+	cur := n.ring
+	n.mu.Unlock()
+	if r.Version() < cur.Version() {
+		r = cur
+	}
+	for _, p := range sortedPartitions(es.bindings) {
+		b := es.bindings[p]
+		want := r.Owner(p)
+		if want == n.cfg.NodeID {
+			want = "" // local engine
+		}
+		if b.owner == want {
+			continue
+		}
+		// Bound each attempt by a few requests, not ForwardTimeout:
+		// this holds rebalanceMu, and a failed re-bind is retried by
+		// route repair on every probe pass.
+		bctx, cancel := context.WithTimeout(ctx, 3*n.cfg.RequestTimeout)
+		nb, err := n.bindPartition(bctx, es, p, r)
+		cancel()
+		if err != nil {
+			continue
+		}
+		es.bindings[p] = nb
+		n.dropBinding(b)
+	}
+}
+
+// repairRoutesLocked re-binds any edge route whose bindings drifted
+// from the current ring — the retry path for re-binds that failed
+// during a transition (their target was briefly unreachable or still
+// catching up). Runs on every probe pass; the common case is a cheap
+// owner comparison per binding. Caller holds rebalanceMu.
+func (n *Node) repairRoutesLocked(ctx context.Context) {
+	n.mu.Lock()
+	ring := n.ring
+	routes := make([]*edgeSub, 0, len(n.routes))
+	for _, es := range n.routes {
+		routes = append(routes, es)
+	}
+	n.mu.Unlock()
+	for _, es := range routes {
+		drifted := false
+		for p, b := range es.bindings {
+			want := ring.Owner(p)
+			if want == n.cfg.NodeID {
+				want = ""
+			}
+			if b.owner != want {
+				drifted = true
+				break
+			}
+		}
+		if drifted {
+			n.rebindRouteLocked(ctx, es, ring)
+		}
+	}
+}

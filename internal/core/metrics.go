@@ -36,12 +36,6 @@ type StrategyMetrics struct {
 	pushNanos    *telemetry.Histogram
 	requestNanos *telemetry.Histogram
 	evalNanos    *telemetry.Histogram
-
-	// alias, when set, mirrors every flush into a second handle set —
-	// the deprecated unlabeled names kept alive for one release while
-	// dashboards migrate to the labeled series. Mirroring happens only
-	// on sampled flushes, so the hot path cost is unchanged.
-	alias *StrategyMetrics
 }
 
 // NewStrategyMetrics resolves the strategy metric handles in a registry
@@ -68,8 +62,8 @@ func NewStrategyMetrics(r *telemetry.Registry, prefix string) *StrategyMetrics {
 // NewStrategyMetricsLabeled resolves the strategy metric handles as
 // labeled series — prefix+".requests"{strategy="GD*"} and so on — so
 // runs of different strategies merge into distinct series fleet-wide.
-// The unlabeled prefix names stay registered as a deprecated
-// compatibility alias (both series advance together) for one release.
+// The deprecated unlabeled aliases that used to advance alongside the
+// labeled series have been removed; scrape the labeled form.
 func NewStrategyMetricsLabeled(r *telemetry.Registry, prefix, strategy string) *StrategyMetrics {
 	lat := telemetry.LatencyBuckets()
 	cv := func(name string) *telemetry.Counter {
@@ -92,9 +86,6 @@ func NewStrategyMetricsLabeled(r *telemetry.Registry, prefix, strategy string) *
 		requestNanos:   hv("request_ns"),
 		evalNanos:      hv("eval_ns"),
 	}
-	if r != nil {
-		m.alias = NewStrategyMetrics(r, prefix)
-	}
 	return m
 }
 
@@ -103,10 +94,6 @@ func NewStrategyMetricsLabeled(r *telemetry.Registry, prefix, strategy string) *
 // and is advanced to cur. Counters stay exact; only fields that changed
 // pay an atomic add.
 func (m *StrategyMetrics) record(flushed *OpStats, cur *OpStats) {
-	if m.alias != nil {
-		f := *flushed
-		m.alias.record(&f, cur)
-	}
 	if d := cur.PushOffers - flushed.PushOffers; d != 0 {
 		m.pushOffers.Add(d)
 	}
@@ -146,28 +133,16 @@ func sampleOp(seq uint64) bool { return seq&sampleMask == 0 }
 // Callers must have checked that m is non-nil and the op is sampled.
 func (m *StrategyMetrics) pushDone(t0 time.Time, flushed, cur *OpStats) {
 	m.record(flushed, cur)
-	d := time.Since(t0).Nanoseconds()
-	m.pushNanos.Observe(d)
-	if m.alias != nil {
-		m.alias.pushNanos.Observe(d)
-	}
+	m.pushNanos.Observe(time.Since(t0).Nanoseconds())
 }
 
 // requestDone finishes a sampled Request; see pushDone.
 func (m *StrategyMetrics) requestDone(t0 time.Time, flushed, cur *OpStats) {
 	m.record(flushed, cur)
-	d := time.Since(t0).Nanoseconds()
-	m.requestNanos.Observe(d)
-	if m.alias != nil {
-		m.alias.requestNanos.Observe(d)
-	}
+	m.requestNanos.Observe(time.Since(t0).Nanoseconds())
 }
 
 // evalDone observes one sampled value-function evaluation.
 func (m *StrategyMetrics) evalDone(t0 time.Time) {
-	d := time.Since(t0).Nanoseconds()
-	m.evalNanos.Observe(d)
-	if m.alias != nil {
-		m.alias.evalNanos.Observe(d)
-	}
+	m.evalNanos.Observe(time.Since(t0).Nanoseconds())
 }

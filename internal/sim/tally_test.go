@@ -77,19 +77,28 @@ func TestRunTelemetryMatchesResult(t *testing.T) {
 		}
 	}
 	// The shared strategy view must agree with the run outcome: every
-	// user request reaches exactly one proxy strategy.
-	if got := snap.Counters["sim.strategy.requests"]; got != res.Requests {
-		t.Errorf("sim.strategy.requests = %d, want %d", got, res.Requests)
+	// user request reaches exactly one proxy strategy. The series are
+	// labeled by strategy; the unlabeled aliases are gone.
+	reqKey := `sim.strategy.requests{strategy="SG2"}`
+	hitKey := `sim.strategy.hits{strategy="SG2"}`
+	if got := snap.Counters[reqKey]; got != res.Requests {
+		t.Errorf("%s = %d, want %d", reqKey, got, res.Requests)
 	}
-	hitsAndRefreshes := snap.Counters["sim.strategy.hits"] + snap.Counters["sim.strategy.stale_refreshes"]
-	if snap.Counters["sim.strategy.hits"] != res.Hits {
-		t.Errorf("sim.strategy.hits = %d, want %d", snap.Counters["sim.strategy.hits"], res.Hits)
+	hitsAndRefreshes := snap.Counters[hitKey] + snap.Counters[`sim.strategy.stale_refreshes{strategy="SG2"}`]
+	if snap.Counters[hitKey] != res.Hits {
+		t.Errorf("%s = %d, want %d", hitKey, snap.Counters[hitKey], res.Hits)
 	}
 	if hitsAndRefreshes > res.Requests {
 		t.Errorf("strategy hits+refreshes %d exceed requests %d", hitsAndRefreshes, res.Requests)
 	}
-	if snap.Histograms["sim.strategy.request_ns"].Count == 0 {
+	if snap.Histograms[`sim.strategy.request_ns{strategy="SG2"}`].Count == 0 {
 		t.Error("sampled request latency histogram stayed empty")
+	}
+	// The retired unlabeled aliases must no longer advance.
+	for _, name := range []string{"sim.strategy.requests", "sim.strategy.hits"} {
+		if got, ok := snap.Counters[name]; ok {
+			t.Errorf("removed alias %s still registered (= %d)", name, got)
+		}
 	}
 	// Telemetry must not perturb the simulation outcome.
 	plain := runStrategy(t, w, "SG2", DefaultOptions())

@@ -119,6 +119,14 @@ func TestRenderParseSeriesRoundTrip(t *testing.T) {
 		{"escapes", []string{"l"}, []string{`qu"ote\back` + "\nline"}},
 		{"strategy", []string{"strategy"}, []string{"GD*"}},
 		{"empty.value", []string{"l"}, []string{""}},
+		{"trailing.backslash", []string{"l"}, []string{`ends\`}},
+		{"double.backslash", []string{"l"}, []string{`a\\b`}},
+		{"literal.backslash.n", []string{"l"}, []string{`not\na\newline`}},
+		{"only.newlines", []string{"l"}, []string{"\n\n"}},
+		{"quote.at.edges", []string{"l"}, []string{`"quoted"`}},
+		{"structural.bytes", []string{"l"}, []string{`a="b",c}{d`}},
+		{"mixed.per.label", []string{"a", "b"}, []string{`x"`, "y\nz"}},
+		{"unicode", []string{"l"}, []string{"snö∆\t页"}},
 	}
 	for _, c := range cases {
 		key := RenderSeries(c.name, c.labels, c.values)
@@ -135,6 +143,30 @@ func TestRenderParseSeriesRoundTrip(t *testing.T) {
 	if name, labels := ParseSeries("no.labels"); name != "no.labels" || labels != nil {
 		t.Errorf("unlabeled key parsed to %q / %v", name, labels)
 	}
+}
+
+// FuzzSeriesRoundTrip drives arbitrary label values — quotes,
+// backslashes, newlines, and every escaping edge the fuzzer invents —
+// through RenderSeries and back through ParseSeries. The series key is
+// the registry's storage format, so a value that fails to round-trip
+// would silently corrupt scraped breakdowns.
+func FuzzSeriesRoundTrip(f *testing.F) {
+	f.Add("v", "w")
+	f.Add(`qu"ote`, `back\slash`)
+	f.Add("new\nline", "\n")
+	f.Add(`ends\`, `\\`)
+	f.Add(`not\na\newline`, `a="b",c}{d`)
+	f.Add("", `"`)
+	f.Fuzz(func(t *testing.T, v1, v2 string) {
+		key := RenderSeries("fuzz.series", []string{"a", "b"}, []string{v1, v2})
+		name, labels := ParseSeries(key)
+		if name != "fuzz.series" {
+			t.Fatalf("name %q from key %q", name, key)
+		}
+		if labels["a"] != v1 || labels["b"] != v2 {
+			t.Fatalf("round-trip (%q, %q) -> %q -> (%q, %q)", v1, v2, key, labels["a"], labels["b"])
+		}
+	})
 }
 
 // BenchmarkCounterInc / BenchmarkCounterVecWith quantify the labeled

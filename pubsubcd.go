@@ -31,6 +31,7 @@ import (
 	"context"
 
 	"pubsubcd/internal/broker"
+	"pubsubcd/internal/cluster"
 	"pubsubcd/internal/core"
 	"pubsubcd/internal/experiments"
 	"pubsubcd/internal/journal"
@@ -345,6 +346,30 @@ const (
 	StateConnected    = broker.StateConnected
 	StateReconnecting = broker.StateReconnecting
 	StateClosed       = broker.StateClosed
+)
+
+// Cluster (horizontally sharded broker fleet). Topics hash onto a
+// fixed partition space; a consistent-hash ring maps partitions onto
+// members; partition ownership moves between members via journaled
+// handoff when the membership changes. Any plain BrokerClient can
+// publish, subscribe, and fetch through any member.
+type (
+	// ClusterNode is one member of a sharded broker cluster.
+	ClusterNode = cluster.Node
+	// ClusterConfig describes a member to StartClusterNode.
+	ClusterConfig = cluster.Config
+	// ClusterRing is the consistent-hash routing table mapping topics
+	// to partitions to members.
+	ClusterRing = cluster.Ring
+)
+
+// StartClusterNode brings a cluster member up.
+var StartClusterNode = cluster.Start
+
+// Cluster sizing defaults.
+const (
+	DefaultClusterPartitions   = cluster.DefaultPartitions
+	DefaultClusterVirtualNodes = cluster.DefaultVirtualNodes
 )
 
 // Server options.
