@@ -49,6 +49,19 @@ type Speedup struct {
 	Ratio             float64 `json:"ratio"`
 }
 
+// CodecGain compares the JSON and binary variants of the broker
+// fan-out bench — the headline numbers of the binary wire protocol:
+// how much cheaper a publish fan-out is per op (throughput_ratio) and
+// how many fewer allocations it makes (allocs_ratio).
+type CodecGain struct {
+	JSONNsPerOp       float64 `json:"json_ns_per_op"`
+	BinaryNsPerOp     float64 `json:"binary_ns_per_op"`
+	ThroughputRatio   float64 `json:"throughput_ratio"`
+	JSONAllocsPerOp   int64   `json:"json_allocs_per_op"`
+	BinaryAllocsPerOp int64   `json:"binary_allocs_per_op"`
+	AllocsRatio       float64 `json:"allocs_ratio"`
+}
+
 // Report is the artifact document.
 type Report struct {
 	GOOS       string      `json:"goos,omitempty"`
@@ -56,6 +69,7 @@ type Report struct {
 	CPU        string      `json:"cpu,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 	Speedup    *Speedup    `json:"speedup,omitempty"`
+	CodecGain  *CodecGain  `json:"codec_gain,omitempty"`
 }
 
 func main() {
@@ -197,6 +211,7 @@ func parse(in io.Reader) (*Report, error) {
 		return nil, err
 	}
 	rep.Speedup = speedup(rep.Benchmarks)
+	rep.CodecGain = codecGain(rep.Benchmarks)
 	return rep, nil
 }
 
@@ -256,4 +271,27 @@ func speedup(benches []Benchmark) *Speedup {
 		return nil
 	}
 	return &Speedup{SequentialNsPerOp: seq, ParallelNsPerOp: par, Ratio: seq / par}
+}
+
+func codecGain(benches []Benchmark) *CodecGain {
+	var jsonB, binB *Benchmark
+	for i := range benches {
+		switch benches[i].Name {
+		case "BenchmarkBrokerFanoutJSON":
+			jsonB = &benches[i]
+		case "BenchmarkBrokerFanoutBinary":
+			binB = &benches[i]
+		}
+	}
+	if jsonB == nil || binB == nil || binB.NsPerOp == 0 || binB.AllocsPerOp == 0 {
+		return nil
+	}
+	return &CodecGain{
+		JSONNsPerOp:       jsonB.NsPerOp,
+		BinaryNsPerOp:     binB.NsPerOp,
+		ThroughputRatio:   jsonB.NsPerOp / binB.NsPerOp,
+		JSONAllocsPerOp:   jsonB.AllocsPerOp,
+		BinaryAllocsPerOp: binB.AllocsPerOp,
+		AllocsRatio:       float64(jsonB.AllocsPerOp) / float64(binB.AllocsPerOp),
+	}
 }

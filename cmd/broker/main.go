@@ -100,6 +100,23 @@ func main() {
 }
 
 // splitList parses a comma-separated flag value into a clean slice.
+// codecsByName resolves a comma-separated codec list ("binary,json")
+// into Codec implementations, rejecting unknown names.
+func codecsByName(list string) ([]broker.Codec, error) {
+	var out []broker.Codec
+	for _, name := range splitList(list) {
+		c, ok := broker.CodecByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown codec %q", name)
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no codecs in %q", list)
+	}
+	return out, nil
+}
+
 func splitList(s string) []string {
 	if s == "" {
 		return nil
@@ -140,6 +157,8 @@ func run(args []string, stop <-chan struct{}, out *os.File) error {
 	traceCap := fs.Int("trace-events", 4096, "event tracer ring-buffer capacity")
 	idleTimeout := fs.Duration("idle-timeout", 0, "close connections silent for this long (0 = default, negative disables)")
 	writeTimeout := fs.Duration("write-timeout", 0, "bound each outbound write (0 = default, negative disables)")
+	codecs := fs.String("codecs", "", "comma-separated wire codecs this server offers, most preferred first (empty = binary,json; \"json\" pins legacy framing)")
+	maxFrame := fs.Int("max-frame", 0, "largest wire frame in bytes accepted or announced (0 = default 16 MiB)")
 	uplink := fs.String("uplink", "", "remote broker address to bridge into this one (empty disables)")
 	uplinkTopics := fs.String("uplink-topics", "", "comma-separated topics to subscribe for on the uplink")
 	uplinkKeywords := fs.String("uplink-keywords", "", "comma-separated keywords to subscribe for on the uplink")
@@ -150,6 +169,7 @@ func run(args []string, stop <-chan struct{}, out *os.File) error {
 	retryBudget := fs.Int("retry-budget", -1, "retries per idempotent uplink request (-1 = default)")
 	maxReconnects := fs.Int("max-reconnects", 0, "consecutive failed uplink redials before giving up (0 = forever)")
 	requestTimeout := fs.Duration("request-timeout", 0, "per-attempt deadline for uplink requests (0 disables)")
+	uplinkCodec := fs.String("uplink-codec", "", "comma-separated wire codecs to offer on the uplink, most preferred first (empty = binary,json)")
 	dataDir := fs.String("data-dir", "", "directory for the write-ahead journal and snapshots (empty = in-memory broker)")
 	fsyncMode := fs.String("fsync", "always", "journal fsync policy: always, interval or none")
 	snapshotInterval := fs.Duration("snapshot-interval", time.Minute, "how often to snapshot durable state and truncate the journal")
@@ -213,6 +233,19 @@ func run(args []string, stop <-chan struct{}, out *os.File) error {
 	serverOpts := []broker.ServerOption{
 		broker.WithIdleTimeout(*idleTimeout),
 		broker.WithWriteTimeout(*writeTimeout),
+	}
+	if *codecs != "" {
+		named, err := codecsByName(*codecs)
+		if err != nil {
+			return fmt.Errorf("usage: -codecs: %w", err)
+		}
+		serverOpts = append(serverOpts, broker.WithCodec(named...))
+	}
+	if *maxFrame != 0 {
+		if *maxFrame < 0 {
+			return fmt.Errorf("usage: -max-frame must be positive, got %d", *maxFrame)
+		}
+		serverOpts = append(serverOpts, broker.WithMaxFrame(*maxFrame))
 	}
 	var reg *telemetry.Registry
 	var tracer *telemetry.Tracer
@@ -369,6 +402,18 @@ func run(args []string, stop <-chan struct{}, out *os.File) error {
 			broker.WithConnStateHook(func(s broker.ConnState) {
 				logger.Info("uplink state changed", "uplink", *uplink, "state", s.String())
 			}),
+		}
+		if *uplinkCodec != "" {
+			named, err := codecsByName(*uplinkCodec)
+			if err != nil {
+				_ = srv.Close()
+				_ = b.Close()
+				return fmt.Errorf("usage: -uplink-codec: %w", err)
+			}
+			clientOpts = append(clientOpts, broker.WithPreferredCodec(named...))
+			if *maxFrame > 0 {
+				clientOpts = append(clientOpts, broker.WithClientMaxFrame(*maxFrame))
+			}
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		link, err := broker.NewRemoteLink(ctx, b, *uplink, topics, keywords, clientOpts...)

@@ -1,0 +1,218 @@
+package broker
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"pubsubcd/internal/telemetry"
+)
+
+// The batching connection writer. Senders (response path, notify
+// fan-out, client requests) encode frames directly into a shared
+// pending buffer; a per-connection flusher goroutine writes whatever
+// has accumulated in one syscall. Under fan-out load many notify
+// frames coalesce into each flush; under light load the flusher wakes
+// on the first append, so a lone request still goes out immediately —
+// batching trades no latency for the syscall savings. Two pooled
+// buffers alternate between "filling" and "in flight", making the
+// steady-state path allocation-free.
+
+// defaultMaxBatch bounds the bytes senders may accumulate between
+// flushes. A slow peer pushes back here: once the pending buffer is
+// full, senders block until the flusher drains it (or the write fails
+// and severs the connection). A single frame may exceed the bound —
+// it is a backpressure threshold, not a frame-size limit.
+const defaultMaxBatch = 256 << 10
+
+// errWriterClosed reports a send on a connection writer that has been
+// closed (connection teardown).
+var errWriterClosed = errors.New("broker: connection writer closed")
+
+// encodeBufPool recycles pending/in-flight write buffers across
+// connections. Pointer-to-slice keeps Put allocation-free.
+var encodeBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 16<<10)
+		return &b
+	},
+}
+
+func getEncodeBuf() []byte { return (*encodeBufPool.Get().(*[]byte))[:0] }
+
+func putEncodeBuf(b []byte) {
+	if b == nil || cap(b) > 1<<20 {
+		return // oversized one-offs don't pin pool memory
+	}
+	encodeBufPool.Put(&b)
+}
+
+// connWriter serialises and batches all writes of one connection
+// (responses, notifications, requests). A failed flush is sticky and
+// severs the connection: a stream in an unknown state cannot be
+// trusted for framing again.
+type connWriter struct {
+	conn         net.Conn
+	writeTimeout time.Duration
+	bytesOut     *telemetry.Counter // all nil when telemetry is off
+	timeouts     *telemetry.Counter
+	flushes      *telemetry.Counter
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	codec  Codec
+	limit  int // outbound frame-size limit (0 = unlimited)
+	pend   []byte
+	spare  []byte // the buffer not currently filling; nil while in flight
+	err    error  // sticky flush error
+	closed bool
+	done   chan struct{} // closed when the flusher exits
+}
+
+func newConnWriter(conn net.Conn, codec Codec, limit int, writeTimeout time.Duration, bytesOut, timeouts, flushes *telemetry.Counter) *connWriter {
+	cw := &connWriter{
+		conn:         conn,
+		writeTimeout: writeTimeout,
+		bytesOut:     bytesOut,
+		timeouts:     timeouts,
+		flushes:      flushes,
+		codec:        codec,
+		limit:        limit,
+		pend:         getEncodeBuf(),
+		spare:        getEncodeBuf(),
+		done:         make(chan struct{}),
+	}
+	cw.cond = sync.NewCond(&cw.mu)
+	go cw.flushLoop()
+	return cw
+}
+
+// setCodec switches the outbound encoding (and frame limit) after a
+// successful negotiation. Frames already appended were encoded with
+// the previous codec and go out unchanged — encoding happens at append
+// time, so the switch point is exact.
+func (cw *connWriter) setCodec(c Codec, limit int) {
+	cw.mu.Lock()
+	cw.codec = c
+	if limit > 0 {
+		cw.limit = limit
+	}
+	cw.mu.Unlock()
+}
+
+// send encodes m into the pending batch. It blocks while the batch is
+// at capacity (backpressure from a slow peer) and fails fast once the
+// writer is closed or a flush has failed.
+func (cw *connWriter) send(m *Message) error {
+	cw.mu.Lock()
+	for cw.err == nil && !cw.closed && len(cw.pend) >= defaultMaxBatch {
+		cw.cond.Wait()
+	}
+	if cw.err != nil {
+		err := cw.err
+		cw.mu.Unlock()
+		return err
+	}
+	if cw.closed {
+		cw.mu.Unlock()
+		return errWriterClosed
+	}
+	start := len(cw.pend)
+	buf, err := cw.codec.AppendFrame(cw.pend, m)
+	if err != nil {
+		if buf != nil {
+			cw.pend = buf[:start]
+		}
+		cw.mu.Unlock()
+		return err
+	}
+	if cw.limit > 0 && len(buf)-start > cw.limit {
+		size := len(buf) - start
+		cw.pend = buf[:start]
+		cw.mu.Unlock()
+		return &FrameTooLargeError{Codec: cw.codec.Name(), Size: size, Limit: cw.limit}
+	}
+	cw.pend = buf
+	if start == 0 {
+		// The flusher only sleeps while pend is empty, so just the
+		// empty→non-empty transition needs a wakeup; the burst of sends
+		// behind it appends silently into the same batch.
+		cw.cond.Broadcast()
+	}
+	cw.mu.Unlock()
+	return nil
+}
+
+func (cw *connWriter) flushLoop() {
+	defer close(cw.done)
+	cw.mu.Lock()
+	for {
+		for cw.err == nil && !cw.closed && len(cw.pend) == 0 {
+			cw.cond.Wait()
+		}
+		if cw.err != nil || (cw.closed && len(cw.pend) == 0) {
+			putEncodeBuf(cw.pend)
+			putEncodeBuf(cw.spare)
+			cw.pend, cw.spare = nil, nil
+			cw.mu.Unlock()
+			return
+		}
+		buf := cw.pend
+		cw.pend = cw.spare[:0]
+		cw.spare = nil // in flight
+		cw.mu.Unlock()
+
+		if cw.writeTimeout > 0 {
+			_ = cw.conn.SetWriteDeadline(time.Now().Add(cw.writeTimeout))
+		}
+		n, werr := cw.conn.Write(buf)
+		if cw.bytesOut != nil && n > 0 {
+			cw.bytesOut.Add(int64(n))
+		}
+		if cw.flushes != nil {
+			cw.flushes.Inc()
+		}
+
+		cw.mu.Lock()
+		cw.spare = buf[:0]
+		if werr != nil {
+			cw.err = werr
+			if cw.timeouts != nil && isTimeout(werr) {
+				cw.timeouts.Inc()
+			}
+			_ = cw.conn.Close() // sever: readers unblock, peers see the break
+		}
+		cw.cond.Broadcast() // wake senders blocked on backpressure (or on err)
+	}
+}
+
+// closeFlush marks the writer closed, lets already-appended frames
+// drain for up to the given duration (<=0 means one second), then
+// stops the flusher. Closing the underlying connection is the
+// caller's job; if it is already closed, the drain resolves
+// immediately via a write error.
+func (cw *connWriter) closeFlush(drain time.Duration) {
+	cw.mu.Lock()
+	if cw.closed {
+		cw.mu.Unlock()
+		<-cw.done
+		return
+	}
+	cw.closed = true
+	cw.cond.Broadcast()
+	cw.mu.Unlock()
+	if drain <= 0 {
+		drain = time.Second
+	}
+	t := time.NewTimer(drain)
+	defer t.Stop()
+	select {
+	case <-cw.done:
+	case <-t.C:
+		// A stuck peer must not wedge teardown: abort the in-flight
+		// write and let the flusher exit on the error.
+		_ = cw.conn.SetWriteDeadline(time.Now())
+		<-cw.done
+	}
+}

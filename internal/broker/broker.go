@@ -161,6 +161,23 @@ func (b *Broker) publishSLO() time.Duration {
 }
 
 // New returns an empty broker.
+// fanoutScratch is the per-publish working set the fan-out hot path
+// reuses across publishes — matched refs and their notifiers — so a
+// steady stream of publishes allocates nothing for matching.
+type fanoutScratch struct {
+	refs      []match.MatchRef
+	notifiers []Notifier
+}
+
+var fanoutPool = sync.Pool{New: func() any { return new(fanoutScratch) }}
+
+func (fs *fanoutScratch) release() {
+	for i := range fs.notifiers {
+		fs.notifiers[i] = nil // don't pin notifiers of dead subscriptions
+	}
+	fanoutPool.Put(fs)
+}
+
 func New() *Broker {
 	return &Broker{
 		engine:    match.NewEngine(),
@@ -324,7 +341,10 @@ func (b *Broker) PublishContext(ctx context.Context, c Content) (int, error) {
 		matchStart = time.Now()
 	}
 	_, msp := telemetry.StartSpan(ctx, "broker.match")
-	matched := b.engine.Match(ev)
+	fs := fanoutPool.Get().(*fanoutScratch)
+	defer fs.release()
+	fs.refs = b.engine.AppendMatchRefs(fs.refs[:0], ev)
+	matched := fs.refs
 	if msp != nil {
 		msp.SetAttrInt("matched", int64(len(matched)))
 		msp.End()
@@ -334,19 +354,33 @@ func (b *Broker) PublishContext(ctx context.Context, c Content) (int, error) {
 		bt.matchFanout.Observe(int64(len(matched)))
 	}
 
+	// Snapshot the notifier of each matched subscription under one
+	// read-lock, then deliver outside it. The pooled parallel slice
+	// (instead of a per-publish map) keeps the fan-out hot path
+	// allocation-free; the per-proxy breakdown is only materialized
+	// when something consumes it (push sinks, trace).
 	b.mu.RLock()
-	notifiers := make(map[int64]Notifier, len(matched))
-	perProxy := make(map[int]int)
-	for _, sub := range matched {
-		if n, ok := b.notifiers[sub.ID]; ok {
-			notifiers[sub.ID] = n
-		}
-		perProxy[sub.Proxy]++
+	if cap(fs.notifiers) < len(matched) {
+		fs.notifiers = make([]Notifier, len(matched))
 	}
-	sinks := make(map[int]PushSink, len(perProxy))
-	for proxy := range perProxy {
-		if s, ok := b.sinks[proxy]; ok {
-			sinks[proxy] = s
+	notifiers := fs.notifiers[:len(matched)] // every slot overwritten below
+	var perProxy map[int]int
+	if len(b.sinks) > 0 || bt != nil {
+		perProxy = make(map[int]int, 8)
+	}
+	for i, sub := range matched {
+		notifiers[i] = b.notifiers[sub.ID]
+		if perProxy != nil {
+			perProxy[sub.Proxy]++
+		}
+	}
+	var sinks map[int]PushSink
+	if len(b.sinks) > 0 {
+		sinks = make(map[int]PushSink, len(perProxy))
+		for proxy := range perProxy {
+			if s, ok := b.sinks[proxy]; ok {
+				sinks[proxy] = s
+			}
 		}
 	}
 	b.mu.RUnlock()
@@ -354,8 +388,8 @@ func (b *Broker) PublishContext(ctx context.Context, c Content) (int, error) {
 	if bt != nil {
 		bt.trace(telemetry.KindMatch, c.ID, -1, fmtMatched(len(matched), len(perProxy)))
 	}
-	for _, sub := range matched {
-		if n, ok := notifiers[sub.ID]; ok {
+	for i, sub := range matched {
+		if n := notifiers[i]; n != nil {
 			notify(ctx, n, Notification{
 				PageID:         c.ID,
 				Version:        c.Version,

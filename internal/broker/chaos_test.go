@@ -273,3 +273,100 @@ func TestChaosFlakyWritesRetryToSuccess(t *testing.T) {
 		reg.Counter("transport.client.retries").Value(),
 		reg.Counter("transport.client.reconnects").Value())
 }
+
+// TestChaosBinaryCodecAckedSubsetDelivered runs the chaos publisher
+// over the negotiated binary codec: the publisher's network drops
+// writes (severing connections mid-request), the subscriber's link is
+// clean. Every publish the broker ACKNOWLEDGED must reach the
+// subscriber — acked ⊆ delivered — across however many reconnects and
+// renegotiations the drops cause.
+func TestChaosBinaryCodecAckedSubsetDelivered(t *testing.T) {
+	b := New()
+	// Two front doors onto one broker: a clean one for the subscriber,
+	// a fault-injected one for the publisher.
+	cleanSrv, err := NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanSrv.Close()
+	fn := faultnet.New(21)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flakySrv, err := NewServer(b, "", WithListener(fn.Listener(ln)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer flakySrv.Close()
+
+	ctx := context.Background()
+	var mu sync.Mutex
+	delivered := make(map[int]bool)
+	sub, err := Dial(ctx, cleanSrv.Addr(),
+		WithPreferredCodec(BinaryCodec()),
+		WithNotify(func(n Notification) {
+			mu.Lock()
+			delivered[n.Version] = true
+			mu.Unlock()
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if got := sub.Codec(); got != codecBinary {
+		t.Fatalf("subscriber codec = %q, want binary", got)
+	}
+	if _, err := sub.Subscribe(ctx, 1, []string{"chaos"}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	pub, err := Dial(ctx, flakySrv.Addr(),
+		WithPreferredCodec(BinaryCodec(), JSONCodec()),
+		WithReconnect(fastBackoff()),
+		WithDialFunc(fn.Dial),
+		WithRequestTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if got := pub.Codec(); got != codecBinary {
+		t.Fatalf("publisher codec = %q, want binary", got)
+	}
+
+	fn.SetDropRate(0.10)
+	var acked []int
+	for v := 1; v <= 40; v++ {
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			_, err := pub.Publish(pctx, Content{
+				ID: "stream", Version: v, Topics: []string{"chaos"},
+				Body: []byte(fmt.Sprintf("v%d", v)),
+			})
+			cancel()
+			if err == nil || strings.Contains(err.Error(), "not newer") {
+				// An explicit OK — or proof a previous attempt landed
+				// before its ack was dropped. Both mean the broker has it.
+				acked = append(acked, v)
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("version %d never accepted: %v", v, err)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	fn.SetDropRate(0)
+
+	waitFor(t, "every acked version delivered", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, v := range acked {
+			if !delivered[v] {
+				return false
+			}
+		}
+		return true
+	})
+}

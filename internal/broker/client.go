@@ -3,8 +3,6 @@ package broker
 import (
 	"bufio"
 	"context"
-	"encoding/base64"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -45,6 +43,7 @@ var (
 type clientMetrics struct {
 	bytesIn           *telemetry.Counter
 	bytesOut          *telemetry.Counter
+	flushes           *telemetry.Counter
 	timeouts          *telemetry.Counter
 	disconnects       *telemetry.Counter
 	reconnects        *telemetry.Counter
@@ -62,6 +61,7 @@ func newClientMetrics(reg *telemetry.Registry) *clientMetrics {
 	m := &clientMetrics{
 		bytesIn:           reg.Counter("transport.client.bytes_in"),
 		bytesOut:          reg.Counter("transport.client.bytes_out"),
+		flushes:           reg.Counter("transport.client.flushes"),
 		timeouts:          reg.Counter("transport.client.timeouts"),
 		disconnects:       reg.Counter("transport.client.disconnects"),
 		reconnects:        reg.Counter("transport.client.reconnects"),
@@ -79,31 +79,28 @@ func newClientMetrics(reg *telemetry.Registry) *clientMetrics {
 }
 
 // clientConn is one live connection of a Client. Its read loop runs in
-// its own goroutine and closes done when the connection dies.
+// its own goroutine and closes done when the connection dies. The
+// codec fields are fixed during negotiation, before the read loop (or
+// any caller) can see the connection, and immutable afterwards.
 type clientConn struct {
-	conn net.Conn
-	enc  *json.Encoder
-	wmu  sync.Mutex // serialises writes
+	conn      net.Conn
+	w         *connWriter
+	br        *bufio.Reader
+	codec     Codec
+	codecName string
+	maxFrame  int
+	rbuf      []byte // read-loop frame buffer, reused across frames
 
 	done     chan struct{}
 	lastRead atomic.Int64 // UnixNano of the last successful read
 	stopHB   chan struct{}
 }
 
-// send writes one message, bounded by the write deadline. A failed
-// write severs the connection: a stream in an unknown state cannot be
-// trusted for framing again.
-func (cc *clientConn) send(m wireMessage, writeTimeout time.Duration) error {
-	cc.wmu.Lock()
-	defer cc.wmu.Unlock()
-	if writeTimeout > 0 {
-		_ = cc.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
-	}
-	if err := cc.enc.Encode(m); err != nil {
-		_ = cc.conn.Close()
-		return err
-	}
-	return nil
+// send encodes one message into the connection's write batch. A flush
+// failure is sticky and severs the connection: a stream in an unknown
+// state cannot be trusted for framing again.
+func (cc *clientConn) send(m *Message) error {
+	return cc.w.send(m)
 }
 
 // clientSub is a registry entry: the client-side view of one live
@@ -129,7 +126,7 @@ type Client struct {
 	connWait       chan struct{} // closed while cur != nil or the client is dead
 	connWaitClosed bool
 	seq            uint64
-	pending        map[uint64]chan wireMessage
+	pending        map[uint64]chan Message
 	subs           map[int64]*clientSub
 	byServer       map[int64]int64 // server sub ID -> client sub ID
 	nextSubID      int64
@@ -166,7 +163,7 @@ func Dial(ctx context.Context, addr string, opts ...ClientOption) (*Client, erro
 		writeTimeout: defaultTimeout(cfg.writeTimeout, DefaultWriteTimeout),
 		metrics:      newClientMetrics(cfg.telemetry),
 		connWait:     make(chan struct{}),
-		pending:      make(map[uint64]chan wireMessage),
+		pending:      make(map[uint64]chan Message),
 		subs:         make(map[int64]*clientSub),
 		byServer:     make(map[int64]int64),
 		closeCh:      make(chan struct{}),
@@ -178,25 +175,40 @@ func Dial(ctx context.Context, addr string, opts ...ClientOption) (*Client, erro
 		close(c.done)
 		return nil, fmt.Errorf("broker: dial: %w", err)
 	}
-	cc := c.startConn(conn)
+	cc, err := c.startConn(conn)
+	if err != nil {
+		_ = conn.Close()
+		close(c.done)
+		return nil, fmt.Errorf("broker: dial: %w", err)
+	}
 	c.install(cc)
 	go c.supervise(cc)
 	return c, nil
 }
 
-// startConn wraps a fresh net.Conn: starts its read loop and heartbeat.
-func (c *Client) startConn(conn net.Conn) *clientConn {
-	var bytesOut *telemetry.Counter
+// startConn wraps a fresh net.Conn: negotiates the codec, then starts
+// the read loop and heartbeat. On error the caller owns closing conn.
+func (c *Client) startConn(conn net.Conn) (*clientConn, error) {
+	var bytesIn, bytesOut, timeouts, flushes *telemetry.Counter
 	if cm := c.metrics; cm != nil {
-		bytesOut = cm.bytesOut
+		bytesIn, bytesOut = cm.bytesIn, cm.bytesOut
+		timeouts, flushes = cm.timeouts, cm.flushes
 	}
 	cc := &clientConn{
-		conn:   conn,
-		enc:    json.NewEncoder(&countingWriter{w: conn, c: bytesOut}),
-		done:   make(chan struct{}),
-		stopHB: make(chan struct{}),
+		conn:      conn,
+		br:        bufio.NewReaderSize(&countingReader{r: conn, c: bytesIn}, readBufSize),
+		codec:     jsonCodec{},
+		codecName: codecJSON,
+		maxFrame:  c.cfg.maxFrame,
+		done:      make(chan struct{}),
+		stopHB:    make(chan struct{}),
 	}
+	cc.w = newConnWriter(conn, cc.codec, cc.maxFrame, c.writeTimeout, bytesOut, timeouts, flushes)
 	cc.lastRead.Store(time.Now().UnixNano())
+	if err := c.negotiate(cc); err != nil {
+		cc.w.closeFlush(0)
+		return nil, err
+	}
 	go func() {
 		defer close(cc.done)
 		c.readLoop(cc)
@@ -204,7 +216,60 @@ func (c *Client) startConn(conn net.Conn) *clientConn {
 	if c.cfg.heartbeatInterval > 0 {
 		go c.heartbeat(cc)
 	}
-	return cc
+	return cc, nil
+}
+
+// negotiate runs the hello exchange on a fresh connection, before the
+// read loop starts: offer the preferred codecs, read the server's
+// pick synchronously, and switch both directions. Skipped entirely
+// when the client is pinned to plain JSON (WithPreferredCodec with
+// only the JSON codec) — that mode is byte-identical to the pre-codec
+// protocol, so it also works against servers that predate negotiation.
+// Servers that don't understand "hello" reject it with an error
+// response, which downgrades the connection to JSON.
+func (c *Client) negotiate(cc *clientConn) error {
+	prefs := c.cfg.codecs
+	if len(prefs) == 1 && prefs[0].Name() == codecJSON {
+		return nil
+	}
+	hello := Message{Type: msgHello, Codecs: codecNames(prefs), MaxFrame: c.cfg.maxFrame}
+	// The exchange is bounded by the dial timeout: negotiation is part
+	// of connection establishment.
+	_ = cc.conn.SetReadDeadline(time.Now().Add(c.cfg.dialTimeout))
+	defer func() { _ = cc.conn.SetReadDeadline(time.Time{}) }()
+	if err := cc.send(&hello); err != nil {
+		return fmt.Errorf("codec negotiation: %w", err)
+	}
+	payload, err := cc.codec.ReadFrame(cc.br, nil, cc.maxFrame)
+	if err != nil {
+		return fmt.Errorf("codec negotiation: %w", err)
+	}
+	var resp Message
+	if err := cc.codec.DecodeFrame(payload, &resp); err != nil {
+		return fmt.Errorf("codec negotiation: %w", err)
+	}
+	if resp.Error != "" || resp.Codec == "" {
+		// The server refused (no overlap) or predates negotiation
+		// (unknown message type): stay on JSON if this client still
+		// speaks it, otherwise the dial fails.
+		if codecByName(prefs, codecJSON) != nil {
+			return nil
+		}
+		if resp.Error == "" {
+			resp.Error = "server selected no codec"
+		}
+		return fmt.Errorf("codec negotiation: %s", resp.Error)
+	}
+	sel := codecByName(prefs, resp.Codec)
+	if sel == nil {
+		return fmt.Errorf("codec negotiation: server picked unsupported codec %q", resp.Codec)
+	}
+	if resp.MaxFrame > 0 && resp.MaxFrame < cc.maxFrame {
+		cc.maxFrame = resp.MaxFrame
+	}
+	cc.codec, cc.codecName = sel, resp.Codec
+	cc.w.setCodec(sel, cc.maxFrame)
+	return nil
 }
 
 // install publishes cc as the current connection and wakes waiters. If
@@ -265,6 +330,7 @@ func (c *Client) supervise(cc *clientConn) {
 		<-cc.done
 		close(cc.stopHB)
 		_ = cc.conn.Close()
+		cc.w.closeFlush(0)
 		c.drop(cc)
 		if cm := c.metrics; cm != nil {
 			cm.disconnects.Inc()
@@ -314,13 +380,23 @@ func (c *Client) redial() *clientConn {
 			}
 			continue
 		}
-		cc := c.startConn(conn)
+		cc, err := c.startConn(conn)
+		if err != nil {
+			// Negotiation failed (e.g. the dial got through but the peer
+			// vanished mid-hello): close and keep backing off.
+			_ = conn.Close()
+			if cm := c.metrics; cm != nil {
+				cm.reconnectFailures.Inc()
+			}
+			continue
+		}
 		if !c.resubscribe(cc) {
 			// The fresh connection died mid-resubscription; close it
 			// and keep backing off.
 			_ = cc.conn.Close()
 			<-cc.done
 			close(cc.stopHB)
+			cc.w.closeFlush(0)
 			if cm := c.metrics; cm != nil {
 				cm.reconnectFailures.Inc()
 			}
@@ -349,7 +425,7 @@ func (c *Client) resubscribe(cc *clientConn) bool {
 			timeout = 5 * time.Second
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), timeout)
-		m := wireMessage{
+		m := Message{
 			Type: msgSubscribe, Proxy: s.proxy, Topics: s.topics, Keywords: s.keywords,
 			Part: s.part,
 		}
@@ -408,7 +484,7 @@ func (c *Client) heartbeat(cc *clientConn) {
 			}
 			// Seq 0: the pong is dropped by the read loop, but it
 			// refreshes lastRead.
-			_ = cc.send(wireMessage{Type: msgPing}, c.writeTimeout)
+			_ = cc.send(&Message{Type: msgPing})
 		case <-cc.stopHB:
 			return
 		case <-cc.done:
@@ -418,15 +494,23 @@ func (c *Client) heartbeat(cc *clientConn) {
 }
 
 func (c *Client) readLoop(cc *clientConn) {
-	scanner := bufio.NewScanner(cc.conn)
-	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	for scanner.Scan() {
-		cc.lastRead.Store(time.Now().UnixNano())
-		if cm := c.metrics; cm != nil {
-			cm.bytesIn.Add(int64(len(scanner.Bytes()) + 1))
+	var m Message
+	for {
+		payload, err := cc.codec.ReadFrame(cc.br, cc.rbuf, cc.maxFrame)
+		if payload != nil {
+			cc.rbuf = payload
 		}
-		var m wireMessage
-		if err := json.Unmarshal(scanner.Bytes(), &m); err != nil {
+		if err != nil {
+			var tle *FrameTooLargeError
+			if errors.As(err, &tle) {
+				// The oversized frame was discarded and the stream is
+				// still framed; whoever awaited it times out.
+				continue
+			}
+			return
+		}
+		cc.lastRead.Store(time.Now().UnixNano())
+		if err := cc.codec.DecodeFrame(payload, &m); err != nil {
 			continue
 		}
 		switch m.Type {
@@ -457,16 +541,17 @@ func (c *Client) readLoop(cc *clientConn) {
 				continue // ping pong, or a response nobody correlates
 			}
 			c.mu.Lock()
-			ch := c.pending[m.Seq]
-			c.mu.Unlock()
-			if ch != nil {
-				// Buffered; if the waiter already gave up the message
-				// is dropped with its channel.
+			if ch := c.pending[m.Seq]; ch != nil {
+				// Buffered, delivered under c.mu (exchange recycles the
+				// channel only after removing it from the map under the
+				// same mutex); if the waiter already gave up the message
+				// is dropped and drained at recycle time.
 				select {
 				case ch <- m:
 				default:
 				}
 			}
+			c.mu.Unlock()
 		}
 	}
 }
@@ -568,7 +653,7 @@ func retryable(msgType string) bool {
 // caller's context already carries a trace, the exchange is wrapped in
 // a transport.client.<type> span whose identity rides the request
 // frame, so the server parents its handling under it.
-func (c *Client) roundTrip(ctx context.Context, m wireMessage) (wireMessage, error) {
+func (c *Client) roundTrip(ctx context.Context, m Message) (Message, error) {
 	if c.cfg.spans != nil && telemetry.SpanFromContext(ctx) == nil && telemetry.SpanCollectorFromContext(ctx) == nil {
 		ctx = telemetry.WithSpanCollector(ctx, c.cfg.spans)
 	}
@@ -588,7 +673,7 @@ func (c *Client) roundTrip(ctx context.Context, m wireMessage) (wireMessage, err
 }
 
 // roundTripRetry is the retry loop under roundTrip's span.
-func (c *Client) roundTripRetry(ctx context.Context, m wireMessage) (wireMessage, error) {
+func (c *Client) roundTripRetry(ctx context.Context, m Message) (Message, error) {
 	budget := 0
 	if retryable(m.Type) {
 		budget = c.cfg.retryBudget
@@ -600,10 +685,10 @@ func (c *Client) roundTripRetry(ctx context.Context, m wireMessage) (wireMessage
 		}
 		// Respect the caller's context unconditionally.
 		if ctx.Err() != nil {
-			return wireMessage{}, err
+			return Message{}, err
 		}
 		if retries >= budget || !errors.Is(err, errRetryable) {
-			return wireMessage{}, err
+			return Message{}, err
 		}
 		if cm := c.metrics; cm != nil {
 			cm.retries.Inc()
@@ -615,8 +700,13 @@ func (c *Client) roundTripRetry(ctx context.Context, m wireMessage) (wireMessage
 // may retry: connection loss and per-attempt timeouts.
 var errRetryable = errors.New("broker: retryable transport failure")
 
+// respChanPool recycles response-correlation channels across requests:
+// one buffered channel per in-flight request, reused once the request
+// resolves.
+var respChanPool = sync.Pool{New: func() any { return make(chan Message, 1) }}
+
 // attempt runs a single request attempt under the per-request deadline.
-func (c *Client) attempt(ctx context.Context, m wireMessage) (wireMessage, error) {
+func (c *Client) attempt(ctx context.Context, m Message) (Message, error) {
 	// The ring-version header is stamped per attempt, so a retry after a
 	// stale-ring rejection carries the sender's refreshed view.
 	if fn := c.cfg.ringVersion; fn != nil && m.Ring == 0 {
@@ -633,9 +723,9 @@ func (c *Client) attempt(ctx context.Context, m wireMessage) (wireMessage, error
 		if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
 			// The attempt timed out waiting for a connection but the
 			// caller is still interested: retryable.
-			return wireMessage{}, fmt.Errorf("%w: no connection: %w", errRetryable, err)
+			return Message{}, fmt.Errorf("%w: no connection: %w", errRetryable, err)
 		}
-		return wireMessage{}, err
+		return Message{}, err
 	}
 	return c.exchange(actx, cc, m)
 }
@@ -644,21 +734,29 @@ func (c *Client) attempt(ctx context.Context, m wireMessage) (wireMessage, error
 // pending-reply entry is removed on every exit path — including caller
 // cancellation — so an abandoned request cannot leak its entry or
 // misdeliver a late response to the next request.
-func (c *Client) exchange(ctx context.Context, cc *clientConn, m wireMessage) (wireMessage, error) {
+func (c *Client) exchange(ctx context.Context, cc *clientConn, m Message) (Message, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return wireMessage{}, ErrClientClosed
+		return Message{}, ErrClientClosed
 	}
 	c.seq++
 	seq := c.seq
-	ch := make(chan wireMessage, 1)
+	ch := respChanPool.Get().(chan Message)
 	c.pending[seq] = ch
 	c.mu.Unlock()
 	defer func() {
 		c.mu.Lock()
 		delete(c.pending, seq)
 		c.mu.Unlock()
+		// Deliveries happen under c.mu against the map entry, so after
+		// the delete nothing can send on ch anymore: drain whatever
+		// raced in and recycle the channel.
+		select {
+		case <-ch:
+		default:
+		}
+		respChanPool.Put(ch)
 	}()
 
 	m.Seq = seq
@@ -667,11 +765,8 @@ func (c *Client) exchange(ctx context.Context, cc *clientConn, m wireMessage) (w
 	if cm != nil {
 		start = time.Now()
 	}
-	if err := cc.send(m, c.writeTimeout); err != nil {
-		if cm != nil && isTimeout(err) {
-			cm.timeouts.Inc()
-		}
-		return wireMessage{}, fmt.Errorf("%w: send: %w", errRetryable, err)
+	if err := cc.send(&m); err != nil {
+		return Message{}, fmt.Errorf("%w: send: %w", errRetryable, err)
 	}
 	select {
 	case resp := <-ch:
@@ -685,16 +780,16 @@ func (c *Client) exchange(ctx context.Context, cc *clientConn, m wireMessage) (w
 		}
 		return resp, nil
 	case <-cc.done:
-		return wireMessage{}, fmt.Errorf("%w: %w", errRetryable, ErrConnectionLost)
+		return Message{}, fmt.Errorf("%w: %w", errRetryable, ErrConnectionLost)
 	case <-ctx.Done():
 		if cm != nil && errors.Is(ctx.Err(), context.DeadlineExceeded) {
 			cm.timeouts.Inc()
 		}
 		err := ctx.Err()
 		if errors.Is(err, context.DeadlineExceeded) {
-			return wireMessage{}, fmt.Errorf("%w: %w", errRetryable, err)
+			return Message{}, fmt.Errorf("%w: %w", errRetryable, err)
 		}
-		return wireMessage{}, err
+		return Message{}, err
 	}
 }
 
@@ -729,7 +824,7 @@ func (c *Client) SubscribePartition(ctx context.Context, partition, proxy int, t
 // subscribe sends the subscribe frame (part is the wire partition
 // header, 0 = unrouted) and records the registry entry.
 func (c *Client) subscribe(ctx context.Context, part, proxy int, topics, keywords []string) (int64, error) {
-	resp, err := c.roundTrip(ctx, wireMessage{
+	resp, err := c.roundTrip(ctx, Message{
 		Type: msgSubscribe, Proxy: proxy, Topics: topics, Keywords: keywords, Part: part,
 	})
 	if err != nil {
@@ -767,7 +862,7 @@ func (c *Client) Unsubscribe(ctx context.Context, id int64) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownSubscription, id)
 	}
-	_, err := c.roundTrip(ctx, wireMessage{Type: msgUnsubscribe, SubID: serverID})
+	_, err := c.roundTrip(ctx, Message{Type: msgUnsubscribe, SubID: serverID})
 	return err
 }
 
@@ -797,11 +892,11 @@ func (c *Client) PublishPartition(ctx context.Context, partition int, content Co
 }
 
 func (c *Client) publish(ctx context.Context, part int, content Content) (int, error) {
-	resp, err := c.roundTrip(ctx, wireMessage{
+	resp, err := c.roundTrip(ctx, Message{
 		Type: msgPublish, ID: content.ID, Version: content.Version,
 		Topics: content.Topics, Keywords: content.Keywords,
-		Body: base64.StdEncoding.EncodeToString(content.Body),
-		Part: part,
+		BodyRaw: content.Body,
+		Part:    part,
 	})
 	if err != nil {
 		return 0, err
@@ -818,9 +913,9 @@ func (c *Client) Handoff(ctx context.Context, partition int, ringVersion uint64,
 	if partition < 0 {
 		return fmt.Errorf("broker: negative partition %d", partition)
 	}
-	_, err := c.roundTrip(ctx, wireMessage{
+	_, err := c.roundTrip(ctx, Message{
 		Type: msgHandoff, Part: partition + 1, Ring: ringVersion,
-		Body: base64.StdEncoding.EncodeToString(payload),
+		BodyRaw: payload,
 	})
 	return err
 }
@@ -842,11 +937,11 @@ func (c *Client) FetchPartition(ctx context.Context, partition int, pageID strin
 }
 
 func (c *Client) fetch(ctx context.Context, part int, pageID string) (Content, error) {
-	resp, err := c.roundTrip(ctx, wireMessage{Type: msgFetch, ID: pageID, Part: part})
+	resp, err := c.roundTrip(ctx, Message{Type: msgFetch, ID: pageID, Part: part})
 	if err != nil {
 		return Content{}, err
 	}
-	body, err := base64.StdEncoding.DecodeString(resp.Body)
+	body, err := resp.bodyBytes()
 	if err != nil {
 		return Content{}, fmt.Errorf("broker: bad body encoding: %w", err)
 	}
@@ -859,8 +954,21 @@ func (c *Client) fetch(ctx context.Context, part int, pageID string) (Content, e
 
 // Ping round-trips a liveness probe.
 func (c *Client) Ping(ctx context.Context) error {
-	_, err := c.roundTrip(ctx, wireMessage{Type: msgPing})
+	_, err := c.roundTrip(ctx, Message{Type: msgPing})
 	return err
+}
+
+// Codec reports the name of the wire codec negotiated on the current
+// connection ("binary", "json", ...), or "" when no connection is
+// live. Reconnects renegotiate, so the value can change over the
+// client's life (e.g. after a rolling downgrade of the server).
+func (c *Client) Codec() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cur != nil {
+		return c.cur.codecName
+	}
+	return ""
 }
 
 // ServerRingVersion reports the highest cluster ring version observed

@@ -62,7 +62,7 @@ func TestServerRejectsUnknownMessageType(t *testing.T) {
 	if !sc.Scan() {
 		t.Fatal("no response")
 	}
-	var m wireMessage
+	var m Message
 	if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
 		t.Fatal(err)
 	}

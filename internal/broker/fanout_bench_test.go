@@ -1,0 +1,127 @@
+package broker
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+)
+
+// The publish→fan-out benchmark behind BENCH_broker.json: one
+// publisher round-trips publishes through a real server while raw
+// subscriber connections (8 conns × 8 subscriptions each = 64 notify
+// frames per publish) drain the fan-out without decoding, so the
+// measured cost is the transport's — encode, batch, write — not the
+// test's. The JSON and binary variants differ only in the negotiated
+// codec; comparing them is the headline number for the binary wire
+// protocol work.
+
+const (
+	benchFanoutConns = 16
+	benchSubsPerConn = 512
+)
+
+// startSubscriberConn dials addr raw, negotiates the given codec (a
+// JSON hello, exactly as a real client), registers subs subscriptions
+// and then drains everything the server sends without decoding it.
+func startSubscriberConn(b *testing.B, addr string, c Codec, subs int) net.Conn {
+	b.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	enc := Codec(jsonCodec{})
+	readMsg := func() Message {
+		b.Helper()
+		payload, err := enc.ReadFrame(br, nil, DefaultMaxFrame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var m Message
+		if err := enc.DecodeFrame(payload, &m); err != nil {
+			b.Fatal(err)
+		}
+		if m.Error != "" {
+			b.Fatalf("server error: %s", m.Error)
+		}
+		return m
+	}
+	if c.Name() != codecJSON {
+		frame, err := enc.AppendFrame(nil, &Message{Type: msgHello, Seq: 1, Codecs: []string{c.Name()}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := conn.Write(frame); err != nil {
+			b.Fatal(err)
+		}
+		if resp := readMsg(); resp.Codec != c.Name() {
+			b.Fatalf("negotiated %q, want %q", resp.Codec, c.Name())
+		}
+		enc = c
+	}
+	var out []byte
+	for i := 0; i < subs; i++ {
+		out, err = enc.AppendFrame(out, &Message{Type: msgSubscribe, Seq: uint64(i + 2), Topics: []string{"t"}, Proxy: i + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := conn.Write(out); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < subs; i++ {
+		readMsg()
+	}
+	go func() { _, _ = io.Copy(io.Discard, br) }()
+	return conn
+}
+
+func benchmarkBrokerFanout(b *testing.B, c Codec) {
+	bk := New()
+	s, err := NewServer(bk, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < benchFanoutConns; i++ {
+		conn := startSubscriberConn(b, s.Addr(), c, benchSubsPerConn)
+		defer conn.Close()
+	}
+	ctx := context.Background()
+	pub, err := Dial(ctx, s.Addr(), WithPreferredCodec(c))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pub.Close()
+	if got := pub.Codec(); got != c.Name() {
+		b.Fatalf("publisher codec = %q, want %q", got, c.Name())
+	}
+
+	body := bytes.Repeat([]byte{'x'}, 4096)
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	// Pipelined publishers share the one connection, so the measure is
+	// the transport's throughput (encode, batch, fan-out), not a single
+	// round trip's latency. Distinct page IDs per publisher keep the
+	// broker's monotonic-version check out of the way.
+	var pubID atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		id := fmt.Sprintf("p%d", pubID.Add(1))
+		content := Content{ID: id, Topics: []string{"t"}, Body: body}
+		for pb.Next() {
+			content.Version++
+			if _, err := pub.Publish(ctx, content); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkBrokerFanoutJSON(b *testing.B)   { benchmarkBrokerFanout(b, JSONCodec()) }
+func BenchmarkBrokerFanoutBinary(b *testing.B) { benchmarkBrokerFanout(b, BinaryCodec()) }

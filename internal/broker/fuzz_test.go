@@ -1,17 +1,17 @@
 package broker
 
 import (
-	"encoding/base64"
-	"encoding/json"
+	"bufio"
+	"bytes"
 	"testing"
 )
 
-// FuzzDecodeFrame feeds arbitrary bytes to the wire-frame decoder —
+// FuzzDecodeFrame feeds arbitrary bytes to both wire-frame decoders —
 // the single entry point for untrusted input on a broker connection.
 // Whatever the bytes, decoding must either yield a message or an
 // error, never panic; and a decoded message must survive the rest of
-// the request path's parsing (base64 body, re-encoding) without
-// panicking either. Seed corpus lives in
+// the request path (body decode, re-encoding with either codec)
+// without panicking. Seed corpus lives in
 // testdata/fuzz/FuzzDecodeFrame (regenerate with tools/gencorpus).
 func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte(`{"type":"subscribe","topics":["news"],"proxy":1,"seq":7}`))
@@ -25,21 +25,68 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte(``))
 	f.Add([]byte(`null`))
 	f.Add([]byte(`[1,2,3]`))
+	// Binary payloads: type code byte + tagged fields.
+	f.Add([]byte("\x03"))                 // bare publish
+	f.Add([]byte("\x01\x09\x04news"))     // subscribe, one topic
+	f.Add([]byte("\x03\x0f\x03abc"))      // publish with raw body
+	f.Add([]byte("\x07\x11\x01"))         // response, OK
+	f.Add([]byte("\x09\x27\x04json"))     // hello offering json
+	f.Add([]byte("\xff\x2d\x05weird"))    // unknown code, fType field
+	f.Add([]byte("\x03\x0f\xff\xff\xff")) // truncated length-delimited field
+
+	codecs := []Codec{JSONCodec(), BinaryCodec()}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, c := range codecs {
+			var m Message
+			if err := c.DecodeFrame(data, &m); err != nil {
+				continue
+			}
+			// The publish handler decodes the body next; a bad body must
+			// be an error, not a panic.
+			_, _ = m.bodyBytes()
+			// Every response echoes fields of the request; a decoded
+			// message must re-encode with every codec (or fail with an
+			// error — bad base64 bodies cannot cross into binary).
+			for _, e := range codecs {
+				if _, err := e.AppendFrame(nil, &m); err != nil && m.Body == "" {
+					t.Fatalf("%s-decoded message does not re-encode as %s: %v", c.Name(), e.Name(), err)
+				}
+			}
+		}
+	})
+}
+
+// FuzzBinaryReadFrame drives the binary framing layer (length prefix,
+// frame-size limit, buffer reuse) with an arbitrary byte stream. It
+// must never panic, never hand back a frame larger than the limit,
+// and always leave the reader aligned for a subsequent read attempt.
+func FuzzBinaryReadFrame(f *testing.F) {
+	f.Add([]byte("\x00\x00\x00\x01\x05"))
+	f.Add([]byte("\x00\x00\x00\x00"))
+	f.Add([]byte("\xff\xff\xff\xff"))
+	f.Add([]byte("\x00\x00\x00\x10short"))
+	f.Add([]byte("\x00\x00\x00\x02\x03\x00\x00\x00\x01\x05"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		m, err := decodeWireMessage(data)
-		if err != nil {
-			return
-		}
-		// The publish handler decodes the body next; bad base64 must be
-		// an error, not a panic.
-		if m.Type == msgPublish {
-			_, _ = base64.StdEncoding.DecodeString(m.Body)
-		}
-		// Every response echoes fields of the request; a decoded message
-		// must always re-encode.
-		if _, err := json.Marshal(m); err != nil {
-			t.Fatalf("decoded message does not re-encode: %v", err)
+		const limit = 1 << 10
+		br := bufio.NewReader(bytes.NewReader(data))
+		var buf []byte
+		c := BinaryCodec()
+		for i := 0; i < 8; i++ {
+			frame, err := c.ReadFrame(br, buf, limit)
+			if err != nil {
+				if _, ok := err.(*FrameTooLargeError); ok {
+					buf = frame
+					continue // oversized frames are discarded, stream stays usable
+				}
+				return
+			}
+			if len(frame) > limit {
+				t.Fatalf("frame of %d bytes exceeds limit %d", len(frame), limit)
+			}
+			var m Message
+			_ = c.DecodeFrame(frame, &m)
+			buf = frame
 		}
 	})
 }

@@ -9,9 +9,10 @@ import (
 )
 
 // This file is the transport's unified options-based configuration
-// surface. NewServer and Dial take variadic functional options; the
-// former ServerOptions/ClientOptions structs survive only as inputs to
-// the deprecated NewServerWith/DialWith wrappers.
+// surface: NewServer and Dial take variadic functional options. (The
+// pre-options ServerOptions/ClientOptions structs and their
+// NewServerWith/DialWith wrappers are gone; build option lists
+// instead.)
 
 // serverConfig is the resolved server configuration.
 type serverConfig struct {
@@ -20,6 +21,8 @@ type serverConfig struct {
 	telemetry    *telemetry.Registry
 	spans        *telemetry.SpanCollector
 	listener     net.Listener // non-nil overrides addr
+	codecs       []Codec      // negotiable codecs; nil = binary+json
+	maxFrame     int          // frame-size limit; 0 = DefaultMaxFrame
 }
 
 // ServerOption configures a transport Server.
@@ -62,6 +65,33 @@ func WithListener(ln net.Listener) ServerOption {
 	return func(c *serverConfig) { c.listener = ln }
 }
 
+// WithCodec sets the codecs the server is willing to negotiate, in
+// server preference order (the client's offer order wins; this set
+// only gates membership). The default is BinaryCodec then JSONCodec.
+// Whatever the set, every connection starts — and a peer that never
+// negotiates stays — in line-delimited JSON: restricting the set to
+// exclude JSON only refuses *upgrades* to it, it cannot lock out
+// legacy peers. Nil codecs are ignored.
+func WithCodec(codecs ...Codec) ServerOption {
+	return func(c *serverConfig) {
+		c.codecs = c.codecs[:0]
+		for _, cd := range codecs {
+			if cd != nil {
+				c.codecs = append(c.codecs, cd)
+			}
+		}
+	}
+}
+
+// WithMaxFrame bounds the size of a single wire frame, replacing
+// DefaultMaxFrame (16 MiB). Inbound frames over the limit are
+// discarded — with an error response, keeping the connection alive —
+// and outbound frames over it fail the send with *FrameTooLargeError.
+// The hello exchange negotiates the min of both sides' limits.
+func WithMaxFrame(n int) ServerOption {
+	return func(c *serverConfig) { c.maxFrame = n }
+}
+
 // clientConfig is the resolved client configuration.
 type clientConfig struct {
 	notify       func(Notification)
@@ -85,6 +115,9 @@ type clientConfig struct {
 	onState     func(ConnState)
 
 	ringVersion func() uint64
+
+	codecs   []Codec // negotiation preference order; nil = binary+json
+	maxFrame int     // frame-size limit; 0 = DefaultMaxFrame
 }
 
 // defaultClientConfig returns the pre-option client configuration.
@@ -119,6 +152,12 @@ func (c *clientConfig) resolve() {
 			var d net.Dialer
 			return d.DialContext(ctx, "tcp", addr)
 		}
+	}
+	if len(c.codecs) == 0 {
+		c.codecs = defaultCodecs()
+	}
+	if c.maxFrame <= 0 {
+		c.maxFrame = DefaultMaxFrame
 	}
 }
 
@@ -235,6 +274,33 @@ func WithDialFunc(fn func(ctx context.Context, addr string) (net.Conn, error)) C
 	}
 }
 
+// WithPreferredCodec sets the codecs this client offers at hello
+// time, in preference order; the server picks the first it supports.
+// The default is BinaryCodec then JSONCodec. Passing only JSONCodec
+// pins the connection to plain line-JSON and skips the hello entirely
+// — byte-identical to the pre-negotiation protocol, for peers that
+// predate it. Nil codecs are ignored; reconnects renegotiate with the
+// same preferences.
+func WithPreferredCodec(codecs ...Codec) ClientOption {
+	return func(c *clientConfig) {
+		c.codecs = c.codecs[:0]
+		for _, cd := range codecs {
+			if cd != nil {
+				c.codecs = append(c.codecs, cd)
+			}
+		}
+	}
+}
+
+// WithClientMaxFrame bounds the size of a single wire frame for this
+// client, replacing DefaultMaxFrame (16 MiB). Oversized inbound
+// frames are discarded without severing the connection; oversized
+// sends fail with *FrameTooLargeError. The hello exchange negotiates
+// the min of both sides' limits.
+func WithClientMaxFrame(n int) ClientOption {
+	return func(c *clientConfig) { c.maxFrame = n }
+}
+
 // WithRingVersion stamps every outgoing request with the sender's
 // current cluster ring version (re-evaluated per attempt, so retries
 // after a stale-ring rejection carry the refreshed view). Cluster
@@ -281,48 +347,3 @@ func (s ConnState) String() string {
 	}
 }
 
-// ServerOptions tunes a transport server.
-//
-// Deprecated: configure NewServer with ServerOption values instead.
-type ServerOptions struct {
-	// IdleTimeout bounds how long a connection may stay silent. 0 means
-	// DefaultIdleTimeout; negative disables the read deadline.
-	IdleTimeout time.Duration
-	// WriteTimeout bounds each outbound message write. 0 means
-	// DefaultWriteTimeout; negative disables.
-	WriteTimeout time.Duration
-	// Telemetry, when non-nil, receives transport metrics.
-	Telemetry *telemetry.Registry
-}
-
-// NewServerWith starts a TCP server with explicit options.
-//
-// Deprecated: use NewServer with ServerOption values.
-func NewServerWith(b *Broker, addr string, opts ServerOptions) (*Server, error) {
-	return NewServer(b, addr,
-		WithIdleTimeout(opts.IdleTimeout),
-		WithWriteTimeout(opts.WriteTimeout),
-		WithServerTelemetry(opts.Telemetry))
-}
-
-// ClientOptions tunes a transport client.
-//
-// Deprecated: configure Dial with ClientOption values instead.
-type ClientOptions struct {
-	// WriteTimeout bounds each request write. 0 means
-	// DefaultWriteTimeout; negative disables.
-	WriteTimeout time.Duration
-	// Telemetry, when non-nil, receives client metrics.
-	Telemetry *telemetry.Registry
-}
-
-// DialWith connects to a broker server with explicit options.
-//
-// Deprecated: use Dial with ClientOption values (WithNotify for the
-// notification callback).
-func DialWith(ctx context.Context, addr string, onNotify func(Notification), opts ClientOptions) (*Client, error) {
-	return Dial(ctx, addr,
-		WithNotify(onNotify),
-		WithClientWriteTimeout(opts.WriteTimeout),
-		WithClientTelemetry(opts.Telemetry))
-}

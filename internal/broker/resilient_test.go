@@ -209,7 +209,9 @@ func TestExchangeCleansUpPendingOnCancellation(t *testing.T) {
 		}
 	}()
 
-	c, err := Dial(context.Background(), ln.Addr().String())
+	// The fake server never responds, so it cannot answer a codec
+	// hello either: pin the legacy no-handshake JSON mode.
+	c, err := Dial(context.Background(), ln.Addr().String(), WithPreferredCodec(JSONCodec()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,6 +264,7 @@ func TestHeartbeatSeversSilentConnection(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	var disconnected atomic.Bool
 	c, err := Dial(context.Background(), ln.Addr().String(),
+		WithPreferredCodec(JSONCodec()), // black-hole server cannot answer a hello
 		WithHeartbeat(10*time.Millisecond, 50*time.Millisecond),
 		WithClientTelemetry(reg),
 		WithConnStateHook(func(st ConnState) {
@@ -294,7 +297,7 @@ func TestPublishIsNeverRetried(t *testing.T) {
 	pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
 	defer cancel()
 	start := time.Now()
-	_, err = c.Publish(pctx, Content{ID: "once", Topics: []string{"t"}, Body: []byte("x")})
+	_, err = c.Publish(pctx, Content{ID: "once", Version: 1, Topics: []string{"t"}, Body: []byte("x")})
 	if err == nil {
 		// The sever raced the reconnect and the publish legitimately
 		// went through exactly once — also correct. Verify singleness.
@@ -308,22 +311,33 @@ func TestPublishIsNeverRetried(t *testing.T) {
 	}
 }
 
-func TestDeprecatedWrappersStillWork(t *testing.T) {
+func TestOptionConstructorsCoverServerAndClient(t *testing.T) {
 	b := New()
-	s, err := NewServerWith(b, "127.0.0.1:0", ServerOptions{IdleTimeout: time.Minute})
+	s, err := NewServer(b, "127.0.0.1:0",
+		WithIdleTimeout(time.Minute),
+		WithWriteTimeout(5*time.Second),
+		WithMaxFrame(1<<20),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer s.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	c, err := DialWith(ctx, s.Addr(), nil, ClientOptions{})
+	c, err := Dial(ctx, s.Addr(),
+		WithDialTimeout(2*time.Second),
+		WithRequestTimeout(2*time.Second),
+		WithClientMaxFrame(1<<20),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
 	if err := c.Ping(ctx); err != nil {
 		t.Fatal(err)
+	}
+	if got := c.Codec(); got != codecBinary {
+		t.Fatalf("negotiated codec = %q, want %q", got, codecBinary)
 	}
 }
 

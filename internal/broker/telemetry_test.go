@@ -110,7 +110,7 @@ func (f pushSinkFunc) Push(c Content, matched int) { f(c, matched) }
 func TestTransportMetricsRoundTrip(t *testing.T) {
 	b := New()
 	reg := telemetry.NewRegistry()
-	s, err := NewServerWith(b, "127.0.0.1:0", ServerOptions{Telemetry: reg})
+	s, err := NewServer(b, "127.0.0.1:0", WithServerTelemetry(reg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestTransportMetricsRoundTrip(t *testing.T) {
 
 	clientReg := telemetry.NewRegistry()
 	ctx := context.Background()
-	c, err := DialWith(ctx, s.Addr(), func(Notification) {}, ClientOptions{Telemetry: clientReg})
+	c, err := Dial(ctx, s.Addr(), WithNotify(func(Notification) {}), WithClientTelemetry(clientReg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,10 +195,10 @@ func TestTransportMetricsRoundTrip(t *testing.T) {
 func TestServerIdleTimeoutClosesSilentConnection(t *testing.T) {
 	b := New()
 	reg := telemetry.NewRegistry()
-	s, err := NewServerWith(b, "127.0.0.1:0", ServerOptions{
-		IdleTimeout: 30 * time.Millisecond,
-		Telemetry:   reg,
-	})
+	s, err := NewServer(b, "127.0.0.1:0",
+		WithIdleTimeout(30*time.Millisecond),
+		WithServerTelemetry(reg),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +223,7 @@ func TestServerIdleTimeoutClosesSilentConnection(t *testing.T) {
 func TestServerBadMessageCounted(t *testing.T) {
 	b := New()
 	reg := telemetry.NewRegistry()
-	s, err := NewServerWith(b, "127.0.0.1:0", ServerOptions{Telemetry: reg})
+	s, err := NewServer(b, "127.0.0.1:0", WithServerTelemetry(reg))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,8 +3,6 @@ package broker
 import (
 	"bufio"
 	"context"
-	"encoding/base64"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -16,60 +14,14 @@ import (
 	"pubsubcd/internal/telemetry"
 )
 
-// The wire protocol is line-delimited JSON over TCP. Each request line is
-// a message with a "type" field; the server answers every request with
-// exactly one response line (echoing the request's "seq" so clients can
-// correlate concurrent requests), and additionally sends asynchronous
-// "notify" lines to connections holding subscriptions. "ping" requests
-// support client-side liveness probing.
-
-// wireMessage is the on-the-wire envelope.
-type wireMessage struct {
-	Type string `json:"type"`
-	// Seq correlates a request with its response: the server echoes it.
-	// 0 (clients that never set it, and ping probes) means
-	// uncorrelated.
-	Seq uint64 `json:"seq,omitempty"`
-	// Request fields.
-	ID       string   `json:"id,omitempty"`
-	Version  int      `json:"version,omitempty"`
-	Topics   []string `json:"topics,omitempty"`
-	Keywords []string `json:"keywords,omitempty"`
-	Proxy    int      `json:"proxy,omitempty"`
-	Body     string   `json:"body,omitempty"` // base64
-	// Response fields.
-	OK      bool   `json:"ok,omitempty"`
-	Error   string `json:"error,omitempty"`
-	Matched int    `json:"matched,omitempty"`
-	SubID   int64  `json:"subId,omitempty"`
-	// Notification payload.
-	Notification *Notification `json:"notification,omitempty"`
-	// Cluster routing headers. Ring is the sender's ring version (0 =
-	// not clustered); a clustered backend rejects requests routed with
-	// a stale view so the sender re-resolves ownership. Part is the
-	// target partition plus one (0 = unrouted), so partition 0 survives
-	// omitempty.
-	Ring uint64 `json:"ring,omitempty"`
-	Part int    `json:"part,omitempty"`
-	// Trace is the optional distributed-trace context of the sender
-	// ("<32 hex trace ID>-<16 hex span ID>", see telemetry.SpanContext).
-	// Peers that predate tracing ignore the field; receivers treat a
-	// malformed value as absent — propagation is best-effort and never
-	// fails a request.
-	Trace string `json:"trace,omitempty"`
-}
-
-// decodeWireMessage parses one request line off the wire. It is the
-// single entry point for untrusted bytes (and the FuzzDecodeFrame
-// target): any []byte must either yield a message or an error — never
-// a panic.
-func decodeWireMessage(line []byte) (wireMessage, error) {
-	var m wireMessage
-	if err := json.Unmarshal(line, &m); err != nil {
-		return wireMessage{}, err
-	}
-	return m, nil
-}
+// The wire protocol is framed messages over TCP, in one of the codecs
+// defined in codec.go / codec_binary.go (every connection starts in
+// line-delimited JSON; a "hello" exchange upgrades it). Each request
+// is a message with a type; the server answers every request with
+// exactly one response frame (echoing the request's "seq" so clients
+// can correlate concurrent requests), and additionally sends
+// asynchronous "notify" frames to connections holding subscriptions.
+// "ping" requests support client-side liveness probing.
 
 const (
 	msgSubscribe   = "subscribe"
@@ -80,6 +32,7 @@ const (
 	msgNotify      = "notify"
 	msgResponse    = "response"
 	msgHandoff     = "handoff"
+	msgHello       = "hello"
 )
 
 // Backend is the surface a Server fronts. *Broker implements it; a
@@ -180,14 +133,16 @@ type serverMetrics struct {
 	writeTimeouts *telemetry.Counter
 	badMessages   *telemetry.Counter
 	notifySends   *telemetry.Counter
+	flushes       *telemetry.Counter
 	recv          map[string]*telemetry.Counter
 	handleNanos   map[string]*telemetry.Histogram
+	negotiated    map[string]*telemetry.Counter // per negotiated codec name
 }
 
 // wireTypes are the request types the server accounts per-type.
-var wireTypes = []string{msgSubscribe, msgUnsubscribe, msgPublish, msgFetch, msgPing, msgHandoff}
+var wireTypes = []string{msgSubscribe, msgUnsubscribe, msgPublish, msgFetch, msgPing, msgHandoff, msgHello}
 
-func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
+func newServerMetrics(reg *telemetry.Registry, codecs []Codec) *serverMetrics {
 	if reg == nil {
 		return nil
 	}
@@ -201,13 +156,18 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 		writeTimeouts: reg.Counter("transport.server.write_timeouts"),
 		badMessages:   reg.Counter("transport.server.bad_messages"),
 		notifySends:   reg.Counter("transport.server.notify_sends"),
+		flushes:       reg.Counter("transport.server.flushes"),
 		recv:          make(map[string]*telemetry.Counter, len(wireTypes)+1),
 		handleNanos:   make(map[string]*telemetry.Histogram, len(wireTypes)+1),
+		negotiated:    make(map[string]*telemetry.Counter, len(codecs)),
 	}
 	lat := telemetry.LatencyBuckets()
 	for _, t := range append([]string{"unknown"}, wireTypes...) {
 		m.recv[t] = reg.Counter("transport.server.recv." + t)
 		m.handleNanos[t] = reg.Histogram("transport.server.handle_ns."+t, lat)
+	}
+	for _, c := range codecs {
+		m.negotiated[c.Name()] = reg.Counter("transport.server.negotiated." + c.Name())
 	}
 	return m
 }
@@ -237,6 +197,8 @@ type Server struct {
 	ln           net.Listener
 	idleTimeout  time.Duration
 	writeTimeout time.Duration
+	codecs       []Codec // negotiable set, in server preference order
+	maxFrame     int
 	metrics      *serverMetrics
 	spans        *telemetry.SpanCollector // nil = tracing off
 
@@ -269,12 +231,22 @@ func NewServer(b Backend, addr string, opts ...ServerOption) (*Server, error) {
 			return nil, fmt.Errorf("broker: listen: %w", err)
 		}
 	}
+	codecs := cfg.codecs
+	if len(codecs) == 0 {
+		codecs = defaultCodecs()
+	}
+	maxFrame := cfg.maxFrame
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
 	s := &Server{
 		backend:      b,
 		ln:           ln,
 		idleTimeout:  defaultTimeout(cfg.idleTimeout, DefaultIdleTimeout),
 		writeTimeout: defaultTimeout(cfg.writeTimeout, DefaultWriteTimeout),
-		metrics:      newServerMetrics(cfg.telemetry),
+		codecs:       codecs,
+		maxFrame:     maxFrame,
+		metrics:      newServerMetrics(cfg.telemetry, codecs),
 		spans:        cfg.spans,
 		conns:        make(map[net.Conn]struct{}),
 	}
@@ -398,58 +370,26 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// countingWriter counts bytes written through it into a telemetry
-// counter (nil counter counts nothing).
-type countingWriter struct {
-	w net.Conn
-	c *telemetry.Counter
-}
-
-func (cw *countingWriter) Write(p []byte) (int, error) {
-	n, err := cw.w.Write(p)
-	if cw.c != nil && n > 0 {
-		cw.c.Add(int64(n))
-	}
-	return n, err
-}
-
-// connWriter serialises concurrent writes (responses vs notifications)
-// and bounds each write with a deadline so a stalled peer cannot wedge
-// the writing goroutine.
-type connWriter struct {
-	mu           sync.Mutex
-	conn         net.Conn
-	enc          *json.Encoder
-	writeTimeout time.Duration
-	timeouts     *telemetry.Counter // nil when telemetry is off
-}
-
-func newConnWriter(conn net.Conn, writeTimeout time.Duration, bytesOut, timeouts *telemetry.Counter) *connWriter {
-	return &connWriter{
-		conn:         conn,
-		enc:          json.NewEncoder(&countingWriter{w: conn, c: bytesOut}),
-		writeTimeout: writeTimeout,
-		timeouts:     timeouts,
-	}
-}
-
-func (cw *connWriter) send(m wireMessage) error {
-	cw.mu.Lock()
-	defer cw.mu.Unlock()
-	if cw.writeTimeout > 0 {
-		_ = cw.conn.SetWriteDeadline(time.Now().Add(cw.writeTimeout))
-	}
-	err := cw.enc.Encode(m)
-	if err != nil && cw.timeouts != nil && isTimeout(err) {
-		cw.timeouts.Inc()
-	}
-	return err
-}
-
 // isTimeout reports whether err is a network timeout.
 func isTimeout(err error) bool {
 	var ne net.Error
 	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// negotiateCodec picks the first codec of the client's offer that the
+// server also supports, and the effective frame limit (min of both
+// sides). A nil codec means no overlap; the connection stays on JSON.
+func (s *Server) negotiateCodec(m *Message) (Codec, int) {
+	for _, name := range m.Codecs {
+		if c := codecByName(s.codecs, name); c != nil {
+			limit := s.maxFrame
+			if m.MaxFrame > 0 && m.MaxFrame < limit {
+				limit = m.MaxFrame
+			}
+			return c, limit
+		}
+	}
+	return nil, 0
 }
 
 func (s *Server) handle(conn net.Conn) {
@@ -470,11 +410,18 @@ func (s *Server) handle(conn net.Conn) {
 		}
 	}()
 
-	var bytesOut, writeTimeouts *telemetry.Counter
+	var bytesIn, bytesOut, writeTimeouts, flushes *telemetry.Counter
 	if sm != nil {
-		bytesOut, writeTimeouts = sm.bytesOut, sm.writeTimeouts
+		bytesIn, bytesOut = sm.bytesIn, sm.bytesOut
+		writeTimeouts, flushes = sm.writeTimeouts, sm.flushes
 	}
-	cw := newConnWriter(conn, s.writeTimeout, bytesOut, writeTimeouts)
+	// Every connection starts in JSON at the server-wide frame limit; a
+	// hello exchange may upgrade both.
+	codec := Codec(jsonCodec{})
+	maxFrame := s.maxFrame
+	br := bufio.NewReaderSize(&countingReader{r: conn, c: bytesIn}, readBufSize)
+	cw := newConnWriter(conn, codec, maxFrame, s.writeTimeout, bytesOut, writeTimeouts, flushes)
+
 	var subIDs []int64
 	defer func() {
 		// A client that left gets its subscriptions cleaned up. A server
@@ -491,9 +438,12 @@ func (s *Server) handle(conn net.Conn) {
 			_ = s.backend.Unsubscribe(id)
 		}
 	}()
+	// Drain pending responses before the conn closes (the deferred
+	// closes above run after this one).
+	defer cw.closeFlush(s.writeTimeout)
 
-	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var rbuf []byte
+	var m, resp Message
 	for {
 		if s.idleTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
@@ -503,28 +453,76 @@ func (s *Server) handle(conn net.Conn) {
 		if s.draining() {
 			return
 		}
-		if !scanner.Scan() {
-			if sm != nil && isTimeout(scanner.Err()) {
+		payload, err := codec.ReadFrame(br, rbuf, maxFrame)
+		if payload != nil {
+			rbuf = payload
+		}
+		if err != nil {
+			var tle *FrameTooLargeError
+			if errors.As(err, &tle) {
+				// The oversized frame was discarded; the connection (and
+				// its subscriptions) survives.
+				if sm != nil {
+					sm.badMessages.Inc()
+				}
+				if cw.send(&Message{Type: msgResponse, Error: err.Error()}) != nil {
+					return
+				}
+				continue
+			}
+			if sm != nil && isTimeout(err) {
 				sm.readTimeouts.Inc()
 			}
 			return
 		}
-		m, err := decodeWireMessage(scanner.Bytes())
-		if err != nil {
+		if err := codec.DecodeFrame(payload, &m); err != nil {
 			if sm != nil {
 				sm.badMessages.Inc()
 			}
-			_ = cw.send(wireMessage{Type: msgResponse, Error: "malformed message: " + err.Error()})
+			if cw.send(&Message{Type: msgResponse, Error: "malformed message: " + err.Error()}) != nil {
+				return
+			}
 			continue
 		}
 		var start time.Time
 		if sm != nil {
-			sm.bytesIn.Add(int64(len(scanner.Bytes()) + 1))
 			sm.recv[sm.key(m.Type)].Inc()
 			start = time.Now()
 		}
+		if m.Type == msgHello {
+			sel, limit := s.negotiateCodec(&m)
+			resp = Message{Type: msgResponse, Seq: m.Seq}
+			if sel == nil {
+				resp.Error = fmt.Sprintf("no mutually supported codec (server supports %v)", codecNames(s.codecs))
+			} else {
+				resp.OK = true
+				resp.Codec = sel.Name()
+				resp.MaxFrame = limit
+			}
+			if rv, ok := s.backend.(RingVersioner); ok {
+				resp.Ring = rv.RingVersion()
+			}
+			if sm != nil {
+				sm.handleNanos[sm.key(m.Type)].Observe(time.Since(start).Nanoseconds())
+			}
+			// The response rides the old codec; the switch below cannot
+			// affect it because frames encode at append time.
+			if err := cw.send(&resp); err != nil {
+				return
+			}
+			if sel != nil {
+				codec, maxFrame = sel, limit
+				cw.setCodec(sel, limit)
+				if sm != nil {
+					if c, ok := sm.negotiated[sel.Name()]; ok {
+						c.Inc()
+					}
+				}
+			}
+			continue
+		}
 		ctx, sp := s.requestSpan(&m)
-		resp := s.dispatch(ctx, &m, cw, &subIDs)
+		resp = s.dispatch(ctx, &m, cw, &subIDs)
 		if sp != nil {
 			if resp.Error != "" {
 				sp.SetError(errors.New(resp.Error))
@@ -538,8 +536,18 @@ func (s *Server) handle(conn net.Conn) {
 		if rv, ok := s.backend.(RingVersioner); ok {
 			resp.Ring = rv.RingVersion()
 		}
-		if err := cw.send(resp); err != nil {
-			return
+		if err := cw.send(&resp); err != nil {
+			var tle *FrameTooLargeError
+			if !errors.As(err, &tle) {
+				return
+			}
+			// The response (e.g. a fetched page) exceeds the negotiated
+			// frame limit: report that instead of silently dropping the
+			// reply or severing the stream.
+			resp = Message{Type: msgResponse, Seq: m.Seq, Error: err.Error()}
+			if cw.send(&resp) != nil {
+				return
+			}
 		}
 	}
 }
@@ -548,7 +556,7 @@ func (s *Server) handle(conn net.Conn) {
 // incoming frame's trace context (if any) becomes the remote parent
 // and a transport.server.<type> span wraps the dispatch. With tracing
 // off it returns a background context and a nil span.
-func (s *Server) requestSpan(m *wireMessage) (context.Context, *telemetry.Span) {
+func (s *Server) requestSpan(m *Message) (context.Context, *telemetry.Span) {
 	if s.spans == nil {
 		return context.Background(), nil
 	}
@@ -573,17 +581,33 @@ type connNotifier struct {
 
 func (cn connNotifier) Notify(n Notification) { cn.NotifyContext(context.Background(), n) }
 
+// notifyMsgPool recycles notify envelopes so the fan-out hot path —
+// one send per matched subscription per publish — allocates nothing.
+// Safe because send() encodes synchronously: once it returns, the
+// message's bytes are in the batch and the envelope is free.
+var notifyMsgPool = sync.Pool{New: func() any { return new(Message) }}
+
 func (cn connNotifier) NotifyContext(ctx context.Context, n Notification) {
-	m := wireMessage{Type: msgNotify, Notification: &n}
-	_, sp := telemetry.StartSpan(ctx, "transport.server.notify")
-	if sp != nil {
-		sp.SetAttr("page", n.PageID)
-		m.Trace = sp.Context().String()
-	} else if sc := telemetry.SpanContextFromContext(ctx); sc.Valid() {
-		// No local collector but the caller is traced: still propagate.
-		m.Trace = sc.String()
+	m := notifyMsgPool.Get().(*Message)
+	*m = Message{Type: msgNotify}
+	m.notifScratch = n
+	m.Notification = &m.notifScratch
+	var sp *telemetry.Span
+	// One context probe up front: an untraced publish (the steady-state
+	// fan-out path) skips span creation entirely — this runs once per
+	// matched subscription, so the context-chain walks show up.
+	if sc := telemetry.SpanContextFromContext(ctx); sc.Valid() {
+		_, sp = telemetry.StartSpan(ctx, "transport.server.notify")
+		if sp != nil {
+			sp.SetAttr("page", n.PageID)
+			m.Trace = sp.Context().String()
+		} else {
+			// No local collector but the caller is traced: still propagate.
+			m.Trace = sc.String()
+		}
 	}
 	err := cn.cw.send(m)
+	notifyMsgPool.Put(m)
 	if err == nil {
 		if sm := cn.s.metrics; sm != nil {
 			sm.notifySends.Inc()
@@ -593,13 +617,13 @@ func (cn connNotifier) NotifyContext(ctx context.Context, n Notification) {
 	sp.End()
 }
 
-func (s *Server) dispatch(ctx context.Context, m *wireMessage, cw *connWriter, subIDs *[]int64) wireMessage {
+func (s *Server) dispatch(ctx context.Context, m *Message, cw *connWriter, subIDs *[]int64) Message {
 	if m.Ring != 0 || m.Part != 0 {
 		// Handoff frames are exempt: they target a partition the
 		// receiver does not own yet — ReceiveHandoff validates them.
 		if rc, ok := s.backend.(RingChecker); ok && m.Type != msgHandoff {
 			if err := rc.CheckRing(m.Ring, m.Part-1); err != nil {
-				return wireMessage{Type: msgResponse, Error: err.Error()}
+				return Message{Type: msgResponse, Error: err.Error()}
 			}
 		}
 		ctx = withRoute(ctx, Route{Partition: m.Part - 1, Ring: m.Ring})
@@ -612,19 +636,19 @@ func (s *Server) dispatch(ctx context.Context, m *wireMessage, cw *connWriter, s
 			Keywords: m.Keywords,
 		}, connNotifier{s: s, cw: cw})
 		if err != nil {
-			return wireMessage{Type: msgResponse, Error: err.Error()}
+			return Message{Type: msgResponse, Error: err.Error()}
 		}
 		*subIDs = append(*subIDs, id)
-		return wireMessage{Type: msgResponse, OK: true, SubID: id}
+		return Message{Type: msgResponse, OK: true, SubID: id}
 	case msgUnsubscribe:
 		if err := s.backend.Unsubscribe(m.SubID); err != nil {
-			return wireMessage{Type: msgResponse, Error: err.Error()}
+			return Message{Type: msgResponse, Error: err.Error()}
 		}
-		return wireMessage{Type: msgResponse, OK: true}
+		return Message{Type: msgResponse, OK: true}
 	case msgPublish:
-		body, err := base64.StdEncoding.DecodeString(m.Body)
+		body, err := m.bodyBytes()
 		if err != nil {
-			return wireMessage{Type: msgResponse, Error: "bad body encoding: " + err.Error()}
+			return Message{Type: msgResponse, Error: "bad body encoding: " + err.Error()}
 		}
 		matched, err := s.backend.PublishContext(ctx, Content{
 			ID:       m.ID,
@@ -634,35 +658,37 @@ func (s *Server) dispatch(ctx context.Context, m *wireMessage, cw *connWriter, s
 			Body:     body,
 		})
 		if err != nil {
-			return wireMessage{Type: msgResponse, Error: err.Error()}
+			return Message{Type: msgResponse, Error: err.Error()}
 		}
-		return wireMessage{Type: msgResponse, OK: true, Matched: matched}
+		return Message{Type: msgResponse, OK: true, Matched: matched}
 	case msgFetch:
 		c, err := s.backend.FetchContext(ctx, m.ID)
 		if err != nil {
-			return wireMessage{Type: msgResponse, Error: err.Error()}
+			return Message{Type: msgResponse, Error: err.Error()}
 		}
-		return wireMessage{
+		return Message{
 			Type: msgResponse, OK: true, ID: c.ID, Version: c.Version,
 			Topics: c.Topics, Keywords: c.Keywords,
-			Body: base64.StdEncoding.EncodeToString(c.Body),
+			// Raw: the codec decides how bodies travel (the JSON codec
+			// base64s at encode time, the binary codec ships the bytes).
+			BodyRaw: c.Body,
 		}
 	case msgPing:
-		return wireMessage{Type: msgResponse, OK: true}
+		return Message{Type: msgResponse, OK: true}
 	case msgHandoff:
 		hr, ok := s.backend.(HandoffReceiver)
 		if !ok {
-			return wireMessage{Type: msgResponse, Error: "backend does not accept partition handoffs"}
+			return Message{Type: msgResponse, Error: "backend does not accept partition handoffs"}
 		}
-		payload, err := base64.StdEncoding.DecodeString(m.Body)
+		payload, err := m.bodyBytes()
 		if err != nil {
-			return wireMessage{Type: msgResponse, Error: "bad handoff encoding: " + err.Error()}
+			return Message{Type: msgResponse, Error: "bad handoff encoding: " + err.Error()}
 		}
 		if err := hr.ReceiveHandoff(ctx, m.Part-1, m.Ring, payload); err != nil {
-			return wireMessage{Type: msgResponse, Error: err.Error()}
+			return Message{Type: msgResponse, Error: err.Error()}
 		}
-		return wireMessage{Type: msgResponse, OK: true}
+		return Message{Type: msgResponse, OK: true}
 	default:
-		return wireMessage{Type: msgResponse, Error: fmt.Sprintf("unknown message type %q", m.Type)}
+		return Message{Type: msgResponse, Error: fmt.Sprintf("unknown message type %q", m.Type)}
 	}
 }

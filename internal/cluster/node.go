@@ -428,6 +428,10 @@ func (l *memberLink) get(ctx context.Context) (*broker.Client, error) {
 	dctx, cancel := context.WithTimeout(ctx, n.cfg.RequestTimeout)
 	defer cancel()
 	c, err := broker.Dial(dctx, l.addr,
+		// Inter-member traffic is all hot path (forwards, handoff
+		// streams): prefer the binary codec, falling back to JSON when
+		// a peer mid-rolling-upgrade doesn't offer it yet.
+		broker.WithPreferredCodec(broker.BinaryCodec(), broker.JSONCodec()),
 		broker.WithReconnect(broker.BackoffPolicy{}),
 		broker.WithRequestTimeout(n.cfg.RequestTimeout),
 		broker.WithDialTimeout(n.cfg.RequestTimeout),

@@ -18,8 +18,10 @@
 package match
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 )
@@ -64,18 +66,51 @@ type Engine struct {
 	mu     sync.RWMutex
 	nextID int64
 	subs   map[int64]*Subscription
-	// byTopic and byKeyword map a term to the IDs of subscriptions
-	// listing it.
-	byTopic   map[string]map[int64]struct{}
-	byKeyword map[string]map[int64]struct{}
+	// byTopic and byKeyword are posting lists: for each term, the
+	// subscriptions listing it, sorted ascending by ID. Sorted lists
+	// make matching a merge instead of a hash-set union plus sort —
+	// the publish fan-out hot path walks them without allocating.
+	byTopic   map[string][]*Subscription
+	byKeyword map[string][]*Subscription
 }
 
 // NewEngine returns an empty matching engine.
 func NewEngine() *Engine {
 	return &Engine{
 		subs:      make(map[int64]*Subscription),
-		byTopic:   make(map[string]map[int64]struct{}),
-		byKeyword: make(map[string]map[int64]struct{}),
+		byTopic:   make(map[string][]*Subscription),
+		byKeyword: make(map[string][]*Subscription),
+	}
+}
+
+// insertPosting adds sub to term's posting list, keeping it sorted by
+// ID. A term listed twice by one subscription is inserted once.
+func insertPosting(m map[string][]*Subscription, term string, sub *Subscription) {
+	list := m[term]
+	i, found := slices.BinarySearchFunc(list, sub.ID, func(s *Subscription, id int64) int {
+		return cmp.Compare(s.ID, id)
+	})
+	if found {
+		return
+	}
+	m[term] = slices.Insert(list, i, sub)
+}
+
+// removePosting removes the subscription with the given ID from term's
+// posting list, dropping the term when its list empties.
+func removePosting(m map[string][]*Subscription, term string, id int64) {
+	list := m[term]
+	i, found := slices.BinarySearchFunc(list, id, func(s *Subscription, want int64) int {
+		return cmp.Compare(s.ID, want)
+	})
+	if !found {
+		return
+	}
+	list = slices.Delete(list, i, i+1)
+	if len(list) == 0 {
+		delete(m, term)
+	} else {
+		m[term] = list
 	}
 }
 
@@ -96,20 +131,10 @@ func (e *Engine) Subscribe(sub Subscription) (int64, error) {
 	stored.Keywords = append([]string(nil), sub.Keywords...)
 	e.subs[stored.ID] = &stored
 	for _, t := range stored.Topics {
-		set, ok := e.byTopic[t]
-		if !ok {
-			set = make(map[int64]struct{})
-			e.byTopic[t] = set
-		}
-		set[stored.ID] = struct{}{}
+		insertPosting(e.byTopic, t, &stored)
 	}
 	for _, k := range stored.Keywords {
-		set, ok := e.byKeyword[k]
-		if !ok {
-			set = make(map[int64]struct{})
-			e.byKeyword[k] = set
-		}
-		set[stored.ID] = struct{}{}
+		insertPosting(e.byKeyword, k, &stored)
 	}
 	return stored.ID, nil
 }
@@ -140,20 +165,10 @@ func (e *Engine) Restore(sub Subscription) error {
 	stored.Keywords = append([]string(nil), sub.Keywords...)
 	e.subs[stored.ID] = &stored
 	for _, t := range stored.Topics {
-		set, ok := e.byTopic[t]
-		if !ok {
-			set = make(map[int64]struct{})
-			e.byTopic[t] = set
-		}
-		set[stored.ID] = struct{}{}
+		insertPosting(e.byTopic, t, &stored)
 	}
 	for _, k := range stored.Keywords {
-		set, ok := e.byKeyword[k]
-		if !ok {
-			set = make(map[int64]struct{})
-			e.byKeyword[k] = set
-		}
-		set[stored.ID] = struct{}{}
+		insertPosting(e.byKeyword, k, &stored)
 	}
 	if stored.ID > e.nextID {
 		e.nextID = stored.ID
@@ -198,20 +213,10 @@ func (e *Engine) Unsubscribe(id int64) error {
 	}
 	delete(e.subs, id)
 	for _, t := range sub.Topics {
-		if set := e.byTopic[t]; set != nil {
-			delete(set, id)
-			if len(set) == 0 {
-				delete(e.byTopic, t)
-			}
-		}
+		removePosting(e.byTopic, t, id)
 	}
 	for _, k := range sub.Keywords {
-		if set := e.byKeyword[k]; set != nil {
-			delete(set, id)
-			if len(set) == 0 {
-				delete(e.byKeyword, k)
-			}
-		}
+		removePosting(e.byKeyword, k, id)
 	}
 	return nil
 }
@@ -227,15 +232,12 @@ func (e *Engine) Len() int {
 func (e *Engine) Match(ev Event) []Subscription {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	ids := e.candidateIDs(ev)
-	out := make([]Subscription, 0, len(ids))
-	for id := range ids {
-		sub := e.subs[id]
+	var out []Subscription
+	e.forEachCandidate(ev, func(sub *Subscription) {
 		if e.matches(sub, ev) {
 			out = append(out, *sub)
 		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	})
 	return out
 }
 
@@ -246,32 +248,92 @@ func (e *Engine) MatchCounts(ev Event) map[int]int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	counts := make(map[int]int)
-	for id := range e.candidateIDs(ev) {
-		sub := e.subs[id]
+	e.forEachCandidate(ev, func(sub *Subscription) {
 		if e.matches(sub, ev) {
 			counts[sub.Proxy]++
 		}
-	}
+	})
 	return counts
 }
 
-// candidateIDs collects subscription IDs that touch any of the event's
-// terms. A subscription with only keyword constraints is a candidate via
-// its keywords; one with topics via its topics. Exact verification happens
-// in matches.
-func (e *Engine) candidateIDs(ev Event) map[int64]struct{} {
-	ids := make(map[int64]struct{})
+// MatchRef is the identity of one matching subscription — what the
+// publish fan-out hot path consumes, without copying term slices.
+type MatchRef struct {
+	ID    int64
+	Proxy int
+}
+
+// AppendMatchRefs appends a MatchRef for every subscription matching
+// ev to dst (ascending by ID) and returns the extended slice. Callers
+// reuse dst across publishes to keep the hot path allocation-free.
+func (e *Engine) AppendMatchRefs(dst []MatchRef, ev Event) []MatchRef {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	e.forEachCandidate(ev, func(sub *Subscription) {
+		if e.matches(sub, ev) {
+			dst = append(dst, MatchRef{ID: sub.ID, Proxy: sub.Proxy})
+		}
+	})
+	return dst
+}
+
+// forEachCandidate calls fn once per distinct subscription touching any
+// of the event's terms, ascending by ID. A subscription with only
+// keyword constraints is a candidate via its keywords; one with topics
+// via its topics; exact verification happens in matches. The posting
+// lists are sorted, so distinct-and-ordered falls out of a k-way merge
+// (k = the event's term count, usually 1) with no allocation and no
+// per-match sort. Callers must hold e.mu.
+func (e *Engine) forEachCandidate(ev Event, fn func(*Subscription)) {
+	var listsArr [8][]*Subscription
+	lists := listsArr[:0]
 	for _, t := range ev.Topics {
-		for id := range e.byTopic[t] {
-			ids[id] = struct{}{}
+		if l := e.byTopic[t]; len(l) > 0 {
+			lists = append(lists, l)
 		}
 	}
 	for _, k := range ev.Keywords {
-		for id := range e.byKeyword[k] {
-			ids[id] = struct{}{}
+		if l := e.byKeyword[k]; len(l) > 0 {
+			lists = append(lists, l)
 		}
 	}
-	return ids
+	switch len(lists) {
+	case 0:
+		return
+	case 1:
+		for _, sub := range lists[0] {
+			fn(sub)
+		}
+		return
+	}
+	var idxArr [8]int
+	idx := idxArr[:]
+	if len(lists) > len(idxArr) {
+		idx = make([]int, len(lists))
+	}
+	last := int64(-1)
+	for {
+		best := -1
+		var bestID int64
+		for li, l := range lists {
+			if idx[li] >= len(l) {
+				continue
+			}
+			if id := l[idx[li]].ID; best == -1 || id < bestID {
+				best, bestID = li, id
+			}
+		}
+		if best == -1 {
+			return
+		}
+		sub := lists[best][idx[best]]
+		idx[best]++
+		if sub.ID == last {
+			continue // same subscription reached via another term
+		}
+		last = sub.ID
+		fn(sub)
+	}
 }
 
 func (e *Engine) matches(sub *Subscription, ev Event) bool {

@@ -331,14 +331,17 @@ type (
 	// resilient client (a federation link that survives peer restarts).
 	RemoteLink = broker.RemoteLink
 
-	// BrokerServerOptions tunes the TCP server.
-	//
-	// Deprecated: use BrokerServerOption values with NewBrokerServer.
-	BrokerServerOptions = broker.ServerOptions
-	// BrokerClientOptions tunes the TCP client.
-	//
-	// Deprecated: use BrokerClientOption values with DialBroker.
-	BrokerClientOptions = broker.ClientOptions
+	// WireCodec encodes and decodes transport frames. Implementations
+	// negotiate by name at connection time; see BinaryCodec and
+	// JSONCodec for the built-ins, and WithCodec / WithPreferredCodec
+	// to install custom ones.
+	WireCodec = broker.Codec
+	// WireMessage is one transport frame — the unit a WireCodec
+	// encodes and decodes.
+	WireMessage = broker.Message
+	// FrameTooLargeError reports a frame exceeding the negotiated
+	// frame-size limit, on either the read or the write side.
+	FrameTooLargeError = broker.FrameTooLargeError
 )
 
 // Client connection states.
@@ -494,21 +497,38 @@ func NewBrokerServer(b *Broker, addr string, opts ...BrokerServerOption) (*Broke
 	return broker.NewServer(b, addr, opts...)
 }
 
-// NewBrokerServerWith serves a broker over TCP with explicit options.
-//
-// Deprecated: use NewBrokerServer with BrokerServerOption values.
-var NewBrokerServerWith = broker.NewServerWith
-
 // DialBroker connects to a broker server, configured by functional
 // options (WithNotify, WithReconnect, ...).
 func DialBroker(ctx context.Context, addr string, opts ...BrokerClientOption) (*BrokerClient, error) {
 	return broker.Dial(ctx, addr, opts...)
 }
 
-// DialBrokerWith connects to a broker server with explicit options.
-//
-// Deprecated: use DialBroker with BrokerClientOption values.
-var DialBrokerWith = broker.DialWith
+// Wire codecs. Connections start on line-JSON; clients that prefer
+// the binary codec negotiate it during the hello handshake, and
+// either side falls back to JSON when the peer does not speak it.
+var (
+	// BinaryCodec returns the length-prefixed binary wire codec (the
+	// default first preference of clients and servers).
+	BinaryCodec = broker.BinaryCodec
+	// JSONCodec returns the line-delimited JSON wire codec — the
+	// pre-negotiation format every connection starts in.
+	JSONCodec = broker.JSONCodec
+	// CodecByName resolves a built-in codec by its wire name
+	// ("binary", "json").
+	CodecByName = broker.CodecByName
+	// WithCodec restricts the codecs a server will negotiate up to.
+	WithCodec = broker.WithCodec
+	// WithPreferredCodec sets the client's codec preference order.
+	WithPreferredCodec = broker.WithPreferredCodec
+	// WithMaxFrame caps the server's accepted frame size.
+	WithMaxFrame = broker.WithMaxFrame
+	// WithClientMaxFrame caps the client's accepted frame size.
+	WithClientMaxFrame = broker.WithClientMaxFrame
+)
+
+// DefaultMaxFrame is the frame-size limit both sides apply when no
+// explicit limit is configured.
+const DefaultMaxFrame = broker.DefaultMaxFrame
 
 // NewProxy attaches a caching proxy to a broker, configured by
 // functional options (fetch path, origin fallback, telemetry).

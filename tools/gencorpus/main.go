@@ -17,6 +17,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+
+	"pubsubcd/internal/broker"
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -78,6 +80,29 @@ func main() {
 	writeSeed(bdir, "wrong_field_type", []byte(`{"type":"publish","version":"not-an-int"}`))
 	writeSeed(bdir, "truncated_json", []byte(`{"type":"subscribe","topics":["ne`))
 	writeSeed(bdir, "deep_nesting", []byte(`{"type":{"type":{"type":{}}}}`))
+
+	// Binary-codec seeds: real frames (minus the length prefix the
+	// reader strips) built with the codec itself, plus corrupted
+	// variants, so the fuzzer starts from structurally valid input on
+	// both sides of the codec seam.
+	binFrame := func(m *broker.Message) []byte {
+		frame, err := broker.BinaryCodec().AppendFrame(nil, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return frame[4:]
+	}
+	binSub := binFrame(&broker.Message{Type: "subscribe", Seq: 9, Topics: []string{"news"}, Keywords: []string{"go"}, Proxy: 2})
+	writeSeed(bdir, "bin_subscribe", binSub)
+	writeSeed(bdir, "bin_publish", binFrame(&broker.Message{Type: "publish", Seq: 3, ID: "page-1", Version: 4, Topics: []string{"a"}, BodyRaw: []byte("hello world")}))
+	writeSeed(bdir, "bin_notify", binFrame(&broker.Message{Type: "notify", Notification: &broker.Notification{PageID: "p", Version: 2, Size: 11, SubscriptionID: 7}}))
+	writeSeed(bdir, "bin_hello", binFrame(&broker.Message{Type: "hello", Seq: 1, Codecs: []string{"binary", "json"}, MaxFrame: 1 << 20}))
+	writeSeed(bdir, "bin_response_error", binFrame(&broker.Message{Type: "response", Seq: 3, Error: "boom"}))
+	writeSeed(bdir, "bin_truncated", binSub[:len(binSub)/2])
+	binBadTag := append(append([]byte{}, binSub...), 0xff, 0xff, 0xff)
+	writeSeed(bdir, "bin_trailing_garbage", binBadTag)
+	writeSeed(bdir, "bin_type_only", binSub[:1])
+	writeSeed(bdir, "bin_empty", nil)
 
 	fmt.Println("corpora regenerated")
 }
