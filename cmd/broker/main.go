@@ -159,6 +159,9 @@ func run(args []string, stop <-chan struct{}, out *os.File) error {
 	writeTimeout := fs.Duration("write-timeout", 0, "bound each outbound write (0 = default, negative disables)")
 	codecs := fs.String("codecs", "", "comma-separated wire codecs this server offers, most preferred first (empty = binary,json; \"json\" pins legacy framing)")
 	maxFrame := fs.Int("max-frame", 0, "largest wire frame in bytes accepted or announced (0 = default 16 MiB)")
+	slowConsumer := fs.String("slow-consumer-policy", "block", "what to do with a subscriber that stops reading notifications: block, drop-oldest or sever")
+	maxPendingPerConn := fs.Int64("max-pending-per-conn", 0, "bytes of notifications queued toward one connection before the slow-consumer policy applies (0 = default 256 KiB)")
+	shedWatermark := fs.Int64("shed-watermark", 0, "broker-wide pending fan-out bytes above which admission control sheds load (0 disables admission control)")
 	uplink := fs.String("uplink", "", "remote broker address to bridge into this one (empty disables)")
 	uplinkTopics := fs.String("uplink-topics", "", "comma-separated topics to subscribe for on the uplink")
 	uplinkKeywords := fs.String("uplink-keywords", "", "comma-separated keywords to subscribe for on the uplink")
@@ -225,6 +228,20 @@ func run(args []string, stop <-chan struct{}, out *os.File) error {
 	if *dataDir != "" && *snapshotInterval <= 0 {
 		return fmt.Errorf("usage: -snapshot-interval must be positive with -data-dir, got %v", *snapshotInterval)
 	}
+	slowPolicy, err := broker.ParseSlowConsumerPolicy(*slowConsumer)
+	if err != nil {
+		return fmt.Errorf("usage: -slow-consumer-policy: %w", err)
+	}
+	if *maxPendingPerConn < 0 {
+		return fmt.Errorf("usage: -max-pending-per-conn must be non-negative, got %d", *maxPendingPerConn)
+	}
+	if *shedWatermark < 0 {
+		return fmt.Errorf("usage: -shed-watermark must be non-negative, got %d", *shedWatermark)
+	}
+	var admission broker.AdmissionConfig
+	if *shedWatermark > 0 {
+		admission = broker.AdmissionConfig{PendingHighBytes: *shedWatermark}
+	}
 	logger, err := telemetry.NewLogger(out, *logLevel, *logFormat)
 	if err != nil {
 		return fmt.Errorf("usage: %w", err)
@@ -233,6 +250,9 @@ func run(args []string, stop <-chan struct{}, out *os.File) error {
 	serverOpts := []broker.ServerOption{
 		broker.WithIdleTimeout(*idleTimeout),
 		broker.WithWriteTimeout(*writeTimeout),
+		broker.WithSlowConsumerPolicy(slowPolicy),
+		broker.WithMaxPendingPerConn(*maxPendingPerConn),
+		broker.WithAdmissionControl(admission),
 	}
 	if *codecs != "" {
 		named, err := codecsByName(*codecs)
@@ -312,16 +332,19 @@ func run(args []string, stop <-chan struct{}, out *os.File) error {
 	}
 	if peers != nil {
 		node, err := cluster.Start(cluster.Config{
-			NodeID:            *nodeID,
-			Addr:              *addr,
-			Peers:             peers,
-			Partitions:        *partitions,
-			DataDir:           *dataDir,
-			Fsync:             fsyncPolicy,
-			SnapshotInterval:  *snapshotInterval,
-			Registry:          reg,
-			Spans:             spans,
-			HeartbeatInterval: *clusterHeartbeat,
+			NodeID:             *nodeID,
+			Addr:               *addr,
+			Peers:              peers,
+			Partitions:         *partitions,
+			DataDir:            *dataDir,
+			Fsync:              fsyncPolicy,
+			SnapshotInterval:   *snapshotInterval,
+			Registry:           reg,
+			Spans:              spans,
+			HeartbeatInterval:  *clusterHeartbeat,
+			SlowConsumerPolicy: slowPolicy,
+			MaxPendingPerConn:  *maxPendingPerConn,
+			Admission:          admission,
 		})
 		if err != nil {
 			return err
@@ -330,6 +353,12 @@ func run(args []string, stop <-chan struct{}, out *os.File) error {
 			admin.RegisterHealthCheck("cluster", func() error {
 				if !node.Ring().HasMember(node.NodeID()) {
 					return fmt.Errorf("node %s retired from the ring", node.NodeID())
+				}
+				return nil
+			})
+			admin.RegisterHealthCheck("overload", func() error {
+				if state, reason := node.OverloadState(); state == "overloaded" {
+					return fmt.Errorf("admission overloaded: %s", reason)
 				}
 				return nil
 			})
@@ -378,6 +407,15 @@ func run(args []string, stop <-chan struct{}, out *os.File) error {
 		admin.RegisterHealthCheck("listener", func() error {
 			if !srv.Accepting() {
 				return fmt.Errorf("listener draining")
+			}
+			return nil
+		})
+		// Degraded under sustained overload: admission control has
+		// crossed its high watermark and is rejecting publishes, so the
+		// balancer should route new work elsewhere until it recovers.
+		admin.RegisterHealthCheck("overload", func() error {
+			if state, reason := srv.OverloadState(); state == "overloaded" {
+				return fmt.Errorf("admission overloaded: %s", reason)
 			}
 			return nil
 		})

@@ -193,6 +193,12 @@ func renderFrame(w io.Writer, snap fleet.Snapshot, slo fleet.SLOReport, rates ma
 	fmt.Fprintf(w, "  burn rate  %.2fx over %.0fs window [%s]\n\n",
 		slo.Window.BurnRate, slo.Window.Seconds, burn)
 
+	// Overload plane: admission state, fan-out backlog, shed work.
+	if row := overloadRow(snap); row != "" {
+		fmt.Fprintln(w, row)
+		fmt.Fprintln(w)
+	}
+
 	// Hit ratio by strategy from the labeled sim counters.
 	if byStrat := hitRatioByStrategy(snap.Merged.Counters); len(byStrat) > 0 {
 		fmt.Fprintln(w, "hit ratio by strategy")
@@ -233,6 +239,48 @@ func renderFrame(w io.Writer, snap fleet.Snapshot, slo fleet.SLOReport, rates ma
 	if len(snap.Skipped) > 0 {
 		fmt.Fprintf(w, "\nskipped histograms (bucket layout mismatch): %s\n", strings.Join(snap.Skipped, ", "))
 	}
+}
+
+// overloadRow summarizes the fleet's overload plane: the worst node's
+// admission state, fleet-wide pending fan-out bytes, and cumulative
+// shed / slow-consumer actions. Empty when no node exports the plane
+// (pre-overload-control brokers), so old fleets render unchanged.
+func overloadRow(snap fleet.Snapshot) string {
+	_, tracked := snap.Merged.Gauges["overload.state"]
+	shed := sumSeries(snap.Merged.Counters, "overload.shed")
+	slow := sumSeries(snap.Merged.Counters, "overload.slow_consumer")
+	if !tracked && shed == 0 && slow == 0 {
+		return ""
+	}
+	// overload.state is 0 ok / 1 shedding / 2 overloaded per node;
+	// the fleet row reports the worst node, not the (meaningless) sum.
+	var worst int64
+	for _, n := range snap.Nodes {
+		if !n.Up {
+			continue
+		}
+		if v := n.Metrics.Gauges["overload.state"]; v > worst {
+			worst = v
+		}
+	}
+	states := [...]string{"ok", "shedding", "OVERLOADED"}
+	state := states[0]
+	if int(worst) < len(states) {
+		state = states[worst]
+	}
+	return fmt.Sprintf("overload     state %s   pending %s   shed %d   slow-consumer actions %d",
+		state, fmtBytes(snap.Merged.Gauges["overload.pending_bytes"]), shed, slow)
+}
+
+// fmtBytes renders a byte count with a binary unit.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
 }
 
 // rate formats a per-second rate, "-" before a baseline exists.

@@ -4,31 +4,67 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pubsubcd/internal/telemetry"
 )
 
-// The batching connection writer. Senders (response path, notify
-// fan-out, client requests) encode frames directly into a shared
-// pending buffer; a per-connection flusher goroutine writes whatever
-// has accumulated in one syscall. Under fan-out load many notify
-// frames coalesce into each flush; under light load the flusher wakes
-// on the first append, so a lone request still goes out immediately —
-// batching trades no latency for the syscall savings. Two pooled
-// buffers alternate between "filling" and "in flight", making the
-// steady-state path allocation-free.
+// The batching connection writer. Writes travel in two lanes:
+//
+//   - The control lane: responses, hello replies, pings/pongs, client
+//     requests. Senders encode frames directly into a shared pending
+//     buffer; a per-connection flusher goroutine writes whatever has
+//     accumulated in one syscall.
+//   - The notify lane: a bounded per-connection queue of notifications
+//     awaiting encode. The flusher drains it after the control bytes of
+//     each flush, so a deep notify backlog can never delay a heartbeat
+//     response or a request ack (a full shared buffer used to delay
+//     pongs long enough to trip peers' failure detectors).
+//
+// Notifications sit in the queue unencoded (a Notification is a few
+// value fields), which is what makes the slow-consumer policies
+// possible: evicting the oldest queued notification is a ring-buffer
+// pop, impossible once frames are flattened into a byte stream. The
+// flusher encodes at drain time into the same pooled, double-buffered
+// byte slices as before, so the steady-state fan-out path stays
+// allocation-free.
+//
+// When the notify queue is full the connection's SlowConsumerPolicy
+// decides: block the publisher briefly and sever on timeout, drop the
+// oldest queued notification and mark the gap on the wire, or sever
+// immediately. In every case fan-out to healthy subscribers never
+// waits indefinitely on a stalled one.
 
-// defaultMaxBatch bounds the bytes senders may accumulate between
-// flushes. A slow peer pushes back here: once the pending buffer is
-// full, senders block until the flusher drains it (or the write fails
-// and severs the connection). A single frame may exceed the bound —
-// it is a backpressure threshold, not a frame-size limit.
+// defaultMaxBatch bounds the bytes the flusher writes per syscall and
+// the control bytes senders may accumulate between flushes. A single
+// frame may exceed the bound — it is a batching threshold, not a
+// frame-size limit.
 const defaultMaxBatch = 256 << 10
 
 // errWriterClosed reports a send on a connection writer that has been
 // closed (connection teardown).
 var errWriterClosed = errors.New("broker: connection writer closed")
+
+// errSlowConsumer is the sticky error a connection severed by its
+// slow-consumer policy reports to subsequent sends.
+var errSlowConsumer = errors.New("broker: slow consumer severed")
+
+// notifyFrameOverhead approximates the encoded size of a notify frame
+// beyond its variable-length strings. The notify-lane byte accounting
+// runs on estimates (the frame is not encoded until drain time); the
+// constant only needs to be the right order of magnitude for the
+// pending-bytes watermarks to mean what they say.
+const notifyFrameOverhead = 48
+
+// Slow-consumer action labels, the values of the
+// overload.slow_consumer{action} counter.
+const (
+	slowActionDropped     = "dropped"     // drop-oldest evicted a queued notify
+	slowActionBlocked     = "blocked"     // block policy made a publisher wait
+	slowActionSevered     = "severed"     // connection severed by policy
+	slowActionQuarantined = "quarantined" // accept rejected while quarantined
+)
 
 // encodeBufPool recycles pending/in-flight write buffers across
 // connections. Pointer-to-slice keeps Put allocation-free.
@@ -48,10 +84,17 @@ func putEncodeBuf(b []byte) {
 	encodeBufPool.Put(&b)
 }
 
-// connWriter serialises and batches all writes of one connection
-// (responses, notifications, requests). A failed flush is sticky and
-// severs the connection: a stream in an unknown state cannot be
-// trusted for framing again.
+// queuedNotify is one notify-lane entry: the notification by value, its
+// trace context, and the byte estimate charged against the queue bound.
+type queuedNotify struct {
+	n     Notification
+	trace string
+	est   int64
+}
+
+// connWriter serialises and batches all writes of one connection. A
+// failed flush is sticky and severs the connection: a stream in an
+// unknown state cannot be trusted for framing again.
 type connWriter struct {
 	conn         net.Conn
 	writeTimeout time.Duration
@@ -59,13 +102,28 @@ type connWriter struct {
 	timeouts     *telemetry.Counter
 	flushes      *telemetry.Counter
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	codec  Codec
-	limit  int // outbound frame-size limit (0 = unlimited)
-	pend   []byte
-	spare  []byte // the buffer not currently filling; nil while in flight
-	err    error  // sticky flush error
+	// Notify-lane configuration, set once before the first enqueue.
+	policy       SlowConsumerPolicy
+	maxPending   int64         // notify-lane byte bound
+	blockTimeout time.Duration // block policy grace before severing
+	pendingTotal *atomic.Int64 // server-wide pending-bytes gauge (nil ok)
+	onAction     func(action string, n int64)
+	onSever      func() // sever-and-quarantine hook
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	codec Codec
+	limit int // outbound frame-size limit (0 = unlimited)
+	pend  []byte
+	spare []byte // the buffer not currently filling; nil while in flight
+
+	ring      []queuedNotify // notify lane, a growable ring up to maxPending bytes
+	head      int
+	count     int
+	ringBytes int64
+	gap       int64 // notifications dropped since the last flushed frame
+
+	err    error // sticky flush/sever error
 	closed bool
 	done   chan struct{} // closed when the flusher exits
 }
@@ -79,6 +137,8 @@ func newConnWriter(conn net.Conn, codec Codec, limit int, writeTimeout time.Dura
 		flushes:      flushes,
 		codec:        codec,
 		limit:        limit,
+		maxPending:   defaultMaxBatch,
+		blockTimeout: defaultBlockTimeout,
 		pend:         getEncodeBuf(),
 		spare:        getEncodeBuf(),
 		done:         make(chan struct{}),
@@ -88,10 +148,29 @@ func newConnWriter(conn net.Conn, codec Codec, limit int, writeTimeout time.Dura
 	return cw
 }
 
+// configureNotifyLane sets the slow-consumer policy and hooks before
+// the connection serves traffic. maxPending <= 0 and blockTimeout <= 0
+// keep their defaults; pendingTotal, onAction and onSever may be nil.
+func (cw *connWriter) configureNotifyLane(policy SlowConsumerPolicy, maxPending int64, blockTimeout time.Duration, pendingTotal *atomic.Int64, onAction func(string, int64), onSever func()) {
+	cw.mu.Lock()
+	cw.policy = policy
+	if maxPending > 0 {
+		cw.maxPending = maxPending
+	}
+	if blockTimeout > 0 {
+		cw.blockTimeout = blockTimeout
+	}
+	cw.pendingTotal = pendingTotal
+	cw.onAction = onAction
+	cw.onSever = onSever
+	cw.mu.Unlock()
+}
+
 // setCodec switches the outbound encoding (and frame limit) after a
-// successful negotiation. Frames already appended were encoded with
-// the previous codec and go out unchanged — encoding happens at append
-// time, so the switch point is exact.
+// successful negotiation. Control frames already appended were encoded
+// with the previous codec and go out unchanged; queued notifications
+// encode at drain time with whatever codec is then current (they can
+// only exist after a subscribe, which postdates negotiation).
 func (cw *connWriter) setCodec(c Codec, limit int) {
 	cw.mu.Lock()
 	cw.codec = c
@@ -101,9 +180,10 @@ func (cw *connWriter) setCodec(c Codec, limit int) {
 	cw.mu.Unlock()
 }
 
-// send encodes m into the pending batch. It blocks while the batch is
-// at capacity (backpressure from a slow peer) and fails fast once the
-// writer is closed or a flush has failed.
+// send encodes m into the pending control batch. It blocks while the
+// batch is at capacity and fails fast once the writer is closed or a
+// flush has failed. Control frames never queue behind notifications:
+// each flush writes this buffer before draining the notify lane.
 func (cw *connWriter) send(m *Message) error {
 	cw.mu.Lock()
 	for cw.err == nil && !cw.closed && len(cw.pend) >= defaultMaxBatch {
@@ -134,33 +214,221 @@ func (cw *connWriter) send(m *Message) error {
 		return &FrameTooLargeError{Codec: cw.codec.Name(), Size: size, Limit: cw.limit}
 	}
 	cw.pend = buf
-	if start == 0 {
-		// The flusher only sleeps while pend is empty, so just the
-		// empty→non-empty transition needs a wakeup; the burst of sends
-		// behind it appends silently into the same batch.
+	if cw.pendingTotal != nil {
+		cw.pendingTotal.Add(int64(len(buf) - start))
+	}
+	if start == 0 && cw.count == 0 && cw.gap == 0 {
+		// The flusher only sleeps while it has no work at all, so just
+		// the nothing→something transition needs a wakeup; the burst of
+		// sends behind it appends silently into the same batch.
 		cw.cond.Broadcast()
 	}
 	cw.mu.Unlock()
 	return nil
 }
 
+// enqueueNotify queues one notification for delivery. When the notify
+// lane is at capacity the connection's slow-consumer policy applies:
+//
+//   - SlowConsumerBlock: wait up to blockTimeout for the flusher to
+//     drain; a consumer still stalled after the grace is severed.
+//   - SlowConsumerDropOldest: evict the oldest queued notification and
+//     record the gap; the next flush carries a gap-marker frame.
+//   - SlowConsumerSever: sever immediately and (via onSever) quarantine.
+//
+// A policy-conformant drop returns nil — the caller's fan-out loop must
+// not treat shedding as failure. Only sever and teardown return errors.
+func (cw *connWriter) enqueueNotify(n Notification, trace string) error {
+	est := notifyFrameOverhead + int64(len(n.PageID)) + int64(len(trace))
+	cw.mu.Lock()
+	if cw.ringBytes+est > cw.maxPending && cw.err == nil && !cw.closed {
+		switch cw.policy {
+		case SlowConsumerDropOldest:
+			for cw.count > 0 && cw.ringBytes+est > cw.maxPending {
+				cw.dropHeadLocked()
+			}
+		case SlowConsumerSever:
+			cw.severLocked()
+			if cw.onAction != nil {
+				cw.onAction(slowActionSevered, 1)
+			}
+			if cw.onSever != nil {
+				cw.onSever()
+			}
+		default: // SlowConsumerBlock
+			deadline := time.Now().Add(cw.blockTimeout)
+			if cw.onAction != nil {
+				cw.onAction(slowActionBlocked, 1)
+			}
+			for cw.err == nil && !cw.closed && cw.ringBytes+est > cw.maxPending {
+				if !cw.waitUntilLocked(deadline) {
+					cw.severLocked()
+					if cw.onAction != nil {
+						cw.onAction(slowActionSevered, 1)
+					}
+					break
+				}
+			}
+		}
+	}
+	if cw.err != nil {
+		err := cw.err
+		cw.mu.Unlock()
+		return err
+	}
+	if cw.closed {
+		cw.mu.Unlock()
+		return errWriterClosed
+	}
+	wasIdle := cw.count == 0 && cw.gap == 0 && len(cw.pend) == 0
+	cw.pushLocked(queuedNotify{n: n, trace: trace, est: est})
+	if cw.pendingTotal != nil {
+		cw.pendingTotal.Add(est)
+	}
+	if wasIdle {
+		cw.cond.Broadcast()
+	}
+	cw.mu.Unlock()
+	return nil
+}
+
+// waitUntilLocked waits on the writer's cond until woken or the
+// deadline passes; it reports false once the deadline has passed.
+// Callers must re-check their predicate: wakeups are shared.
+func (cw *connWriter) waitUntilLocked(deadline time.Time) bool {
+	d := time.Until(deadline)
+	if d <= 0 {
+		return false
+	}
+	t := time.AfterFunc(d, cw.cond.Broadcast)
+	cw.cond.Wait()
+	t.Stop()
+	return time.Now().Before(deadline)
+}
+
+// pushLocked appends to the notify ring, growing it geometrically. The
+// byte bound, not the slice, is the real capacity limit.
+func (cw *connWriter) pushLocked(qn queuedNotify) {
+	if cw.count == len(cw.ring) {
+		newCap := 64
+		if len(cw.ring) > 0 {
+			newCap = 2 * len(cw.ring)
+		}
+		grown := make([]queuedNotify, newCap)
+		for i := 0; i < cw.count; i++ {
+			grown[i] = cw.ring[(cw.head+i)%len(cw.ring)]
+		}
+		cw.ring = grown
+		cw.head = 0
+	}
+	cw.ring[(cw.head+cw.count)%len(cw.ring)] = qn
+	cw.count++
+	cw.ringBytes += qn.est
+}
+
+// popLocked removes and returns the oldest queued notification,
+// releasing its accounting. Callers check count > 0.
+func (cw *connWriter) popLocked() queuedNotify {
+	qn := cw.ring[cw.head]
+	cw.ring[cw.head] = queuedNotify{} // drop string refs
+	cw.head = (cw.head + 1) % len(cw.ring)
+	cw.count--
+	cw.ringBytes -= qn.est
+	if cw.pendingTotal != nil {
+		cw.pendingTotal.Add(-qn.est)
+	}
+	return qn
+}
+
+// dropHeadLocked evicts the oldest queued notification under the
+// drop-oldest policy and records the wire-visible gap.
+func (cw *connWriter) dropHeadLocked() {
+	cw.popLocked()
+	cw.gap++
+	if cw.onAction != nil {
+		cw.onAction(slowActionDropped, 1)
+	}
+}
+
+// severLocked makes the writer's error sticky and closes the
+// connection: readers unblock, the peer sees the break, the flusher
+// exits on its next pass.
+func (cw *connWriter) severLocked() {
+	if cw.err == nil {
+		cw.err = errSlowConsumer
+	}
+	_ = cw.conn.Close()
+	cw.cond.Broadcast()
+}
+
+// releaseRingLocked drops all queued notifications and their
+// accounting; called when the flusher exits.
+func (cw *connWriter) releaseRingLocked() {
+	if cw.pendingTotal != nil && cw.ringBytes > 0 {
+		cw.pendingTotal.Add(-cw.ringBytes)
+	}
+	cw.ring, cw.head, cw.count, cw.ringBytes = nil, 0, 0, 0
+}
+
 func (cw *connWriter) flushLoop() {
 	defer close(cw.done)
+	var em Message // reusable notify envelope; notifScratch keeps encode alloc-free
+	em.Type = msgNotify
+	em.Notification = &em.notifScratch
 	cw.mu.Lock()
 	for {
-		for cw.err == nil && !cw.closed && len(cw.pend) == 0 {
+		for cw.err == nil && !cw.closed && len(cw.pend) == 0 && cw.count == 0 && cw.gap == 0 {
 			cw.cond.Wait()
 		}
-		if cw.err != nil || (cw.closed && len(cw.pend) == 0) {
+		if cw.err != nil || (cw.closed && len(cw.pend) == 0 && cw.count == 0) {
+			if cw.pendingTotal != nil && len(cw.pend) > 0 {
+				cw.pendingTotal.Add(-int64(len(cw.pend)))
+			}
+			cw.releaseRingLocked()
 			putEncodeBuf(cw.pend)
 			putEncodeBuf(cw.spare)
 			cw.pend, cw.spare = nil, nil
 			cw.mu.Unlock()
 			return
 		}
+		// Control bytes first: a pong or response never waits behind the
+		// notify backlog.
 		buf := cw.pend
 		cw.pend = cw.spare[:0]
 		cw.spare = nil // in flight
+		if cw.pendingTotal != nil && len(buf) > 0 {
+			cw.pendingTotal.Add(-int64(len(buf)))
+		}
+		if cw.gap > 0 {
+			// A notify frame with a Gap count and no Notification: the
+			// wire-visible marker for dropped deliveries. Gap frames are
+			// rare (one per overload episode per flush), so the extra
+			// envelope allocation is irrelevant.
+			gm := Message{Type: msgNotify, Gap: cw.gap}
+			if nb, err := cw.codec.AppendFrame(buf, &gm); err == nil {
+				buf = nb
+			}
+			cw.gap = 0
+		}
+		for cw.count > 0 && len(buf) < defaultMaxBatch {
+			qn := cw.popLocked()
+			em.notifScratch = qn.n
+			em.Trace = qn.trace
+			em.Gap = 0
+			start := len(buf)
+			nb, err := cw.codec.AppendFrame(buf, &em)
+			if err != nil {
+				if nb != nil {
+					buf = nb[:start]
+				}
+				continue // an unencodable notify is dropped, not fatal
+			}
+			if cw.limit > 0 && len(nb)-start > cw.limit {
+				buf = nb[:start]
+				continue
+			}
+			buf = nb
+		}
 		cw.mu.Unlock()
 
 		if cw.writeTimeout > 0 {
@@ -177,7 +445,9 @@ func (cw *connWriter) flushLoop() {
 		cw.mu.Lock()
 		cw.spare = buf[:0]
 		if werr != nil {
-			cw.err = werr
+			if cw.err == nil {
+				cw.err = werr
+			}
 			if cw.timeouts != nil && isTimeout(werr) {
 				cw.timeouts.Inc()
 			}
@@ -187,11 +457,11 @@ func (cw *connWriter) flushLoop() {
 	}
 }
 
-// closeFlush marks the writer closed, lets already-appended frames
-// drain for up to the given duration (<=0 means one second), then
-// stops the flusher. Closing the underlying connection is the
-// caller's job; if it is already closed, the drain resolves
-// immediately via a write error.
+// closeFlush marks the writer closed, lets already-appended frames and
+// queued notifications drain for up to the given duration (<=0 means
+// one second), then stops the flusher. Closing the underlying
+// connection is the caller's job; if it is already closed, the drain
+// resolves immediately via a write error.
 func (cw *connWriter) closeFlush(drain time.Duration) {
 	cw.mu.Lock()
 	if cw.closed {

@@ -51,6 +51,8 @@ type clientMetrics struct {
 	retries           *telemetry.Counter
 	resubscribes      *telemetry.Counter
 	heartbeatTimeouts *telemetry.Counter
+	overloadBackoffs  *telemetry.Counter
+	notifyGaps        *telemetry.Counter
 	rtt               map[string]*telemetry.Histogram
 }
 
@@ -69,6 +71,8 @@ func newClientMetrics(reg *telemetry.Registry) *clientMetrics {
 		retries:           reg.Counter("transport.client.retries"),
 		resubscribes:      reg.Counter("transport.client.resubscribes"),
 		heartbeatTimeouts: reg.Counter("transport.client.heartbeat_timeouts"),
+		overloadBackoffs:  reg.Counter("transport.client.overload_backoffs"),
+		notifyGaps:        reg.Counter("transport.client.notify_gaps"),
 		rtt:               make(map[string]*telemetry.Histogram, len(wireTypes)),
 	}
 	lat := telemetry.LatencyBuckets()
@@ -138,6 +142,12 @@ type Client struct {
 	done      chan struct{} // closed when the supervisor exits
 	rng       *rand.Rand    // backoff jitter; supervisor-only
 
+	// overloadRng jitters the pauses between attempts the broker shed
+	// with ErrOverloaded. Separate from rng (which only the supervisor
+	// may touch) because overload pauses happen on caller goroutines.
+	overloadMu  sync.Mutex
+	overloadRng *rand.Rand
+
 	// serverRing is the highest ring version seen in responses from a
 	// clustered server (0 for non-clustered peers).
 	serverRing atomic.Uint64
@@ -169,6 +179,7 @@ func Dial(ctx context.Context, addr string, opts ...ClientOption) (*Client, erro
 		closeCh:      make(chan struct{}),
 		done:         make(chan struct{}),
 		rng:          rand.New(rand.NewSource(cfg.backoff.Seed)),
+		overloadRng:  rand.New(rand.NewSource(cfg.backoff.Seed + 1)),
 	}
 	conn, err := cfg.dialFunc(ctx, addr)
 	if err != nil {
@@ -515,6 +526,17 @@ func (c *Client) readLoop(cc *clientConn) {
 		}
 		switch m.Type {
 		case msgNotify:
+			if m.Gap > 0 {
+				// A gap marker: the broker's drop-oldest policy evicted
+				// this many notifications bound for us. Surface the hole
+				// instead of letting the stream silently lie.
+				if cm := c.metrics; cm != nil {
+					cm.notifyGaps.Add(m.Gap)
+				}
+				if c.cfg.onGap != nil {
+					c.cfg.onGap(m.Gap)
+				}
+			}
 			if (c.cfg.notify != nil || c.cfg.notifyCtx != nil) && m.Notification != nil {
 				n := *m.Notification
 				c.mu.Lock()
@@ -672,13 +694,19 @@ func (c *Client) roundTrip(ctx context.Context, m Message) (Message, error) {
 	return resp, err
 }
 
+// maxOverloadWaits bounds how many back-off-and-retry rounds one call
+// spends against a broker that keeps answering "overloaded"; past it
+// the rejection surfaces to the caller.
+const maxOverloadWaits = 3
+
 // roundTripRetry is the retry loop under roundTrip's span.
 func (c *Client) roundTripRetry(ctx context.Context, m Message) (Message, error) {
 	budget := 0
 	if retryable(m.Type) {
 		budget = c.cfg.retryBudget
 	}
-	for retries := 0; ; retries++ {
+	overloadWaits := 0
+	for retries := 0; ; {
 		resp, err := c.attempt(ctx, m)
 		if err == nil {
 			return resp, nil
@@ -687,12 +715,48 @@ func (c *Client) roundTripRetry(ctx context.Context, m Message) (Message, error)
 		if ctx.Err() != nil {
 			return Message{}, err
 		}
+		if IsOverloaded(err) && overloadWaits < maxOverloadWaits {
+			// Admission control rejected the request before executing it,
+			// so retrying cannot double-apply anything — even a publish.
+			// Back off with jitter (a thundering immediate retry is what
+			// keeps an overloaded broker overloaded) and do NOT consume
+			// the idempotent retry budget: this is the broker protecting
+			// itself, not the transport failing.
+			overloadWaits++
+			if cm := c.metrics; cm != nil {
+				cm.overloadBackoffs.Inc()
+			}
+			if !c.overloadPause(ctx, overloadWaits) {
+				return Message{}, err
+			}
+			continue
+		}
 		if retries >= budget || !errors.Is(err, errRetryable) {
 			return Message{}, err
 		}
+		retries++
 		if cm := c.metrics; cm != nil {
 			cm.retries.Inc()
 		}
+	}
+}
+
+// overloadPause sleeps the jittered backoff between overload-rejected
+// attempts; false means the caller's context (or the client) ended the
+// wait and the request should fail now.
+func (c *Client) overloadPause(ctx context.Context, attempt int) bool {
+	c.overloadMu.Lock()
+	d := c.cfg.backoff.delay(attempt, c.overloadRng)
+	c.overloadMu.Unlock()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	case <-c.closeCh:
+		return false
 	}
 }
 
@@ -717,6 +781,22 @@ func (c *Client) attempt(ctx context.Context, m Message) (Message, error) {
 		var cancel context.CancelFunc
 		actx, cancel = context.WithTimeout(ctx, c.cfg.requestTimeout)
 		defer cancel()
+	}
+	// Propagate the remaining budget on the wire (re-stamped per
+	// attempt, so a retry carries what is actually left). The server
+	// bounds its handling by it and refuses the work once it expires —
+	// relative milliseconds, so peer clock skew cannot corrupt it.
+	if dl, ok := actx.Deadline(); ok {
+		rem := time.Until(dl)
+		if rem <= 0 {
+			// Expired before the attempt even started: don't put work on
+			// the wire nobody can use.
+			if err := actx.Err(); err != nil {
+				return Message{}, err
+			}
+			return Message{}, context.DeadlineExceeded
+		}
+		m.DeadlineMS = rem.Milliseconds() + 1
 	}
 	cc, err := c.waitConn(actx)
 	if err != nil {

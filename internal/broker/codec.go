@@ -60,6 +60,20 @@ type Message struct {
 	// omitempty.
 	Ring uint64 `json:"ring,omitempty"`
 	Part int    `json:"part,omitempty"`
+	// DeadlineMS is the sender's remaining time budget for this request
+	// in milliseconds (0 = no deadline). It is relative, not an absolute
+	// timestamp, so clock skew between peers cannot invalidate it; each
+	// hop re-stamps the field with whatever budget remains. Receivers
+	// bound their handling context by it and refuse work whose budget is
+	// gone instead of doing it late. Peers that predate the field ignore
+	// it — the binary codec skips unknown tags and the JSON codec skips
+	// unknown keys, the same forward-compatibility story as Trace.
+	DeadlineMS int64 `json:"deadlineMs,omitempty"`
+	// Gap, on a notify frame, is the count of notifications dropped for
+	// this connection since the last frame (slow-consumer drop-oldest
+	// policy). A gap frame may carry no Notification at all; receivers
+	// that predate the field ignore it.
+	Gap int64 `json:"gap,omitempty"`
 	// Trace is the optional distributed-trace context of the sender
 	// ("<32 hex trace ID>-<16 hex span ID>", see telemetry.SpanContext).
 	// Peers that predate tracing ignore the field; receivers treat a

@@ -77,6 +77,8 @@ const (
 	fMaxFrame   = 20 // zigzag varint
 	fCodecSel   = 21 // bytes (hello response selection)
 	fType       = 22 // bytes (message type when the code byte is 0)
+	fDeadline   = 23 // zigzag varint (remaining budget, milliseconds)
+	fGap        = 24 // zigzag varint (notifications dropped before this frame)
 )
 
 const (
@@ -173,6 +175,12 @@ func appendBinaryPayload(dst []byte, m *Message) ([]byte, error) {
 	}
 	if m.Trace != "" {
 		dst = appendStringField(dst, fTrace, m.Trace)
+	}
+	if m.DeadlineMS != 0 {
+		dst = appendZigzagField(dst, fDeadline, m.DeadlineMS)
+	}
+	if m.Gap != 0 {
+		dst = appendZigzagField(dst, fGap, m.Gap)
 	}
 	if n := m.Notification; n != nil {
 		// PageID is written unconditionally: its presence is what makes
@@ -286,6 +294,10 @@ func (binaryCodec) DecodeFrame(payload []byte, m *Message) error {
 				notifOf(m).SubscriptionID = zigzag(u)
 			case fMaxFrame:
 				m.MaxFrame = int(zigzag(u))
+			case fDeadline:
+				m.DeadlineMS = zigzag(u)
+			case fGap:
+				m.Gap = zigzag(u)
 			}
 			// Unknown varint fields: value already consumed, skip.
 		case wtBytes:

@@ -9,6 +9,7 @@ import (
 	"net"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // The publish→fan-out benchmark behind BENCH_broker.json: one
@@ -29,6 +30,16 @@ const (
 // JSON hello, exactly as a real client), registers subs subscriptions
 // and then drains everything the server sends without decoding it.
 func startSubscriberConn(b *testing.B, addr string, c Codec, subs int) net.Conn {
+	b.Helper()
+	conn, br := setupSubscriberConn(b, addr, c, subs)
+	go func() { _, _ = io.Copy(io.Discard, br) }()
+	return conn
+}
+
+// setupSubscriberConn is startSubscriberConn without the drain: it
+// hands the connection back subscribed and negotiated, and the caller
+// decides how (fast or slow) to read the fan-out.
+func setupSubscriberConn(b *testing.B, addr string, c Codec, subs int) (net.Conn, *bufio.Reader) {
 	b.Helper()
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -77,8 +88,21 @@ func startSubscriberConn(b *testing.B, addr string, c Codec, subs int) net.Conn 
 	for i := 0; i < subs; i++ {
 		readMsg()
 	}
-	go func() { _, _ = io.Copy(io.Discard, br) }()
-	return conn
+	return conn, br
+}
+
+// warmFanout runs a handful of untimed publishes so one-time costs —
+// notify-ring growth to the subscription count, pooled encode-buffer
+// sizing — land before the clock starts. The committed baselines are
+// steady-state numbers; short CI runs (-benchtime=20x) must measure
+// the same regime.
+func warmFanout(b *testing.B, pub *Client, body []byte) {
+	b.Helper()
+	for v := 1; v <= 4; v++ {
+		if _, err := pub.Publish(context.Background(), Content{ID: "warm", Version: v, Topics: []string{"t"}, Body: body}); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func benchmarkBrokerFanout(b *testing.B, c Codec) {
@@ -103,6 +127,7 @@ func benchmarkBrokerFanout(b *testing.B, c Codec) {
 	}
 
 	body := bytes.Repeat([]byte{'x'}, 4096)
+	warmFanout(b, pub, body)
 	b.SetBytes(int64(len(body)))
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -125,3 +150,64 @@ func benchmarkBrokerFanout(b *testing.B, c Codec) {
 
 func BenchmarkBrokerFanoutJSON(b *testing.B)   { benchmarkBrokerFanout(b, JSONCodec()) }
 func BenchmarkBrokerFanoutBinary(b *testing.B) { benchmarkBrokerFanout(b, BinaryCodec()) }
+
+// BenchmarkSlowConsumerFanout is the overload-control gate: the same
+// binary fan-out as BenchmarkBrokerFanoutBinary, with one extra
+// subscriber connection reading at a trickle while the server runs the
+// drop-oldest slow-consumer policy. Its floor in BENCH_broker.json is
+// the tentpole claim in numbers — a stalled subscriber must cost the
+// publish path (nearly) nothing, because fan-out sheds into that
+// connection's bounded notify lane instead of waiting on its socket.
+func BenchmarkSlowConsumerFanout(b *testing.B) {
+	c := BinaryCodec()
+	bk := New()
+	s, err := NewServer(bk, "127.0.0.1:0",
+		WithSlowConsumerPolicy(SlowConsumerDropOldest),
+		WithMaxPendingPerConn(64<<10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < benchFanoutConns; i++ {
+		conn := startSubscriberConn(b, s.Addr(), c, benchSubsPerConn)
+		defer conn.Close()
+	}
+	// The slow consumer: same subscription load as a healthy conn, but
+	// it reads a few hundred bytes per 10ms tick — orders of magnitude
+	// behind the fan-out rate.
+	slow, slowBR := setupSubscriberConn(b, s.Addr(), c, benchSubsPerConn)
+	defer slow.Close()
+	go func() {
+		buf := make([]byte, 512)
+		for {
+			if _, err := slowBR.Read(buf); err != nil {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	ctx := context.Background()
+	pub, err := Dial(ctx, s.Addr(), WithPreferredCodec(c))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pub.Close()
+
+	body := bytes.Repeat([]byte{'x'}, 4096)
+	warmFanout(b, pub, body)
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var pubID atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		id := fmt.Sprintf("p%d", pubID.Add(1))
+		content := Content{ID: id, Topics: []string{"t"}, Body: body}
+		for pb.Next() {
+			content.Version++
+			if _, err := pub.Publish(ctx, content); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

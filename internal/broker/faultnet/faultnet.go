@@ -30,6 +30,8 @@ type Network struct {
 	delay       time.Duration
 	dropRate    float64
 	partitioned bool
+	readBps     int // default per-connection byte rates, 0 = unlimited
+	writeBps    int
 	conns       map[*Conn]struct{}
 }
 
@@ -56,6 +58,27 @@ func (n *Network) SetDropRate(p float64) {
 	n.mu.Lock()
 	n.dropRate = p
 	n.mu.Unlock()
+}
+
+// SetThrottle caps every connection's bandwidth, in bytes per second
+// per direction (0 = unlimited). It applies to future connections and
+// to live ones that have not been individually throttled via
+// Conn.Throttle. Use it to simulate a slow network; use Conn.Throttle
+// to simulate one slow peer.
+func (n *Network) SetThrottle(readBps, writeBps int) {
+	n.mu.Lock()
+	n.readBps, n.writeBps = readBps, writeBps
+	conns := make([]*Conn, 0, len(n.conns))
+	for c := range n.conns {
+		if !c.customRate {
+			conns = append(conns, c)
+		}
+	}
+	n.mu.Unlock()
+	for _, c := range conns {
+		c.rlim.setRate(readBps)
+		c.wlim.setRate(writeBps)
+	}
 }
 
 // Partition severs every live connection and makes new dials fail and
@@ -99,6 +122,8 @@ func (n *Network) Conns() int {
 func (n *Network) wrap(c net.Conn) *Conn {
 	fc := &Conn{Conn: c, net: n}
 	n.mu.Lock()
+	fc.rlim.setRate(n.readBps)
+	fc.wlim.setRate(n.writeBps)
 	n.conns[fc] = struct{}{}
 	n.mu.Unlock()
 	return fc
@@ -171,12 +196,39 @@ func (n *Network) Dial(ctx context.Context, addr string) (net.Conn, error) {
 // Conn is a connection subject to the network's fault schedule.
 type Conn struct {
 	net.Conn
-	net    *Network
-	closed sync.Once
+	net        *Network
+	closed     sync.Once
+	customRate bool // set by Throttle; exempts the conn from SetThrottle
+	rlim, wlim rateLimiter
+}
+
+// Throttle caps this connection's bandwidth, in bytes per second per
+// direction (0 = unlimited), overriding the network-wide default.
+// This is the slow-reader primitive: throttle one subscriber's read
+// side to model a consumer that cannot keep up with the fan-out.
+func (c *Conn) Throttle(readBps, writeBps int) {
+	c.net.mu.Lock()
+	c.customRate = true
+	c.net.mu.Unlock()
+	c.rlim.setRate(readBps)
+	c.wlim.setRate(writeBps)
+}
+
+// Read passes through at most the throttle's current allowance,
+// sleeping when the budget is spent — so a throttled peer drains its
+// socket at the configured rate and backpressure builds up exactly as
+// it would behind a genuinely slow consumer.
+func (c *Conn) Read(p []byte) (int, error) {
+	if len(p) > 0 {
+		if n := c.rlim.allow(len(p)); n < len(p) {
+			p = p[:n]
+		}
+	}
+	return c.Conn.Read(p)
 }
 
 // Write applies the fault schedule: injected latency, then either a
-// severed connection or the real write.
+// severed connection or the real (throttled) write.
 func (c *Conn) Write(p []byte) (int, error) {
 	delay, sever := c.net.writeFaults()
 	if delay > 0 {
@@ -186,7 +238,75 @@ func (c *Conn) Write(p []byte) (int, error) {
 		_ = c.Close()
 		return 0, ErrInjected
 	}
-	return c.Conn.Write(p)
+	total := 0
+	for len(p) > 0 {
+		n := c.wlim.allow(len(p))
+		m, err := c.Conn.Write(p[:n])
+		total += m
+		if err != nil || m < n {
+			return total, err
+		}
+		p = p[n:]
+	}
+	return total, nil
+}
+
+// rateLimiter is a token-bucket pacer for one direction of one
+// connection. Tokens are bytes, accruing at rate per second up to a
+// small burst; allow blocks until at least one token exists, then
+// grants up to the available budget. Deterministic — no randomness, so
+// throttled chaos runs stay reproducible for a given schedule.
+type rateLimiter struct {
+	mu     sync.Mutex
+	rate   float64 // bytes per second; <= 0 means unlimited
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// setRate reconfigures the limiter (0 disables). The bucket restarts
+// empty so a rate change takes effect immediately.
+func (r *rateLimiter) setRate(bps int) {
+	r.mu.Lock()
+	r.rate = float64(bps)
+	r.burst = r.rate / 10
+	if r.burst < 1024 {
+		r.burst = 1024
+	}
+	r.tokens = 0
+	r.last = time.Now()
+	r.mu.Unlock()
+}
+
+// allow blocks until some budget exists and returns the granted byte
+// count, at most want. Unlimited limiters grant everything instantly.
+func (r *rateLimiter) allow(want int) int {
+	r.mu.Lock()
+	for {
+		if r.rate <= 0 {
+			r.mu.Unlock()
+			return want
+		}
+		now := time.Now()
+		r.tokens += now.Sub(r.last).Seconds() * r.rate
+		if r.tokens > r.burst {
+			r.tokens = r.burst
+		}
+		r.last = now
+		if r.tokens >= 1 {
+			n := want
+			if float64(n) > r.tokens {
+				n = int(r.tokens)
+			}
+			r.tokens -= float64(n)
+			r.mu.Unlock()
+			return n
+		}
+		wait := time.Duration((1 - r.tokens) / r.rate * float64(time.Second))
+		r.mu.Unlock()
+		time.Sleep(wait)
+		r.mu.Lock()
+	}
 }
 
 // Close unregisters the connection and closes the underlying one.

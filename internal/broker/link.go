@@ -5,6 +5,7 @@ import (
 	"errors"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pubsubcd/internal/telemetry"
@@ -48,6 +49,17 @@ type RemoteLink struct {
 	client *Client
 	target Publisher
 	wg     sync.WaitGroup
+
+	// brk is the uplink circuit breaker: when fetches against the
+	// remote broker fail with transport-class errors in a run, the
+	// breaker opens and the link sheds incoming notifications outright
+	// (counted in dropped) instead of stacking a fetch goroutine —
+	// each burning the full retry budget — per notification against a
+	// peer known dead. The resilient client's reconnect still heals
+	// the connection; the first notification after the cooldown is the
+	// half-open probe.
+	brk     *Breaker
+	dropped atomic.Int64
 }
 
 // linkFetchTimeout bounds each content fetch triggered by a remote
@@ -64,7 +76,7 @@ func NewRemoteLink(ctx context.Context, target Publisher, addr string, topics, k
 	if target == nil {
 		return nil, errors.New("broker: nil link target")
 	}
-	l := &RemoteLink{target: target}
+	l := &RemoteLink{target: target, brk: NewBreaker(0, 0)}
 	all := make([]ClientOption, 0, len(opts)+2)
 	all = append(all, WithReconnect(BackoffPolicy{}))
 	all = append(all, opts...)
@@ -94,6 +106,14 @@ const LinkProxyID = 0
 // remote publisher's trace (when traced), so the bridge's fetch and
 // the local republish join that trace.
 func (l *RemoteLink) onNotify(ctx context.Context, n Notification) {
+	if !l.brk.Allow() {
+		// Uplink breaker open: shed the update without spawning a
+		// fetch. The page is not lost — the remote broker still holds
+		// it, and the next publish (or a proxy fetch) after recovery
+		// reads through.
+		l.dropped.Add(1)
+		return
+	}
 	l.wg.Add(1)
 	go func() {
 		defer l.wg.Done()
@@ -105,6 +125,11 @@ func (l *RemoteLink) onNotify(ctx context.Context, n Notification) {
 		ctx, cancel := context.WithTimeout(ctx, linkFetchTimeout)
 		defer cancel()
 		c, err := l.client.Fetch(ctx, n.PageID)
+		if uplinkUnreachable(err) {
+			l.brk.Failure()
+		} else {
+			l.brk.Success()
+		}
 		if err != nil {
 			sp.SetError(err)
 			return // the retry budget is spent; drop this update
@@ -115,6 +140,28 @@ func (l *RemoteLink) onNotify(ctx context.Context, n Notification) {
 		}
 	}()
 }
+
+// uplinkUnreachable classifies fetch failures that mean the remote
+// broker is down or unreachable (these trip the breaker), as opposed
+// to semantic rejections like an unknown page, which prove it alive.
+func uplinkUnreachable(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, ErrConnectionLost), errors.Is(err, ErrClientClosed):
+		return true
+	case errors.Is(err, context.DeadlineExceeded):
+		return true
+	}
+	return false
+}
+
+// BreakerState reports the uplink breaker's current state.
+func (l *RemoteLink) BreakerState() BreakerState { return l.brk.State() }
+
+// Dropped reports how many remote notifications the open breaker has
+// shed since the link was built.
+func (l *RemoteLink) Dropped() int64 { return l.dropped.Load() }
 
 // isDuplicatePublish recognises the broker's not-newer/already-published
 // rejections, which are expected when the same page reaches a node over

@@ -23,6 +23,13 @@ type serverConfig struct {
 	listener     net.Listener // non-nil overrides addr
 	codecs       []Codec      // negotiable codecs; nil = binary+json
 	maxFrame     int          // frame-size limit; 0 = DefaultMaxFrame
+
+	// Overload plane.
+	slowPolicy        SlowConsumerPolicy
+	maxPendingPerConn int64           // notify-queue byte bound per conn; 0 = default
+	blockTimeout      time.Duration   // block-policy grace; 0 = default
+	quarantine        time.Duration   // sever-policy quarantine; 0 = default, negative = disabled
+	admission         AdmissionConfig // zero value = admission control off
 }
 
 // ServerOption configures a transport Server.
@@ -92,10 +99,49 @@ func WithMaxFrame(n int) ServerOption {
 	return func(c *serverConfig) { c.maxFrame = n }
 }
 
+// WithSlowConsumerPolicy selects what happens to a connection whose
+// bounded notify queue overflows — i.e. a subscriber reading slower
+// than the broker fans out. The default is SlowConsumerBlock: wait up
+// to the block timeout (WithSlowConsumerBlockTimeout), then sever.
+// Whatever the policy, control frames (responses, heartbeat pongs)
+// bypass the notify queue entirely, so a deep backlog can never
+// suppress liveness traffic.
+func WithSlowConsumerPolicy(p SlowConsumerPolicy) ServerOption {
+	return func(c *serverConfig) { c.slowPolicy = p }
+}
+
+// WithMaxPendingPerConn bounds the bytes of notifications queued
+// toward one connection before its slow-consumer policy applies.
+// 0 keeps the default (256 KiB).
+func WithMaxPendingPerConn(bytes int64) ServerOption {
+	return func(c *serverConfig) { c.maxPendingPerConn = bytes }
+}
+
+// WithSlowConsumerBlockTimeout sets the grace SlowConsumerBlock
+// extends to a stalled consumer before severing it. 0 keeps the
+// default (5s).
+func WithSlowConsumerBlockTimeout(d time.Duration) ServerOption {
+	return func(c *serverConfig) { c.blockTimeout = d }
+}
+
+// WithQuarantine sets how long SlowConsumerSever rejects reconnects
+// from a severed consumer's host. 0 keeps DefaultQuarantine; negative
+// disables quarantining (sever only).
+func WithQuarantine(d time.Duration) ServerOption {
+	return func(c *serverConfig) { c.quarantine = d }
+}
+
+// WithAdmissionControl enables broker-wide admission control with the
+// given watermarks; see AdmissionConfig. A zero config disables it.
+func WithAdmissionControl(cfg AdmissionConfig) ServerOption {
+	return func(c *serverConfig) { c.admission = cfg }
+}
+
 // clientConfig is the resolved client configuration.
 type clientConfig struct {
 	notify       func(Notification)
 	notifyCtx    func(context.Context, Notification)
+	onGap        func(missed int64)
 	writeTimeout time.Duration
 	telemetry    *telemetry.Registry
 	spans        *telemetry.SpanCollector
@@ -181,6 +227,17 @@ func WithNotify(fn func(Notification)) ClientOption {
 // invoked.
 func WithNotifyContext(fn func(ctx context.Context, n Notification)) ClientOption {
 	return func(c *clientConfig) { c.notifyCtx = fn }
+}
+
+// WithNotifyGap observes wire-visible notification gaps: when the
+// broker's drop-oldest slow-consumer policy evicted notifications
+// bound for this connection, the next notify flush carries a gap
+// marker and fn receives the count of missed deliveries. Use it to
+// trigger a re-fetch of current state instead of trusting a stream
+// that is known to have holes. Gaps are also counted in
+// transport.client.notify_gaps when telemetry is on.
+func WithNotifyGap(fn func(missed int64)) ClientOption {
+	return func(c *clientConfig) { c.onGap = fn }
 }
 
 // WithClientTracer enables distributed tracing on the client: each
@@ -346,4 +403,3 @@ func (s ConnState) String() string {
 		return "unknown"
 	}
 }
-

@@ -1,0 +1,307 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The overload plane: per-connection slow-consumer policies (enforced
+// by the connWriter's notify lane, batch.go), broker-wide admission
+// control with watermarks and priority shedding (this file), and typed
+// wire errors that survive the trip through Message.Error so resilient
+// clients can tell "back off" from "retry now" from "give up".
+//
+// Shed priority, highest protection first: control frames (responses,
+// heartbeats) are never shed; notifications shed first — a dropped
+// notify costs one refresh of freshness, which beats unbounded queuing
+// (Ling & Mi's refresh-cost argument); publishes are rejected last,
+// with ErrOverloaded, only once the broker is past its high watermarks.
+
+// SlowConsumerPolicy selects what happens to a connection whose notify
+// queue is full — i.e. a subscriber not reading as fast as the broker
+// fans out.
+type SlowConsumerPolicy int
+
+const (
+	// SlowConsumerBlock waits up to a grace period for the consumer to
+	// drain, then severs it. The default: brief stalls (GC pause, TCP
+	// retransmit) ride through, genuine stalls are cut loose instead of
+	// head-of-line-blocking the fan-out forever.
+	SlowConsumerBlock SlowConsumerPolicy = iota
+	// SlowConsumerDropOldest evicts the oldest queued notification to
+	// admit the newest and marks the loss with a wire-visible gap frame.
+	// Freshness-first: a subscriber that falls behind sees the latest
+	// versions plus an honest count of what it missed.
+	SlowConsumerDropOldest
+	// SlowConsumerSever disconnects the consumer the moment its queue
+	// overflows and quarantines its address briefly, so a misbehaving
+	// peer cannot burn fan-out capacity by reconnecting in a tight loop.
+	SlowConsumerSever
+)
+
+// String returns the policy's flag spelling.
+func (p SlowConsumerPolicy) String() string {
+	switch p {
+	case SlowConsumerDropOldest:
+		return "drop-oldest"
+	case SlowConsumerSever:
+		return "sever"
+	default:
+		return "block"
+	}
+}
+
+// ParseSlowConsumerPolicy resolves a -slow-consumer-policy flag value.
+func ParseSlowConsumerPolicy(s string) (SlowConsumerPolicy, error) {
+	switch s {
+	case "block":
+		return SlowConsumerBlock, nil
+	case "drop-oldest":
+		return SlowConsumerDropOldest, nil
+	case "sever":
+		return SlowConsumerSever, nil
+	}
+	return 0, fmt.Errorf("unknown slow-consumer policy %q (want block, drop-oldest or sever)", s)
+}
+
+// defaultBlockTimeout is the grace SlowConsumerBlock extends before
+// severing a stalled consumer.
+const defaultBlockTimeout = 5 * time.Second
+
+// DefaultQuarantine is how long SlowConsumerSever rejects reconnects
+// from a severed consumer's address.
+const DefaultQuarantine = 30 * time.Second
+
+// ErrOverloaded is the sentinel for publishes rejected by admission
+// control. It crosses the wire as a Message.Error with a recognizable
+// prefix (the StaleRingError precedent), so IsOverloaded works on both
+// the server's own error and the reconstructed client-side one.
+var ErrOverloaded = errors.New("broker: overloaded")
+
+// overloadedPrefix marks admission-control rejections on the wire.
+const overloadedPrefix = "overloaded: "
+
+// OverloadedError builds a rejection error that IsOverloaded
+// recognizes after a round trip through Message.Error and that
+// errors.Is matches against ErrOverloaded locally.
+func OverloadedError(format string, args ...any) error {
+	return &overloadError{msg: overloadedPrefix + fmt.Sprintf(format, args...)}
+}
+
+type overloadError struct{ msg string }
+
+func (e *overloadError) Error() string        { return e.msg }
+func (e *overloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// IsOverloaded reports whether err is an admission-control rejection —
+// locally produced or reconstructed from a wire response. Clients
+// treat it as "back off, do not burn the retry budget".
+func IsOverloaded(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, ErrOverloaded) || strings.Contains(err.Error(), overloadedPrefix)
+}
+
+// expiredPrefix marks work refused because its propagated deadline had
+// already passed when the broker got to it.
+const expiredPrefix = "deadline expired: "
+
+// ExpiredError builds a deadline-expired rejection that IsExpired
+// recognizes after a round trip through Message.Error.
+func ExpiredError(format string, args ...any) error {
+	return fmt.Errorf(expiredPrefix+format, args...)
+}
+
+// IsExpired reports whether err is a deadline-expired rejection. There
+// is no point retrying: the caller's budget is gone.
+func IsExpired(err error) bool {
+	return err != nil && strings.Contains(err.Error(), expiredPrefix)
+}
+
+// AdmissionConfig sets the broker-wide overload watermarks. The zero
+// value of any field disables that trigger; a config with every field
+// zero disables admission control entirely.
+type AdmissionConfig struct {
+	// MaxInflightPublishes bounds concurrently executing publishes;
+	// past it, new publishes are rejected with ErrOverloaded.
+	MaxInflightPublishes int64
+	// PendingHighBytes is the high watermark over the broker-wide sum
+	// of pending fan-out bytes (queued notifications plus unflushed
+	// control bytes, across all connections). Above it the broker sheds
+	// notifications; at twice it, publishes are rejected too.
+	PendingHighBytes int64
+	// PendingLowBytes is the hysteresis floor: shedding stops only once
+	// pending bytes fall back below it. Defaults to PendingHighBytes/2.
+	PendingLowBytes int64
+	// MaxHeapBytes rejects publishes while the runtime's live heap
+	// exceeds it. Sampled on CheckInterval, not per request.
+	MaxHeapBytes uint64
+	// CheckInterval is the watermark re-evaluation period (memory
+	// sampling and hysteresis transitions). Defaults to 100ms.
+	CheckInterval time.Duration
+}
+
+// enabled reports whether any trigger is configured.
+func (c AdmissionConfig) enabled() bool {
+	return c.MaxInflightPublishes > 0 || c.PendingHighBytes > 0 || c.MaxHeapBytes > 0
+}
+
+// Admission states, in escalation order.
+const (
+	admissionOK       = 0 // full service
+	admissionShedding = 1 // notifications shed, publishes still admitted
+	admissionOverload = 2 // publishes rejected too
+)
+
+// admissionStateNames maps states to /readyz and dashboard labels.
+var admissionStateNames = [...]string{"ok", "shedding", "overloaded"}
+
+// admissionController tracks load against the configured watermarks
+// and answers the two hot-path questions — "admit this publish?" and
+// "shed this notification?" — with one atomic load each.
+type admissionController struct {
+	cfg     AdmissionConfig
+	pending *atomic.Int64 // broker-wide pending fan-out bytes (shared with connWriters)
+
+	inflight atomic.Int64 // currently executing publishes
+	heap     atomic.Uint64
+	state    atomic.Int32
+
+	mu     sync.Mutex
+	reason string // human-readable cause of the current state
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	// Telemetry hooks, nil when telemetry is off.
+	onState func(state int32, pending int64, inflight int64)
+}
+
+func newAdmissionController(cfg AdmissionConfig, pending *atomic.Int64) *admissionController {
+	if cfg.PendingHighBytes > 0 && cfg.PendingLowBytes <= 0 {
+		cfg.PendingLowBytes = cfg.PendingHighBytes / 2
+	}
+	if cfg.CheckInterval <= 0 {
+		cfg.CheckInterval = 100 * time.Millisecond
+	}
+	a := &admissionController{
+		cfg:     cfg,
+		pending: pending,
+		stop:    make(chan struct{}),
+	}
+	a.wg.Add(1)
+	go a.loop()
+	return a
+}
+
+// loop re-evaluates the watermarks on the check interval. Memory is
+// only sampled here — ReadMemStats is far too heavy for a request
+// path — and hysteresis transitions happen here, so a burst that
+// drains immediately still sheds for at most one interval.
+func (a *admissionController) loop() {
+	defer a.wg.Done()
+	t := time.NewTicker(a.cfg.CheckInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-t.C:
+			if a.cfg.MaxHeapBytes > 0 {
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				a.heap.Store(ms.HeapAlloc)
+			}
+			a.evaluate()
+		}
+	}
+}
+
+// evaluate recomputes the admission state from current load.
+func (a *admissionController) evaluate() {
+	pending := a.pending.Load()
+	inflight := a.inflight.Load()
+	heap := a.heap.Load()
+
+	state := int32(admissionOK)
+	reason := ""
+	switch {
+	case a.cfg.MaxHeapBytes > 0 && heap > a.cfg.MaxHeapBytes:
+		state = admissionOverload
+		reason = fmt.Sprintf("heap %d bytes over limit %d", heap, a.cfg.MaxHeapBytes)
+	case a.cfg.MaxInflightPublishes > 0 && inflight >= a.cfg.MaxInflightPublishes:
+		state = admissionOverload
+		reason = fmt.Sprintf("%d in-flight publishes at limit %d", inflight, a.cfg.MaxInflightPublishes)
+	case a.cfg.PendingHighBytes > 0 && pending >= 2*a.cfg.PendingHighBytes:
+		state = admissionOverload
+		reason = fmt.Sprintf("pending fan-out %d bytes at 2x watermark %d", pending, a.cfg.PendingHighBytes)
+	case a.cfg.PendingHighBytes > 0 && pending >= a.cfg.PendingHighBytes:
+		state = admissionShedding
+		reason = fmt.Sprintf("pending fan-out %d bytes over watermark %d", pending, a.cfg.PendingHighBytes)
+	default:
+		// Hysteresis: once shedding, stay shedding until pending falls
+		// below the low watermark, so the state doesn't flap around the
+		// high mark.
+		if a.state.Load() >= admissionShedding &&
+			a.cfg.PendingHighBytes > 0 && pending > a.cfg.PendingLowBytes {
+			state = admissionShedding
+			reason = fmt.Sprintf("draining: pending fan-out %d bytes above low watermark %d", pending, a.cfg.PendingLowBytes)
+		}
+	}
+
+	a.state.Store(state)
+	a.mu.Lock()
+	a.reason = reason
+	a.mu.Unlock()
+	if a.onState != nil {
+		a.onState(state, pending, inflight)
+	}
+}
+
+// admitPublish admits or rejects one publish. On admission the caller
+// must call releasePublish when the publish completes. The inflight
+// limit is enforced here directly (not just on the evaluation tick) so
+// a burst between ticks cannot overshoot it.
+func (a *admissionController) admitPublish() error {
+	if a.state.Load() >= admissionOverload {
+		a.mu.Lock()
+		reason := a.reason
+		a.mu.Unlock()
+		return OverloadedError("%s", reason)
+	}
+	n := a.inflight.Add(1)
+	if a.cfg.MaxInflightPublishes > 0 && n > a.cfg.MaxInflightPublishes {
+		a.inflight.Add(-1)
+		return OverloadedError("%d in-flight publishes at limit %d", n, a.cfg.MaxInflightPublishes)
+	}
+	return nil
+}
+
+func (a *admissionController) releasePublish() {
+	a.inflight.Add(-1)
+}
+
+// shedNotify reports whether notifications should currently be shed.
+func (a *admissionController) shedNotify() bool {
+	return a.state.Load() >= admissionShedding
+}
+
+// snapshot returns the current state name and its reason ("" when ok).
+func (a *admissionController) snapshot() (string, string) {
+	s := a.state.Load()
+	a.mu.Lock()
+	reason := a.reason
+	a.mu.Unlock()
+	return admissionStateNames[s], reason
+}
+
+func (a *admissionController) close() {
+	close(a.stop)
+	a.wg.Wait()
+}

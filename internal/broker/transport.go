@@ -8,6 +8,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pubsubcd/internal/match"
@@ -137,7 +138,26 @@ type serverMetrics struct {
 	recv          map[string]*telemetry.Counter
 	handleNanos   map[string]*telemetry.Histogram
 	negotiated    map[string]*telemetry.Counter // per negotiated codec name
+
+	// Overload plane. shed counts dropped/rejected work by class
+	// (notify, publish, expired); slowConsumer counts per-connection
+	// policy actions (dropped, blocked, severed, quarantined).
+	shed          *telemetry.CounterVec
+	slowConsumer  *telemetry.CounterVec
+	pendingBytes  *telemetry.Gauge
+	overloadState *telemetry.Gauge
+	inflightPubs  *telemetry.Gauge
 }
+
+// Shed classes, the values of the overload.shed{class} counter, in
+// shedding-priority order: notifications go first, publishes only past
+// the hard watermarks, expired work is refused whenever its propagated
+// deadline has already passed.
+const (
+	shedClassNotify  = "notify"
+	shedClassPublish = "publish"
+	shedClassExpired = "expired"
+)
 
 // wireTypes are the request types the server accounts per-type.
 var wireTypes = []string{msgSubscribe, msgUnsubscribe, msgPublish, msgFetch, msgPing, msgHandoff, msgHello}
@@ -160,6 +180,11 @@ func newServerMetrics(reg *telemetry.Registry, codecs []Codec) *serverMetrics {
 		recv:          make(map[string]*telemetry.Counter, len(wireTypes)+1),
 		handleNanos:   make(map[string]*telemetry.Histogram, len(wireTypes)+1),
 		negotiated:    make(map[string]*telemetry.Counter, len(codecs)),
+		shed:          reg.CounterVec("overload.shed", "class"),
+		slowConsumer:  reg.CounterVec("overload.slow_consumer", "action"),
+		pendingBytes:  reg.Gauge("overload.pending_bytes"),
+		overloadState: reg.Gauge("overload.state"),
+		inflightPubs:  reg.Gauge("overload.inflight_publishes"),
 	}
 	lat := telemetry.LatencyBuckets()
 	for _, t := range append([]string{"unknown"}, wireTypes...) {
@@ -202,6 +227,20 @@ type Server struct {
 	metrics      *serverMetrics
 	spans        *telemetry.SpanCollector // nil = tracing off
 
+	// Overload plane: the per-connection slow-consumer policy, the
+	// broker-wide pending fan-out byte count the connWriters maintain,
+	// and (when configured) the admission controller watching it.
+	slowPolicy    SlowConsumerPolicy
+	maxPerConn    int64
+	blockTimeout  time.Duration
+	quarantineFor time.Duration
+	pending       atomic.Int64
+	admission     *admissionController
+	admissionOnce sync.Once
+
+	quarMu      sync.Mutex
+	quarantined map[string]time.Time // host -> rejected until
+
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
@@ -240,19 +279,56 @@ func NewServer(b Backend, addr string, opts ...ServerOption) (*Server, error) {
 		maxFrame = DefaultMaxFrame
 	}
 	s := &Server{
-		backend:      b,
-		ln:           ln,
-		idleTimeout:  defaultTimeout(cfg.idleTimeout, DefaultIdleTimeout),
-		writeTimeout: defaultTimeout(cfg.writeTimeout, DefaultWriteTimeout),
-		codecs:       codecs,
-		maxFrame:     maxFrame,
-		metrics:      newServerMetrics(cfg.telemetry, codecs),
-		spans:        cfg.spans,
-		conns:        make(map[net.Conn]struct{}),
+		backend:       b,
+		ln:            ln,
+		idleTimeout:   defaultTimeout(cfg.idleTimeout, DefaultIdleTimeout),
+		writeTimeout:  defaultTimeout(cfg.writeTimeout, DefaultWriteTimeout),
+		codecs:        codecs,
+		maxFrame:      maxFrame,
+		metrics:       newServerMetrics(cfg.telemetry, codecs),
+		spans:         cfg.spans,
+		slowPolicy:    cfg.slowPolicy,
+		maxPerConn:    cfg.maxPendingPerConn,
+		blockTimeout:  cfg.blockTimeout,
+		quarantineFor: defaultTimeout(cfg.quarantine, DefaultQuarantine),
+		quarantined:   make(map[string]time.Time),
+		conns:         make(map[net.Conn]struct{}),
+	}
+	if cfg.admission.enabled() {
+		s.admission = newAdmissionController(cfg.admission, &s.pending)
+		if sm := s.metrics; sm != nil {
+			s.admission.onState = func(state int32, pending, inflight int64) {
+				sm.overloadState.Set(int64(state))
+				sm.pendingBytes.Set(pending)
+				sm.inflightPubs.Set(inflight)
+			}
+		}
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// OverloadState reports the admission controller's current state name
+// ("ok", "shedding", "overloaded") and, when degraded, the reason.
+// Without admission control the broker is always "ok". Suitable for
+// /readyz degraded-reason reporting.
+func (s *Server) OverloadState() (state, reason string) {
+	if s.admission == nil {
+		return admissionStateNames[admissionOK], ""
+	}
+	return s.admission.snapshot()
+}
+
+// PendingFanoutBytes returns the broker-wide bytes queued toward
+// subscribers (unflushed control frames plus queued notifications).
+func (s *Server) PendingFanoutBytes() int64 { return s.pending.Load() }
+
+// countShed advances the overload.shed{class} counter.
+func (s *Server) countShed(class string) {
+	if sm := s.metrics; sm != nil {
+		sm.shed.With(class).Inc()
+	}
 }
 
 // defaultTimeout resolves the 0=default / negative=disabled convention.
@@ -288,7 +364,17 @@ func (s *Server) Close() error {
 		_ = c.Close()
 	}
 	s.wg.Wait()
+	s.stopAdmission()
 	return err
+}
+
+// stopAdmission shuts the admission controller's watermark loop down
+// exactly once (Close and Shutdown may both run).
+func (s *Server) stopAdmission() {
+	if s.admission == nil {
+		return
+	}
+	s.admissionOnce.Do(s.admission.close)
 }
 
 // Shutdown stops the server gracefully: the listener closes, every
@@ -324,6 +410,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.stopAdmission()
 		return err
 	case <-ctx.Done():
 		s.mu.Lock()
@@ -332,6 +419,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		s.mu.Unlock()
 		<-done
+		s.stopAdmission()
 		if err == nil {
 			err = ctx.Err()
 		}
@@ -350,12 +438,54 @@ func (s *Server) draining() bool {
 // false once Close or Shutdown has begun. Suitable as a /readyz check.
 func (s *Server) Accepting() bool { return !s.draining() }
 
+// quarantineAddr rejects future connections from remote's host for the
+// server's quarantine window (the sever-and-quarantine policy's second
+// half: a severed slow consumer must not burn fan-out capacity by
+// reconnecting in a tight loop).
+func (s *Server) quarantineAddr(remote string) {
+	host, _, err := net.SplitHostPort(remote)
+	if err != nil {
+		host = remote
+	}
+	s.quarMu.Lock()
+	s.quarantined[host] = time.Now().Add(s.quarantineFor)
+	s.quarMu.Unlock()
+}
+
+// rejectQuarantined reports whether remote's host is quarantined,
+// pruning expired entries as it goes.
+func (s *Server) rejectQuarantined(remote string) bool {
+	host, _, err := net.SplitHostPort(remote)
+	if err != nil {
+		host = remote
+	}
+	now := time.Now()
+	s.quarMu.Lock()
+	defer s.quarMu.Unlock()
+	until, ok := s.quarantined[host]
+	if !ok {
+		return false
+	}
+	if now.After(until) {
+		delete(s.quarantined, host)
+		return false
+	}
+	return true
+}
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
 			return
+		}
+		if s.rejectQuarantined(conn.RemoteAddr().String()) {
+			if sm := s.metrics; sm != nil {
+				sm.slowConsumer.With(slowActionQuarantined).Inc()
+			}
+			_ = conn.Close()
+			continue
 		}
 		s.mu.Lock()
 		if s.closed {
@@ -421,6 +551,16 @@ func (s *Server) handle(conn net.Conn) {
 	maxFrame := s.maxFrame
 	br := bufio.NewReaderSize(&countingReader{r: conn, c: bytesIn}, readBufSize)
 	cw := newConnWriter(conn, codec, maxFrame, s.writeTimeout, bytesOut, writeTimeouts, flushes)
+	var onAction func(action string, n int64)
+	if sm != nil {
+		onAction = func(action string, n int64) { sm.slowConsumer.With(action).Add(n) }
+	}
+	var onSever func()
+	if s.slowPolicy == SlowConsumerSever && s.quarantineFor > 0 {
+		remote := conn.RemoteAddr().String()
+		onSever = func() { s.quarantineAddr(remote) }
+	}
+	cw.configureNotifyLane(s.slowPolicy, s.maxPerConn, s.blockTimeout, &s.pending, onAction, onSever)
 
 	var subIDs []int64
 	defer func() {
@@ -522,7 +662,18 @@ func (s *Server) handle(conn net.Conn) {
 			continue
 		}
 		ctx, sp := s.requestSpan(&m)
+		// A propagated deadline bounds everything this request does
+		// downstream (storage, cluster forwards): the broker fails the
+		// work the moment the sender's budget is gone instead of
+		// finishing it late for nobody.
+		var cancel context.CancelFunc
+		if m.DeadlineMS > 0 {
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(m.DeadlineMS)*time.Millisecond)
+		}
 		resp = s.dispatch(ctx, &m, cw, &subIDs)
+		if cancel != nil {
+			cancel()
+		}
 		if sp != nil {
 			if resp.Error != "" {
 				sp.SetError(errors.New(resp.Error))
@@ -581,18 +732,21 @@ type connNotifier struct {
 
 func (cn connNotifier) Notify(n Notification) { cn.NotifyContext(context.Background(), n) }
 
-// notifyMsgPool recycles notify envelopes so the fan-out hot path —
-// one send per matched subscription per publish — allocates nothing.
-// Safe because send() encodes synchronously: once it returns, the
-// message's bytes are in the batch and the envelope is free.
-var notifyMsgPool = sync.Pool{New: func() any { return new(Message) }}
-
 func (cn connNotifier) NotifyContext(ctx context.Context, n Notification) {
-	m := notifyMsgPool.Get().(*Message)
-	*m = Message{Type: msgNotify}
-	m.notifScratch = n
-	m.Notification = &m.notifScratch
+	s := cn.s
+	// Broker-wide shedding: past the pending-bytes high watermark every
+	// notification is dropped at the door — a missed refresh is the
+	// cheapest work the broker can decline, and control traffic and
+	// publishes keep flowing. (Per-connection overflow is handled below
+	// by the connWriter's slow-consumer policy instead.)
+	if s.admission != nil && s.admission.shedNotify() {
+		if sm := s.metrics; sm != nil {
+			sm.shed.With(shedClassNotify).Inc()
+		}
+		return
+	}
 	var sp *telemetry.Span
+	var trace string
 	// One context probe up front: an untraced publish (the steady-state
 	// fan-out path) skips span creation entirely — this runs once per
 	// matched subscription, so the context-chain walks show up.
@@ -600,16 +754,15 @@ func (cn connNotifier) NotifyContext(ctx context.Context, n Notification) {
 		_, sp = telemetry.StartSpan(ctx, "transport.server.notify")
 		if sp != nil {
 			sp.SetAttr("page", n.PageID)
-			m.Trace = sp.Context().String()
+			trace = sp.Context().String()
 		} else {
 			// No local collector but the caller is traced: still propagate.
-			m.Trace = sc.String()
+			trace = sc.String()
 		}
 	}
-	err := cn.cw.send(m)
-	notifyMsgPool.Put(m)
+	err := cn.cw.enqueueNotify(n, trace)
 	if err == nil {
-		if sm := cn.s.metrics; sm != nil {
+		if sm := s.metrics; sm != nil {
 			sm.notifySends.Inc()
 		}
 	}
@@ -646,6 +799,19 @@ func (s *Server) dispatch(ctx context.Context, m *Message, cw *connWriter, subID
 		}
 		return Message{Type: msgResponse, OK: true}
 	case msgPublish:
+		if err := ctx.Err(); err != nil {
+			// The sender's propagated budget is already gone: refuse the
+			// work instead of publishing to a caller who stopped waiting.
+			s.countShed(shedClassExpired)
+			return Message{Type: msgResponse, Error: ExpiredError("publish: %v", err).Error()}
+		}
+		if s.admission != nil {
+			if err := s.admission.admitPublish(); err != nil {
+				s.countShed(shedClassPublish)
+				return Message{Type: msgResponse, Error: err.Error()}
+			}
+			defer s.admission.releasePublish()
+		}
 		body, err := m.bodyBytes()
 		if err != nil {
 			return Message{Type: msgResponse, Error: "bad body encoding: " + err.Error()}
@@ -658,10 +824,21 @@ func (s *Server) dispatch(ctx context.Context, m *Message, cw *connWriter, subID
 			Body:     body,
 		})
 		if err != nil {
+			if m.DeadlineMS > 0 && ctx.Err() != nil {
+				// The budget ran out mid-publish (e.g. a cluster forward
+				// that waited behind a dead peer): report it as expired so
+				// the sender knows not to retry.
+				s.countShed(shedClassExpired)
+				err = ExpiredError("publish: %v", err)
+			}
 			return Message{Type: msgResponse, Error: err.Error()}
 		}
 		return Message{Type: msgResponse, OK: true, Matched: matched}
 	case msgFetch:
+		if err := ctx.Err(); err != nil {
+			s.countShed(shedClassExpired)
+			return Message{Type: msgResponse, Error: ExpiredError("fetch: %v", err).Error()}
+		}
 		c, err := s.backend.FetchContext(ctx, m.ID)
 		if err != nil {
 			return Message{Type: msgResponse, Error: err.Error()}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -85,6 +86,25 @@ type Config struct {
 
 	// DialFunc replaces the member links' TCP dialer (faultnet hook).
 	DialFunc func(ctx context.Context, addr string) (net.Conn, error)
+
+	// SlowConsumerPolicy governs connections (edge clients and peer
+	// links alike) that stop draining their notify stream from this
+	// member's wire server; zero is the blocking default. See
+	// broker.WithSlowConsumerPolicy.
+	SlowConsumerPolicy broker.SlowConsumerPolicy
+	// MaxPendingPerConn bounds each connection's queued notify bytes
+	// before SlowConsumerPolicy applies; 0 keeps the broker default.
+	MaxPendingPerConn int64
+	// Admission enables broker-wide admission control on this member's
+	// wire server; the zero value disables it.
+	Admission broker.AdmissionConfig
+
+	// BreakerThreshold and BreakerCooldown tune the per-peer circuit
+	// breakers on the member links (consecutive transport failures
+	// that open a breaker, and how long it fails forwards fast before
+	// probing). Zero values take the broker package defaults.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 }
 
 // withDefaults resolves zero values.
@@ -235,6 +255,9 @@ func Start(cfg Config) (*Node, error) {
 	srvOpts := []broker.ServerOption{
 		broker.WithServerTelemetry(cfg.Registry),
 		broker.WithServerTracer(cfg.Spans),
+		broker.WithSlowConsumerPolicy(cfg.SlowConsumerPolicy),
+		broker.WithMaxPendingPerConn(cfg.MaxPendingPerConn),
+		broker.WithAdmissionControl(cfg.Admission),
 	}
 	if cfg.Listener != nil {
 		srvOpts = append(srvOpts, broker.WithListener(cfg.Listener))
@@ -269,6 +292,10 @@ func (n *Node) Ring() *Ring {
 // Durable reports whether partitions journal to disk. The transport
 // consults it during graceful shutdown.
 func (n *Node) Durable() bool { return n.cfg.DataDir != "" }
+
+// OverloadState reports the wire server's admission state ("ok",
+// "shedding" or "overloaded") and, when degraded, the reason.
+func (n *Node) OverloadState() (state, reason string) { return n.server.OverloadState() }
 
 // ringVersion is the lock-free ring version for request stamping.
 func (n *Node) ringVersion() uint64 { return n.ringV.Load() }
@@ -352,7 +379,20 @@ func (n *Node) link(id string) (*memberLink, error) {
 	if !ok {
 		return nil, fmt.Errorf("cluster: unknown peer %q", id)
 	}
-	l := &memberLink{node: n, id: id, addr: addr, subs: make(map[int64]int64)}
+	l := &memberLink{
+		node: n, id: id, addr: addr,
+		subs: make(map[int64]int64),
+		brk:  broker.NewBreaker(n.cfg.BreakerThreshold, n.cfg.BreakerCooldown),
+	}
+	if n.met != nil {
+		peer := id
+		l.brk.OnChange(func(s broker.BreakerState) {
+			n.met.breakerState.With(peer).Set(int64(s))
+			if s == broker.BreakerOpen {
+				n.met.breakerOpens.Inc()
+			}
+		})
+	}
 	n.links[id] = l
 	return l, nil
 }
@@ -413,6 +453,13 @@ type memberLink struct {
 	mu     sync.Mutex
 	client *broker.Client
 	subs   map[int64]int64 // link-client sub ID -> edge route ID
+
+	// brk is the per-peer circuit breaker: a run of transport-class
+	// failures opens it and forwards fail fast (errBreakerOpen, still
+	// retryable — the work stays buffered) instead of burning a
+	// request timeout each attempt against a peer known dead. The
+	// heartbeat ping doubles as the half-open probe.
+	brk *broker.Breaker
 }
 
 // get returns the live client, dialing on first use. Peers that are
@@ -482,16 +529,66 @@ func (l *memberLink) untrack(linkID int64) {
 	l.mu.Unlock()
 }
 
+// errBreakerOpen is the fail-fast result for forwards attempted while
+// the peer's breaker is open. It is retryable (retryableForward), so
+// forwarding loops keep their work buffered and re-check on the next
+// backoff tick without touching the network.
+var errBreakerOpen = errors.New("cluster: peer circuit breaker open")
+
+// allow consults the breaker before a forward; open fails fast.
+func (l *memberLink) allow() error {
+	if l.brk.Allow() {
+		return nil
+	}
+	if l.node.met != nil {
+		l.node.met.breakerFastFails.Inc()
+	}
+	return errBreakerOpen
+}
+
+// observe feeds a forward's outcome to the breaker. Only
+// transport-class failures (the peer unreachable) count against it;
+// semantic rejections — stale ring, duplicate publish, unknown page —
+// prove the peer alive and reset the failure run.
+func (l *memberLink) observe(err error) {
+	if peerUnreachable(err) {
+		l.brk.Failure()
+	} else {
+		l.brk.Success()
+	}
+}
+
+// peerUnreachable classifies errors that mean the peer itself is down
+// or unreachable, as opposed to answering with a rejection.
+func peerUnreachable(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, broker.ErrConnectionLost), errors.Is(err, broker.ErrClientClosed):
+		return true
+	case errors.Is(err, context.DeadlineExceeded):
+		return true
+	}
+	s := err.Error()
+	return strings.Contains(s, "dial") || strings.Contains(s, "connection")
+}
+
 // ping probes the peer and returns the ring version its response
-// carried (0 when unknown).
+// carried (0 when unknown). The probe bypasses the breaker's Allow —
+// it IS the scheduled reachability check — and its outcome feeds the
+// breaker, so a heartbeat recovery closes the breaker even when no
+// forward traffic half-open-probed it first.
 func (l *memberLink) ping(ctx context.Context) (uint64, error) {
 	c, err := l.get(ctx)
 	if err != nil {
+		l.brk.Failure()
 		return 0, err
 	}
 	if err := c.Ping(ctx); err != nil {
+		l.brk.Failure()
 		return 0, err
 	}
+	l.brk.Success()
 	return c.ServerRingVersion(), nil
 }
 

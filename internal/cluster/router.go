@@ -182,10 +182,13 @@ func (n *Node) publishPartition(ctx context.Context, p int, c broker.Content) (i
 			var l *memberLink
 			l, err = n.link(owner)
 			if err == nil {
-				var cl *broker.Client
-				cl, err = l.get(ctx)
-				if err == nil {
-					matched, err = cl.PublishPartition(ctx, p, c)
+				if err = l.allow(); err == nil {
+					var cl *broker.Client
+					cl, err = l.get(ctx)
+					if err == nil {
+						matched, err = cl.PublishPartition(ctx, p, c)
+					}
+					l.observe(err)
 				}
 			}
 		}
@@ -232,6 +235,10 @@ func retryableForward(err error) bool {
 	switch {
 	case err == nil:
 		return false
+	case errors.Is(err, errBreakerOpen):
+		// Fail-fast from an open breaker: the peer may recover (or the
+		// ring may move the partition); keep the work buffered.
+		return true
 	case broker.IsStaleRing(err):
 		return true
 	case errors.Is(err, broker.ErrConnectionLost), errors.Is(err, broker.ErrClientClosed):
@@ -403,16 +410,19 @@ func (n *Node) bindPartition(ctx context.Context, es *edgeSub, p int, ring *Ring
 			var l *memberLink
 			l, err = n.link(owner)
 			if err == nil {
-				var cl *broker.Client
-				cl, err = l.get(bctx)
-				if err == nil {
-					var linkID int64
-					linkID, err = cl.SubscribePartition(bctx, p, scoped.Proxy, scoped.Topics, scoped.Keywords)
+				if err = l.allow(); err == nil {
+					var cl *broker.Client
+					cl, err = l.get(bctx)
 					if err == nil {
-						l.track(linkID, es.id)
-						n.met.count(func(m *metrics) *telemetry.CounterVec { return m.subscribes }, routeForwarded)
-						b = &subBinding{partition: p, owner: owner, link: l, linkID: linkID}
+						var linkID int64
+						linkID, err = cl.SubscribePartition(bctx, p, scoped.Proxy, scoped.Topics, scoped.Keywords)
+						if err == nil {
+							l.track(linkID, es.id)
+							n.met.count(func(m *metrics) *telemetry.CounterVec { return m.subscribes }, routeForwarded)
+							b = &subBinding{partition: p, owner: owner, link: l, linkID: linkID}
+						}
 					}
+					l.observe(err)
 				}
 			}
 		}
@@ -546,12 +556,18 @@ func (n *Node) FetchContext(ctx context.Context, pageID string) (broker.Content,
 				lastErr = lerr
 				continue
 			}
+			if lerr := l.allow(); lerr != nil {
+				lastErr = lerr
+				continue
+			}
 			cl, cerr := l.get(ctx)
 			if cerr != nil {
+				l.observe(cerr)
 				lastErr = cerr
 				continue
 			}
 			c, err = cl.FetchPartition(ctx, p, pageID)
+			l.observe(err)
 		}
 		if err == nil {
 			return c, nil

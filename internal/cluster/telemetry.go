@@ -29,6 +29,14 @@ type metrics struct {
 	peerRecoveries *telemetry.Counter
 	fetchProbes    *telemetry.Counter
 
+	// breakerState is each member link's circuit-breaker state
+	// (0 closed, 1 open, 2 half-open) keyed by peer ID; breakerOpens
+	// counts closed→open transitions, breakerFastFails the forwards
+	// rejected without touching the network while a breaker was open.
+	breakerState     *telemetry.GaugeVec
+	breakerOpens     *telemetry.Counter
+	breakerFastFails *telemetry.Counter
+
 	handoffsSent     *telemetry.Counter
 	handoffsReceived *telemetry.Counter
 	handoffErrors    *telemetry.Counter
@@ -54,6 +62,9 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 		peerFailures:     reg.Counter("cluster.peer_failures"),
 		peerRecoveries:   reg.Counter("cluster.peer_recoveries"),
 		fetchProbes:      reg.Counter("cluster.fetch_probes"),
+		breakerState:     reg.GaugeVec("overload.breaker_state", "peer"),
+		breakerOpens:     reg.Counter("overload.breaker_opens"),
+		breakerFastFails: reg.Counter("overload.breaker_fast_fails"),
 		handoffsSent:     reg.Counter("cluster.handoffs_sent"),
 		handoffsReceived: reg.Counter("cluster.handoffs_received"),
 		handoffErrors:    reg.Counter("cluster.handoff_errors"),

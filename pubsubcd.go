@@ -422,6 +422,71 @@ var (
 	DefaultBackoff = broker.DefaultBackoff
 )
 
+// Overload control: slow-consumer isolation, broker-wide admission
+// control, and circuit breakers.
+type (
+	// SlowConsumerPolicy selects what happens to a subscriber that
+	// stops reading its notifications (block, drop-oldest, sever).
+	SlowConsumerPolicy = broker.SlowConsumerPolicy
+	// AdmissionConfig sets the broker's admission watermarks (pending
+	// fan-out bytes, in-flight publishes, heap).
+	AdmissionConfig = broker.AdmissionConfig
+	// Breaker is a three-state circuit breaker (closed, open,
+	// half-open with a single probe), as used on cluster member links
+	// and federation uplinks.
+	Breaker = broker.Breaker
+	// BreakerState is a Breaker's current state.
+	BreakerState = broker.BreakerState
+)
+
+// Slow-consumer policies and breaker states.
+const (
+	SlowConsumerBlock      = broker.SlowConsumerBlock
+	SlowConsumerDropOldest = broker.SlowConsumerDropOldest
+	SlowConsumerSever      = broker.SlowConsumerSever
+
+	BreakerClosed   = broker.BreakerClosed
+	BreakerOpen     = broker.BreakerOpen
+	BreakerHalfOpen = broker.BreakerHalfOpen
+)
+
+var (
+	// ErrOverloaded marks publishes rejected by admission control; a
+	// resilient client backs off with jitter instead of burning its
+	// retry budget.
+	ErrOverloaded = broker.ErrOverloaded
+	// IsOverloaded recognises overload rejections, including after a
+	// wire round trip through Message.Error.
+	IsOverloaded = broker.IsOverloaded
+	// IsExpired recognises work refused because its propagated
+	// deadline had already passed.
+	IsExpired = broker.IsExpired
+	// ParseSlowConsumerPolicy resolves a -slow-consumer-policy flag
+	// value ("block", "drop-oldest", "sever").
+	ParseSlowConsumerPolicy = broker.ParseSlowConsumerPolicy
+	// NewBreaker builds a circuit breaker (0 threshold/cooldown =
+	// defaults).
+	NewBreaker = broker.NewBreaker
+
+	// WithSlowConsumerPolicy selects the server's slow-consumer
+	// policy.
+	WithSlowConsumerPolicy = broker.WithSlowConsumerPolicy
+	// WithMaxPendingPerConn bounds the notification bytes queued per
+	// connection before the slow-consumer policy applies.
+	WithMaxPendingPerConn = broker.WithMaxPendingPerConn
+	// WithSlowConsumerBlockTimeout sets the block policy's grace
+	// before a stalled consumer is severed.
+	WithSlowConsumerBlockTimeout = broker.WithSlowConsumerBlockTimeout
+	// WithQuarantine sets how long the sever policy rejects
+	// reconnects from a severed subscriber's host.
+	WithQuarantine = broker.WithQuarantine
+	// WithAdmissionControl enables broker-wide admission control.
+	WithAdmissionControl = broker.WithAdmissionControl
+	// WithNotifyGap observes wire-visible notification gaps left by
+	// the drop-oldest policy.
+	WithNotifyGap = broker.WithNotifyGap
+)
+
 // Proxy options.
 var (
 	// WithProxyFetcher routes the proxy's fetch path through an
