@@ -16,10 +16,22 @@
 // reported but never fail the gate, so adding or retiring a bench
 // doesn't break CI.
 //
+// A second, independent mode gates end-to-end soak results instead of
+// micro-benchmarks: -e2e reads a BENCH_e2e.json document produced by
+// `pubsubload -bench-out` and compares it against the committed
+// baseline named by -e2e-baseline. Delivery p99 may regress by at most
+// -max-delivery-regression (relative), and each strategy's
+// live-vs-sim parity deltas may exceed the baseline's by at most
+// -max-parity-slack (absolute). A strategy present in the baseline but
+// missing from the current run fails the gate — a soak that silently
+// stopped covering a strategy is itself a regression. Stdin is not
+// read in this mode.
+//
 // Usage:
 //
 //	go test -bench='BenchmarkSimulationRun' -benchtime=1x . | benchjson -out bench.json
 //	go test -bench=. -benchtime=1x . | benchjson -baseline BENCH_sim.json
+//	benchjson -e2e current_e2e.json -e2e-baseline BENCH_e2e.json
 package main
 
 import (
@@ -85,8 +97,26 @@ func run(args []string, in io.Reader, stdout io.Writer) error {
 	baseline := fs.String("baseline", "", "baseline report JSON to gate against (empty disables the gate)")
 	maxNs := fs.Float64("max-ns-regression", 0.15, "fail when ns/op regresses by more than this fraction over the baseline")
 	maxAllocs := fs.Float64("max-allocs-regression", 0.10, "fail when allocs/op regresses by more than this fraction over the baseline")
+	e2e := fs.String("e2e", "", "gate a pubsubload BENCH_e2e.json document instead of parsing bench output")
+	e2eBaseline := fs.String("e2e-baseline", "", "committed e2e baseline to gate -e2e against")
+	maxDelivery := fs.Float64("max-delivery-regression", 0.15, "fail when e2e delivery p99 regresses by more than this fraction over the baseline")
+	paritySlack := fs.Float64("max-parity-slack", 0.10, "fail when an e2e parity delta exceeds the baseline's by more than this absolute slack")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *e2e != "" {
+		if *e2eBaseline == "" {
+			return fmt.Errorf("-e2e requires -e2e-baseline")
+		}
+		cur, err := loadE2E(*e2e)
+		if err != nil {
+			return fmt.Errorf("e2e: %w", err)
+		}
+		base, err := loadE2E(*e2eBaseline)
+		if err != nil {
+			return fmt.Errorf("e2e baseline: %w", err)
+		}
+		return gateE2E(os.Stderr, base, cur, *maxDelivery, *paritySlack)
 	}
 	rep, err := parse(in)
 	if err != nil {
@@ -131,6 +161,90 @@ func loadReport(path string) (*Report, error) {
 		return nil, err
 	}
 	return &rep, nil
+}
+
+// E2EStrategy mirrors one strategy entry of pubsubload's BENCH_e2e.json.
+type E2EStrategy struct {
+	Name          string  `json:"name"`
+	LiveHitRatio  float64 `json:"liveHitRatio"`
+	SimHitRatio   float64 `json:"simHitRatio"`
+	HitRatioDelta float64 `json:"hitRatioDelta"`
+	TrafficDelta  float64 `json:"trafficDelta"`
+}
+
+// E2EReport mirrors the BENCH_e2e.json document emitted by
+// `pubsubload -bench-out`. The shape is duplicated here rather than
+// imported so the two main packages stay independent; the soak test in
+// cmd/pubsubload pins the JSON field names.
+type E2EReport struct {
+	GOOS          string           `json:"goos"`
+	GOARCH        string           `json:"goarch"`
+	DeliveryP50NS int64            `json:"deliveryP50Ns"`
+	DeliveryP99NS int64            `json:"deliveryP99Ns"`
+	StageP99NS    map[string]int64 `json:"stageP99Ns,omitempty"`
+	Strategies    []E2EStrategy    `json:"strategies"`
+}
+
+func loadE2E(path string) (*E2EReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep E2EReport
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// gateE2E compares a soak run against the committed e2e baseline.
+// Delivery p99 is gated relatively (latency scales with hardware, so a
+// fraction transfers across machines); parity deltas are gated with
+// absolute slack on top of the baseline's own delta (parity is
+// dimensionless and should not drift at all — the slack only absorbs
+// run-to-run replay noise). A baseline strategy missing from the
+// current run fails: losing coverage is a regression, not a skip.
+func gateE2E(log io.Writer, base, cur *E2EReport, maxDelivery, paritySlack float64) error {
+	var failures []string
+	if base.DeliveryP99NS > 0 {
+		frac := float64(cur.DeliveryP99NS)/float64(base.DeliveryP99NS) - 1
+		fmt.Fprintf(log, "e2e: delivery p99 %dns -> %dns (%+.1f%%, limit +%.0f%%)\n",
+			base.DeliveryP99NS, cur.DeliveryP99NS, frac*100, maxDelivery*100)
+		if frac > maxDelivery {
+			failures = append(failures, fmt.Sprintf("delivery p99 regressed %+.1f%%", frac*100))
+		}
+	}
+	byName := make(map[string]E2EStrategy, len(cur.Strategies))
+	for _, s := range cur.Strategies {
+		byName[s.Name] = s
+	}
+	for _, b := range base.Strategies {
+		c, ok := byName[b.Name]
+		if !ok {
+			fmt.Fprintf(log, "e2e: %s: in baseline but not in this run\n", b.Name)
+			failures = append(failures, fmt.Sprintf("strategy %s missing from this run", b.Name))
+			continue
+		}
+		delete(byName, b.Name)
+		fmt.Fprintf(log, "e2e: %s: hit-ratio delta %.4f -> %.4f (limit %.4f)\n",
+			b.Name, b.HitRatioDelta, c.HitRatioDelta, b.HitRatioDelta+paritySlack)
+		if c.HitRatioDelta > b.HitRatioDelta+paritySlack {
+			failures = append(failures, fmt.Sprintf("%s hit-ratio parity widened to %.4f", b.Name, c.HitRatioDelta))
+		}
+		fmt.Fprintf(log, "e2e: %s: traffic delta %.4f -> %.4f (limit %.4f)\n",
+			b.Name, b.TrafficDelta, c.TrafficDelta, b.TrafficDelta+paritySlack)
+		if c.TrafficDelta > b.TrafficDelta+paritySlack {
+			failures = append(failures, fmt.Sprintf("%s traffic parity widened to %.4f", b.Name, c.TrafficDelta))
+		}
+	}
+	for name := range byName {
+		fmt.Fprintf(log, "e2e: %s: new strategy, no baseline, skipped\n", name)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("e2e regression gate failed: %s", strings.Join(failures, "; "))
+	}
+	return nil
 }
 
 // gate compares current against baseline per benchmark name and fails

@@ -122,6 +122,97 @@ func TestGateFailsOnAllocRegression(t *testing.T) {
 	}
 }
 
+func e2eReports() (base, cur *E2EReport) {
+	base = &E2EReport{
+		DeliveryP99NS: 4_000_000,
+		Strategies: []E2EStrategy{
+			{Name: "GD*", HitRatioDelta: 0.001, TrafficDelta: 0.002},
+			{Name: "LRU", HitRatioDelta: 0.000, TrafficDelta: 0.000},
+		},
+	}
+	cur = &E2EReport{
+		DeliveryP99NS: 4_200_000, // +5%
+		Strategies: []E2EStrategy{
+			{Name: "GD*", HitRatioDelta: 0.003, TrafficDelta: 0.004},
+			{Name: "LRU", HitRatioDelta: 0.001, TrafficDelta: 0.002},
+		},
+	}
+	return base, cur
+}
+
+func TestGateE2EPassesWithinBudget(t *testing.T) {
+	base, cur := e2eReports()
+	var log bytes.Buffer
+	if err := gateE2E(&log, base, cur, 0.15, 0.10); err != nil {
+		t.Fatalf("e2e gate failed inside budget: %v\n%s", err, log.String())
+	}
+	if !strings.Contains(log.String(), "delivery p99") {
+		t.Errorf("e2e gate log should show the delivery margin:\n%s", log.String())
+	}
+}
+
+func TestGateE2EFailsOnDeliveryRegression(t *testing.T) {
+	base, cur := e2eReports()
+	cur.DeliveryP99NS = base.DeliveryP99NS * 2 // +100% > 15%
+	var log bytes.Buffer
+	err := gateE2E(&log, base, cur, 0.15, 0.10)
+	if err == nil || !strings.Contains(err.Error(), "delivery p99") {
+		t.Fatalf("e2e gate should fail on delivery p99 regression, got %v", err)
+	}
+}
+
+func TestGateE2EFailsOnParityDrift(t *testing.T) {
+	base, cur := e2eReports()
+	cur.Strategies[0].HitRatioDelta = base.Strategies[0].HitRatioDelta + 0.2 // > 0.10 slack
+	var log bytes.Buffer
+	err := gateE2E(&log, base, cur, 0.15, 0.10)
+	if err == nil || !strings.Contains(err.Error(), "hit-ratio parity") {
+		t.Fatalf("e2e gate should fail on hit-ratio parity drift, got %v", err)
+	}
+}
+
+func TestGateE2EFailsOnMissingStrategy(t *testing.T) {
+	base, cur := e2eReports()
+	cur.Strategies = cur.Strategies[:1] // drop LRU
+	var log bytes.Buffer
+	err := gateE2E(&log, base, cur, 0.15, 0.10)
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("e2e gate should fail when a baseline strategy disappears, got %v", err)
+	}
+	// A new strategy on the current side is fine.
+	base, cur = e2eReports()
+	cur.Strategies = append(cur.Strategies, E2EStrategy{Name: "GD*-exp"})
+	log.Reset()
+	if err := gateE2E(&log, base, cur, 0.15, 0.10); err != nil {
+		t.Fatalf("new strategy should not fail the gate: %v", err)
+	}
+}
+
+func TestRunE2EMode(t *testing.T) {
+	dir := t.TempDir()
+	base, cur := e2eReports()
+	basePath := dir + "/base.json"
+	curPath := dir + "/cur.json"
+	for path, rep := range map[string]*E2EReport{basePath: base, curPath: cur} {
+		raw, _ := json.Marshal(rep)
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out bytes.Buffer
+	// Stdin is unused in e2e mode: pass an empty reader on purpose.
+	if err := run([]string{"-e2e", curPath, "-e2e-baseline", basePath}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("e2e mode inside budget failed: %v", err)
+	}
+	if err := run([]string{"-e2e", curPath}, strings.NewReader(""), &out); err == nil {
+		t.Error("-e2e without -e2e-baseline should fail")
+	}
+	// Tightening the delivery limit below the +5% drift must fail.
+	if err := run([]string{"-e2e", curPath, "-e2e-baseline", basePath, "-max-delivery-regression", "0.01"}, strings.NewReader(""), &out); err == nil {
+		t.Error("e2e gate should fail with a 1% delivery budget against +5% drift")
+	}
+}
+
 func TestRunWithBaselineFlag(t *testing.T) {
 	dir := t.TempDir()
 	basePath := dir + "/base.json"

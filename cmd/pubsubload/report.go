@@ -1,0 +1,277 @@
+// Parity report: reconciles the live replay's observed outcomes with a
+// simulator run on the same workload seed, and folds in the fleet
+// scrape's wire-level delivery-latency decomposition.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"pubsubcd/internal/telemetry"
+	"pubsubcd/internal/telemetry/fleet"
+)
+
+// StrategyParity compares one strategy's live and simulated outcomes.
+type StrategyParity struct {
+	Strategy string `json:"strategy"`
+
+	LiveRequests int64   `json:"liveRequests"`
+	LiveHits     int64   `json:"liveHits"`
+	LiveHitRatio float64 `json:"liveHitRatio"`
+	SimHitRatio  float64 `json:"simHitRatio"`
+	// HitRatioDelta is |live - sim|, an absolute gap in [0, 1].
+	HitRatioDelta float64 `json:"hitRatioDelta"`
+
+	// Traffic is total origin bytes under push-when-necessary: bytes
+	// actually stored on push plus bytes fetched on miss — the
+	// strategy-sensitive quantity the paper optimizes.
+	LiveTrafficBytes int64 `json:"liveTrafficBytes"`
+	SimTrafficBytes  int64 `json:"simTrafficBytes"`
+	// TrafficDelta is |live - sim| / max(sim, 1), a relative gap.
+	TrafficDelta float64 `json:"trafficDelta"`
+
+	PushesMissed  int64 `json:"pushesMissed"`
+	FetchErrors   int64 `json:"fetchErrors"`
+	PublishErrors int64 `json:"publishErrors"`
+	Delivered     int64 `json:"delivered"`
+
+	HitOK     bool `json:"hitOk"`
+	TrafficOK bool `json:"trafficOk"`
+}
+
+// FleetSection summarizes the post-run fleet scrape: merged client
+// delivery latency plus the broker-side stage decomposition.
+type FleetSection struct {
+	Targets int `json:"targets"`
+	Up      int `json:"up"`
+
+	DeliverySamples int64 `json:"deliverySamples"`
+	DeliveryP50NS   int64 `json:"deliveryP50Ns"`
+	DeliveryP99NS   int64 `json:"deliveryP99Ns"`
+
+	// StageP99NS decomposes the broker-side budget:
+	// ingress→match, match→fanout-enqueue, enqueue→flush.
+	StageP99NS map[string]int64 `json:"stageP99Ns,omitempty"`
+}
+
+// Report is the full reconciliation artifact (-out).
+type Report struct {
+	Trace            string  `json:"trace"`
+	Seed             int64   `json:"seed"`
+	Scale            int     `json:"scale"`
+	CapacityFraction float64 `json:"capacityFraction"`
+	Beta             float64 `json:"beta"`
+	DurationSeconds  float64 `json:"durationSeconds"`
+	HitTolerance     float64 `json:"hitTolerance"`
+	TrafficTolerance float64 `json:"trafficTolerance"`
+
+	Strategies []StrategyParity `json:"strategies"`
+	Fleet      FleetSection     `json:"fleet"`
+	Pass       bool             `json:"pass"`
+}
+
+// stageHistograms are the broker-side stage timers surfaced in reports.
+var stageHistograms = []string{
+	"broker.stage_ns.ingress_to_match",
+	"transport.server.stage_ns.fanout_enqueue",
+	"transport.server.stage_ns.enqueue_to_flush",
+}
+
+const deliveryHistogram = "transport.client.delivery_latency_ns"
+
+// mergeDelivery folds every transport.client.delivery_latency_ns{...}
+// series in the snapshot — one per codec label — into a single
+// histogram. All series share LatencyBuckets bounds, so counts add.
+func mergeDelivery(snap telemetry.Snapshot) (telemetry.HistogramSnapshot, bool) {
+	var merged telemetry.HistogramSnapshot
+	found := false
+	for name, h := range snap.Histograms {
+		base, _ := telemetry.ParseSeries(name)
+		if base != deliveryHistogram {
+			continue
+		}
+		if !found {
+			merged = telemetry.HistogramSnapshot{
+				Bounds: append([]int64(nil), h.Bounds...),
+				Counts: make([]int64, len(h.Counts)),
+			}
+			found = true
+		}
+		if len(h.Counts) != len(merged.Counts) {
+			continue
+		}
+		merged.Count += h.Count
+		merged.Sum += h.Sum
+		for i, c := range h.Counts {
+			merged.Counts[i] += c
+		}
+	}
+	return merged, found
+}
+
+// buildFleetSection scrapes all targets once and distills the latency
+// picture. Scrape failures degrade to a partial section (Up < Targets)
+// rather than failing the run — a dead node mid-soak is a finding, not
+// a crash.
+func buildFleetSection(snap fleet.Snapshot) FleetSection {
+	fs := FleetSection{
+		Targets:    snap.Targets,
+		Up:         snap.UpCount,
+		StageP99NS: make(map[string]int64),
+	}
+	if d, ok := mergeDelivery(snap.Merged); ok {
+		fs.DeliverySamples = d.Count
+		fs.DeliveryP50NS = d.Quantile(0.50)
+		fs.DeliveryP99NS = d.Quantile(0.99)
+	}
+	for _, name := range stageHistograms {
+		if h, ok := snap.Merged.Histograms[name]; ok && h.Count > 0 {
+			fs.StageP99NS[name] = h.Quantile(0.99)
+		}
+	}
+	return fs
+}
+
+// gate applies the tolerances and sets per-strategy and overall pass
+// flags.
+func (r *Report) gate() {
+	r.Pass = true
+	for i := range r.Strategies {
+		s := &r.Strategies[i]
+		s.HitOK = s.HitRatioDelta <= r.HitTolerance
+		s.TrafficOK = s.TrafficDelta <= r.TrafficTolerance
+		if !s.HitOK || !s.TrafficOK {
+			r.Pass = false
+		}
+	}
+}
+
+// WriteText renders the human-readable report.
+func (r *Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "pubsubload parity report — trace=%s seed=%d scale=%d capacity=%.3g beta=%.3g duration=%.1fs\n",
+		r.Trace, r.Seed, r.Scale, r.CapacityFraction, r.Beta, r.DurationSeconds)
+	fmt.Fprintf(w, "tolerances: hit-ratio ±%.3f (absolute), traffic ±%.1f%% (relative)\n\n",
+		r.HitTolerance, r.TrafficTolerance*100)
+	for _, s := range r.Strategies {
+		status := "OK"
+		if !s.HitOK || !s.TrafficOK {
+			status = "DIVERGED"
+		}
+		fmt.Fprintf(w, "%-8s %s\n", s.Strategy, status)
+		fmt.Fprintf(w, "  hit ratio  live %.4f  sim %.4f  delta %.4f (%s)\n",
+			s.LiveHitRatio, s.SimHitRatio, s.HitRatioDelta, okStr(s.HitOK))
+		fmt.Fprintf(w, "  traffic    live %d B  sim %d B  delta %.2f%% (%s)\n",
+			s.LiveTrafficBytes, s.SimTrafficBytes, s.TrafficDelta*100, okStr(s.TrafficOK))
+		fmt.Fprintf(w, "  wire       delivered=%d pushesMissed=%d fetchErrors=%d publishErrors=%d\n",
+			s.Delivered, s.PushesMissed, s.FetchErrors, s.PublishErrors)
+	}
+	fmt.Fprintf(w, "\nfleet: %d/%d targets up\n", r.Fleet.Up, r.Fleet.Targets)
+	if r.Fleet.DeliverySamples > 0 {
+		fmt.Fprintf(w, "  delivery latency  p50 %s  p99 %s  (%d samples)\n",
+			time.Duration(r.Fleet.DeliveryP50NS), time.Duration(r.Fleet.DeliveryP99NS), r.Fleet.DeliverySamples)
+	} else {
+		fmt.Fprintf(w, "  delivery latency  no samples scraped\n")
+	}
+	// Stable stage order: the budget reads ingress→match→enqueue→flush.
+	for _, name := range stageHistograms {
+		if q, ok := r.Fleet.StageP99NS[name]; ok {
+			fmt.Fprintf(w, "  stage p99  %-45s %s\n", name, time.Duration(q))
+		}
+	}
+	if r.Pass {
+		fmt.Fprintf(w, "\nPASS: live deployment within tolerance of the simulator\n")
+	} else {
+		fmt.Fprintf(w, "\nFAIL: live-vs-sim divergence exceeds tolerance\n")
+	}
+}
+
+func okStr(ok bool) string {
+	if ok {
+		return "ok"
+	}
+	return "BREACH"
+}
+
+// E2EBenchStrategy is one strategy's entry in BENCH_e2e.json.
+type E2EBenchStrategy struct {
+	Name          string  `json:"name"`
+	LiveHitRatio  float64 `json:"liveHitRatio"`
+	SimHitRatio   float64 `json:"simHitRatio"`
+	HitRatioDelta float64 `json:"hitRatioDelta"`
+	TrafficDelta  float64 `json:"trafficDelta"`
+}
+
+// E2EBench is the committed e2e baseline block (BENCH_e2e.json): the
+// wire-level delivery latency plus the live-vs-sim parity deltas that
+// future PRs are gated against by cmd/benchjson's -e2e mode.
+type E2EBench struct {
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+
+	DeliveryP50NS int64            `json:"deliveryP50Ns"`
+	DeliveryP99NS int64            `json:"deliveryP99Ns"`
+	StageP99NS    map[string]int64 `json:"stageP99Ns,omitempty"`
+
+	Strategies []E2EBenchStrategy `json:"strategies"`
+}
+
+// bench distills the report into the committed baseline shape.
+func (r *Report) bench() E2EBench {
+	b := E2EBench{
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		DeliveryP50NS: r.Fleet.DeliveryP50NS,
+		DeliveryP99NS: r.Fleet.DeliveryP99NS,
+		StageP99NS:    r.Fleet.StageP99NS,
+	}
+	for _, s := range r.Strategies {
+		b.Strategies = append(b.Strategies, E2EBenchStrategy{
+			Name:          s.Strategy,
+			LiveHitRatio:  s.LiveHitRatio,
+			SimHitRatio:   s.SimHitRatio,
+			HitRatioDelta: s.HitRatioDelta,
+			TrafficDelta:  s.TrafficDelta,
+		})
+	}
+	sort.Slice(b.Strategies, func(i, j int) bool { return b.Strategies[i].Name < b.Strategies[j].Name })
+	return b
+}
+
+func writeJSONFile(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// relDelta is |a-b| / max(|b|, 1): a relative gap that stays finite
+// when the reference is zero.
+func relDelta(a, b int64) float64 {
+	ref := math.Abs(float64(b))
+	if ref < 1 {
+		ref = 1
+	}
+	return math.Abs(float64(a-b)) / ref
+}
+
+// sanitizeNS maps a strategy name to a topic-safe namespace segment.
+func sanitizeNS(name string) string {
+	var sb strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}

@@ -182,6 +182,12 @@ func renderFrame(w io.Writer, snap fleet.Snapshot, slo fleet.SLOReport, rates ma
 		snap.Merged.Counters["broker.publishes"], snap.Merged.Counters["broker.pushes"],
 		snap.Merged.Counters["broker.fetches"], snap.Merged.Counters["broker.fetch_misses"])
 
+	// Wire-level delivery latency, when any client has reported it.
+	if row := deliveryRow(snap); row != "" {
+		fmt.Fprintln(w, row)
+		fmt.Fprintln(w)
+	}
+
 	// SLO.
 	burn := "ok"
 	if slo.Window.BurnRate >= 1 {
@@ -270,6 +276,42 @@ func overloadRow(snap fleet.Snapshot) string {
 	}
 	return fmt.Sprintf("overload     state %s   pending %s   shed %d   slow-consumer actions %d",
 		state, fmtBytes(snap.Merged.Gauges["overload.pending_bytes"]), shed, slow)
+}
+
+// deliveryRow folds every transport.client.delivery_latency_ns{...}
+// series across the fleet — one per codec label, all sharing
+// LatencyBuckets bounds — into a single histogram and renders the
+// fleet-wide publish→deliver quantiles. Empty when no client has
+// reported a sample (pre-PublishedAt peers), so old fleets render
+// unchanged.
+func deliveryRow(snap fleet.Snapshot) string {
+	var merged telemetry.HistogramSnapshot
+	found := false
+	for name, h := range snap.Merged.Histograms {
+		if base, _ := telemetry.ParseSeries(name); base != "transport.client.delivery_latency_ns" {
+			continue
+		}
+		if !found {
+			merged = telemetry.HistogramSnapshot{
+				Bounds: append([]int64(nil), h.Bounds...),
+				Counts: make([]int64, len(h.Counts)),
+			}
+			found = true
+		}
+		if len(h.Counts) != len(merged.Counts) {
+			continue
+		}
+		merged.Count += h.Count
+		merged.Sum += h.Sum
+		for i, c := range h.Counts {
+			merged.Counts[i] += c
+		}
+	}
+	if !found || merged.Count == 0 {
+		return ""
+	}
+	return fmt.Sprintf("delivery     p50 %s   p99 %s   (%d samples, publish→deliver on the wire)",
+		time.Duration(merged.Quantile(0.50)), time.Duration(merged.Quantile(0.99)), merged.Count)
 }
 
 // fmtBytes renders a byte count with a binary unit.

@@ -27,8 +27,19 @@ func fixtureSnapshot() fleet.Snapshot {
 			`sim.strategy.hits{strategy="SG2"}`:          40,
 			`sim.strategy.requests{strategy="SG2"}`:      80,
 		},
-		Gauges:     map[string]int64{},
-		Histograms: map[string]telemetry.HistogramSnapshot{},
+		Gauges: map[string]int64{},
+		Histograms: map[string]telemetry.HistogramSnapshot{
+			// Two codec-labeled delivery series; bounds match so the
+			// dashboard merges counts: 8 samples, p50 1ms, p99 10ms.
+			`transport.client.delivery_latency_ns{codec="json"}`: {
+				Count: 4, Sum: 5_000_000,
+				Bounds: []int64{1_000_000, 10_000_000}, Counts: []int64{3, 1, 0},
+			},
+			`transport.client.delivery_latency_ns{codec="binary"}`: {
+				Count: 4, Sum: 4_000_000,
+				Bounds: []int64{1_000_000, 10_000_000}, Counts: []int64{3, 1, 0},
+			},
+		},
 	}
 	return fleet.Snapshot{
 		At:      time.Unix(1700000000, 0),
@@ -89,6 +100,7 @@ func TestOnceFrameAgainstFixture(t *testing.T) {
 		"SG2", "0.5000",
 		"top 2 topics",
 		"news", "sports",
+		"delivery", "p50 1ms", "p99 10ms", "8 samples",
 		"attainment 0.9500",
 		"5.00x",
 		"BURNING",
@@ -149,6 +161,19 @@ func TestOnceFailsOnEmptyFleet(t *testing.T) {
 	err := run([]string{"-fleet", srv.URL, "-once"}, &strings.Builder{})
 	if err == nil || !strings.Contains(err.Error(), "no scrape targets") {
 		t.Errorf("want a no-scrape-targets error, got: %v", err)
+	}
+}
+
+func TestDeliveryRowAbsentWithoutSamples(t *testing.T) {
+	// Fleets of pre-PublishedAt peers export no delivery histograms;
+	// the row must vanish rather than render zeros.
+	snap := fleet.Snapshot{Merged: telemetry.Snapshot{
+		Histograms: map[string]telemetry.HistogramSnapshot{
+			"broker.stage_ns.ingress_to_match": {Count: 5, Bounds: []int64{1000}, Counts: []int64{5, 0}},
+		},
+	}}
+	if row := deliveryRow(snap); row != "" {
+		t.Errorf("deliveryRow without delivery series = %q, want empty", row)
 	}
 }
 

@@ -86,10 +86,17 @@ func putEncodeBuf(b []byte) {
 
 // queuedNotify is one notify-lane entry: the notification by value, its
 // trace context, and the byte estimate charged against the queue bound.
+// pub is the originating publish's ingress instant (zero when the
+// notification did not come from a stamped publish) — the flusher stamps
+// the frame's PublishedAt field with the elapsed time since it at encode
+// time, so the wire value covers every queueing delay up to the flush.
+// enq is the enqueue instant, the zero of the enqueue→flush stage timer.
 type queuedNotify struct {
 	n     Notification
 	trace string
 	est   int64
+	pub   time.Time
+	enq   time.Time
 }
 
 // connWriter serialises and batches all writes of one connection. A
@@ -122,6 +129,10 @@ type connWriter struct {
 	count     int
 	ringBytes int64
 	gap       int64 // notifications dropped since the last flushed frame
+
+	// stageFlush, when set, observes the enqueue→flush latency of each
+	// drained notification (the queueing segment of the delivery budget).
+	stageFlush *telemetry.Histogram
 
 	err    error // sticky flush/sever error
 	closed bool
@@ -163,6 +174,14 @@ func (cw *connWriter) configureNotifyLane(policy SlowConsumerPolicy, maxPending 
 	cw.pendingTotal = pendingTotal
 	cw.onAction = onAction
 	cw.onSever = onSever
+	cw.mu.Unlock()
+}
+
+// setFlushStage attaches the enqueue→flush stage histogram; nil leaves
+// the stage untimed (the client side and untelemetered servers).
+func (cw *connWriter) setFlushStage(h *telemetry.Histogram) {
+	cw.mu.Lock()
+	cw.stageFlush = h
 	cw.mu.Unlock()
 }
 
@@ -238,7 +257,9 @@ func (cw *connWriter) send(m *Message) error {
 //
 // A policy-conformant drop returns nil — the caller's fan-out loop must
 // not treat shedding as failure. Only sever and teardown return errors.
-func (cw *connWriter) enqueueNotify(n Notification, trace string) error {
+// pub is the originating publish's ingress instant; the zero time means
+// "unknown" and leaves the frame's PublishedAt unset.
+func (cw *connWriter) enqueueNotify(n Notification, trace string, pub time.Time) error {
 	est := notifyFrameOverhead + int64(len(n.PageID)) + int64(len(trace))
 	cw.mu.Lock()
 	if cw.ringBytes+est > cw.maxPending && cw.err == nil && !cw.closed {
@@ -281,7 +302,7 @@ func (cw *connWriter) enqueueNotify(n Notification, trace string) error {
 		return errWriterClosed
 	}
 	wasIdle := cw.count == 0 && cw.gap == 0 && len(cw.pend) == 0
-	cw.pushLocked(queuedNotify{n: n, trace: trace, est: est})
+	cw.pushLocked(queuedNotify{n: n, trace: trace, est: est, pub: pub, enq: time.Now()})
 	if cw.pendingTotal != nil {
 		cw.pendingTotal.Add(est)
 	}
@@ -415,6 +436,16 @@ func (cw *connWriter) flushLoop() {
 			em.notifScratch = qn.n
 			em.Trace = qn.trace
 			em.Gap = 0
+			// PublishedAt is stamped at encode time on this (the broker's)
+			// monotonic clock, so it covers matching, fan-out and every
+			// queueing delay, and can never go negative on any receiver.
+			em.PublishedAt = 0
+			if !qn.pub.IsZero() {
+				em.PublishedAt = time.Since(qn.pub).Nanoseconds()
+			}
+			if cw.stageFlush != nil && !qn.enq.IsZero() {
+				cw.stageFlush.Observe(time.Since(qn.enq).Nanoseconds())
+			}
 			start := len(buf)
 			nb, err := cw.codec.AppendFrame(buf, &em)
 			if err != nil {

@@ -297,10 +297,12 @@ func (b *Broker) Publish(c Content) (int, error) {
 // and pushes delivered to context-aware receivers continue the trace.
 func (b *Broker) PublishContext(ctx context.Context, c Content) (int, error) {
 	bt := b.telemetryHandles()
-	var start time.Time
-	if bt != nil {
-		start = time.Now()
-	}
+	// The ingress instant is taken unconditionally: besides feeding the
+	// latency metrics it rides the context into the notify fan-out, where
+	// the transport stamps each notify frame's PublishedAt field with the
+	// elapsed time since this moment (see latency.go).
+	start := time.Now()
+	ctx = withPublishIngress(ctx, start)
 	ctx, sp := telemetry.StartSpan(ctx, "broker.publish")
 	if sp != nil {
 		sp.SetAttr("page", c.ID)
@@ -352,6 +354,9 @@ func (b *Broker) PublishContext(ctx context.Context, c Content) (int, error) {
 	if bt != nil {
 		bt.matchNanos.Observe(sinceNanos(matchStart))
 		bt.matchFanout.Observe(int64(len(matched)))
+		// Stage timer: publish ingress through the end of matching, the
+		// first segment of the delivery-latency budget.
+		bt.stageMatch.Observe(sinceNanos(start))
 	}
 
 	// Snapshot the notifier of each matched subscription under one

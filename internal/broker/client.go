@@ -54,6 +54,14 @@ type clientMetrics struct {
 	overloadBackoffs  *telemetry.Counter
 	notifyGaps        *telemetry.Counter
 	rtt               map[string]*telemetry.Histogram
+
+	// deliveryLatency records, per negotiated codec, the broker-side
+	// publish→encode latency each notify frame reports via PublishedAt.
+	// The value is an elapsed duration measured entirely on the broker's
+	// clock (never a cross-machine timestamp difference), so samples are
+	// non-negative by construction regardless of clock skew. Traced
+	// deliveries attach their trace ID as an exemplar.
+	deliveryLatency *telemetry.HistogramVec
 }
 
 func newClientMetrics(reg *telemetry.Registry) *clientMetrics {
@@ -76,6 +84,7 @@ func newClientMetrics(reg *telemetry.Registry) *clientMetrics {
 		rtt:               make(map[string]*telemetry.Histogram, len(wireTypes)),
 	}
 	lat := telemetry.LatencyBuckets()
+	m.deliveryLatency = reg.HistogramVec("transport.client.delivery_latency_ns", lat, "codec")
 	for _, t := range wireTypes {
 		m.rtt[t] = reg.Histogram("transport.client.rtt_ns."+t, lat)
 	}
@@ -537,6 +546,21 @@ func (c *Client) readLoop(cc *clientConn) {
 					c.cfg.onGap(m.Gap)
 				}
 			}
+			if m.PublishedAt > 0 && m.Notification != nil {
+				if cm := c.metrics; cm != nil {
+					h := cm.deliveryLatency.With(cc.codecName)
+					observed := false
+					if m.Trace != "" {
+						if sc, err := telemetry.ParseSpanContext(m.Trace); err == nil {
+							h.ObserveExemplar(m.PublishedAt, sc.TraceID)
+							observed = true
+						}
+					}
+					if !observed {
+						h.Observe(m.PublishedAt)
+					}
+				}
+			}
 			if (c.cfg.notify != nil || c.cfg.notifyCtx != nil) && m.Notification != nil {
 				n := *m.Notification
 				c.mu.Lock()
@@ -545,7 +569,18 @@ func (c *Client) readLoop(cc *clientConn) {
 				}
 				c.mu.Unlock()
 				if c.cfg.notifyCtx != nil {
-					c.cfg.notifyCtx(c.notifyContext(m.Trace), n)
+					nctx := c.notifyContext(m.Trace)
+					if m.PublishedAt > 0 {
+						// Re-base the upstream broker's elapsed latency
+						// onto this process's monotonic clock, so a relay
+						// hop (a cluster edge node forwarding the notify
+						// to its own subscriber) accumulates the budget
+						// into the next frame's PublishedAt instead of
+						// resetting it. Duration arithmetic only — no
+						// cross-machine timestamp is ever compared.
+						nctx = withPublishIngress(nctx, time.Now().Add(-time.Duration(m.PublishedAt)))
+					}
+					c.cfg.notifyCtx(nctx, n)
 				} else {
 					c.cfg.notify(n)
 				}

@@ -74,6 +74,17 @@ type Message struct {
 	// policy). A gap frame may carry no Notification at all; receivers
 	// that predate the field ignore it.
 	Gap int64 `json:"gap,omitempty"`
+	// PublishedAt, on a notify frame, is the elapsed time in nanoseconds
+	// between the broker accepting the publish and encoding this frame —
+	// the broker-side share of the delivery latency, measured entirely on
+	// the broker's own monotonic clock. Like DeadlineMS it is relative,
+	// never an absolute timestamp, so clock skew between peers cannot
+	// produce negative or absurd samples: the receiver adds the value to
+	// its own receive time conceptually but records it as-is. 0 means the
+	// sender predates the field (or the ingress time was unknown); peers
+	// that predate it skip the unknown tag/key, the same
+	// forward-compatibility story as Trace and DeadlineMS.
+	PublishedAt int64 `json:"publishedAt,omitempty"`
 	// Trace is the optional distributed-trace context of the sender
 	// ("<32 hex trace ID>-<16 hex span ID>", see telemetry.SpanContext).
 	// Peers that predate tracing ignore the field; receivers treat a

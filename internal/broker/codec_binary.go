@@ -79,6 +79,7 @@ const (
 	fType       = 22 // bytes (message type when the code byte is 0)
 	fDeadline   = 23 // zigzag varint (remaining budget, milliseconds)
 	fGap        = 24 // zigzag varint (notifications dropped before this frame)
+	fPubAt      = 25 // zigzag varint (broker-side publish→encode latency, ns)
 )
 
 const (
@@ -181,6 +182,9 @@ func appendBinaryPayload(dst []byte, m *Message) ([]byte, error) {
 	}
 	if m.Gap != 0 {
 		dst = appendZigzagField(dst, fGap, m.Gap)
+	}
+	if m.PublishedAt != 0 {
+		dst = appendZigzagField(dst, fPubAt, m.PublishedAt)
 	}
 	if n := m.Notification; n != nil {
 		// PageID is written unconditionally: its presence is what makes
@@ -298,6 +302,8 @@ func (binaryCodec) DecodeFrame(payload []byte, m *Message) error {
 				m.DeadlineMS = zigzag(u)
 			case fGap:
 				m.Gap = zigzag(u)
+			case fPubAt:
+				m.PublishedAt = zigzag(u)
 			}
 			// Unknown varint fields: value already consumed, skip.
 		case wtBytes:

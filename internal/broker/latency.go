@@ -1,0 +1,32 @@
+package broker
+
+import (
+	"context"
+	"time"
+)
+
+// Delivery-latency accounting. The broker stamps every publish with its
+// ingress instant and threads it through the fan-out path via the
+// request context, so each stage of the delivery pipeline —
+// ingress→match, match→fanout-enqueue, enqueue→flush — can be timed on
+// the broker's own monotonic clock, and the notify frame can carry the
+// total broker-side latency to the subscriber as the relative
+// PublishedAt field. Nothing here ever compares timestamps taken on
+// different machines: the wire value is an elapsed duration, so peer
+// clock skew cannot produce negative or absurd samples (the same design
+// as DeadlineMS).
+
+type publishIngressKey struct{}
+
+// withPublishIngress attaches the publish's ingress instant to ctx.
+func withPublishIngress(ctx context.Context, t time.Time) context.Context {
+	return context.WithValue(ctx, publishIngressKey{}, t)
+}
+
+// publishIngressFromContext returns the ingress instant attached by
+// PublishContext; ok is false for notifications that did not originate
+// from a stamped publish (direct Notify calls, tests).
+func publishIngressFromContext(ctx context.Context) (time.Time, bool) {
+	t, ok := ctx.Value(publishIngressKey{}).(time.Time)
+	return t, ok
+}

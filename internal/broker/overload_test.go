@@ -377,7 +377,7 @@ func TestControlFramesBypassNotifyBacklog(t *testing.T) {
 
 	// First notification: the flusher picks it up and wedges in the
 	// pipe write because nothing is reading yet.
-	if err := cw.enqueueNotify(Notification{PageID: "p0", Version: 0}, ""); err != nil {
+	if err := cw.enqueueNotify(Notification{PageID: "p0", Version: 0}, "", time.Time{}); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(50 * time.Millisecond)
@@ -385,7 +385,7 @@ func TestControlFramesBypassNotifyBacklog(t *testing.T) {
 	// The backlog, then one control frame behind it.
 	const backlog = 99
 	for i := 1; i <= backlog; i++ {
-		if err := cw.enqueueNotify(Notification{PageID: "p", Version: i}, ""); err != nil {
+		if err := cw.enqueueNotify(Notification{PageID: "p", Version: i}, "", time.Time{}); err != nil {
 			t.Fatal(err)
 		}
 	}

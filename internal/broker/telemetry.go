@@ -28,6 +28,11 @@ type brokerTelemetry struct {
 	matchFanout  *telemetry.Histogram
 	pushFanout   *telemetry.Histogram
 
+	// stageMatch is the first delivery-latency stage: publish ingress
+	// through the end of matching. The transport owns the later stages
+	// (fanout-enqueue, enqueue→flush) and the client observes the total.
+	stageMatch *telemetry.Histogram
+
 	// publishesByTopic breaks publishes down per topic under a bounded
 	// label budget (hot-topic ranking for the fleet dashboard; combos
 	// past the budget collapse into the vec's overflow series).
@@ -65,6 +70,7 @@ func (b *Broker) EnableTelemetry(reg *telemetry.Registry, tracer *telemetry.Trac
 		fetchNanos:    reg.Histogram("broker.fetch_ns", lat),
 		matchFanout:   reg.Histogram("broker.match_fanout", fan),
 		pushFanout:    reg.Histogram("broker.push_fanout", fan),
+		stageMatch:    reg.Histogram("broker.stage_ns.ingress_to_match", lat),
 		sloHits:       reg.Counter("broker.slo.publish_to_placement.hit"),
 		sloMisses:     reg.Counter("broker.slo.publish_to_placement.miss"),
 

@@ -139,6 +139,13 @@ type serverMetrics struct {
 	handleNanos   map[string]*telemetry.Histogram
 	negotiated    map[string]*telemetry.Counter // per negotiated codec name
 
+	// Delivery-latency stage timers, measured on the broker's clock:
+	// publish ingress → notify enqueued, and notify enqueued → encoded
+	// into a flush. Together with broker.stage_ns.ingress_to_match and
+	// the client-observed total they decompose the delivery budget.
+	stageFanoutEnqueue *telemetry.Histogram
+	stageEnqueueFlush  *telemetry.Histogram
+
 	// Overload plane. shed counts dropped/rejected work by class
 	// (notify, publish, expired); slowConsumer counts per-connection
 	// policy actions (dropped, blocked, severed, quarantined).
@@ -187,6 +194,8 @@ func newServerMetrics(reg *telemetry.Registry, codecs []Codec) *serverMetrics {
 		inflightPubs:  reg.Gauge("overload.inflight_publishes"),
 	}
 	lat := telemetry.LatencyBuckets()
+	m.stageFanoutEnqueue = reg.Histogram("transport.server.stage_ns.fanout_enqueue", lat)
+	m.stageEnqueueFlush = reg.Histogram("transport.server.stage_ns.enqueue_to_flush", lat)
 	for _, t := range append([]string{"unknown"}, wireTypes...) {
 		m.recv[t] = reg.Counter("transport.server.recv." + t)
 		m.handleNanos[t] = reg.Histogram("transport.server.handle_ns."+t, lat)
@@ -561,6 +570,9 @@ func (s *Server) handle(conn net.Conn) {
 		onSever = func() { s.quarantineAddr(remote) }
 	}
 	cw.configureNotifyLane(s.slowPolicy, s.maxPerConn, s.blockTimeout, &s.pending, onAction, onSever)
+	if sm != nil {
+		cw.setFlushStage(sm.stageEnqueueFlush)
+	}
 
 	var subIDs []int64
 	defer func() {
@@ -760,10 +772,17 @@ func (cn connNotifier) NotifyContext(ctx context.Context, n Notification) {
 			trace = sc.String()
 		}
 	}
-	err := cn.cw.enqueueNotify(n, trace)
+	// The originating publish's ingress instant (when stamped) rides the
+	// context from PublishContext; the flusher turns it into the frame's
+	// PublishedAt at encode time. Both instants are this broker's clock.
+	pub, _ := publishIngressFromContext(ctx)
+	err := cn.cw.enqueueNotify(n, trace, pub)
 	if err == nil {
 		if sm := s.metrics; sm != nil {
 			sm.notifySends.Inc()
+			if !pub.IsZero() {
+				sm.stageFanoutEnqueue.Observe(time.Since(pub).Nanoseconds())
+			}
 		}
 	}
 	sp.SetError(err)

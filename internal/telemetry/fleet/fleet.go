@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pubsubcd/internal/telemetry"
@@ -142,6 +143,7 @@ type Scraper struct {
 	stop     chan struct{}
 	done     chan struct{}
 	stopOnce sync.Once
+	started  atomic.Bool
 }
 
 // New builds a scraper over the given admin addresses ("host:port" or
@@ -188,8 +190,11 @@ func New(targets []string, opts Options) (*Scraper, error) {
 func (s *Scraper) Targets() []string { return slices.Clone(s.targets) }
 
 // Start launches the background scrape loop (one immediate round, then
-// every Interval). Close stops it.
+// every Interval). Close stops it. Start is idempotent.
 func (s *Scraper) Start() {
+	if !s.started.CompareAndSwap(false, true) {
+		return
+	}
 	go func() {
 		defer close(s.done)
 		ctx := context.Background()
@@ -207,10 +212,13 @@ func (s *Scraper) Start() {
 	}()
 }
 
-// Close stops the background loop.
+// Close stops the background loop. It is safe to call on a scraper
+// that was only ever used via ScrapeOnce (Start never called).
 func (s *Scraper) Close() {
 	s.stopOnce.Do(func() { close(s.stop) })
-	<-s.done
+	if s.started.Load() {
+		<-s.done
+	}
 }
 
 // ScrapeOnce polls every target concurrently, merges the results and

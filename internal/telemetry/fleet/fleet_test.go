@@ -3,11 +3,13 @@ package fleet
 import (
 	"context"
 	"encoding/json"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"slices"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"pubsubcd/internal/telemetry"
 )
@@ -212,6 +214,111 @@ func TestFleetHandlers(t *testing.T) {
 	}
 	if rep.Hits != 5 || rep.Attainment != 1 {
 		t.Errorf("slo report = %+v", rep)
+	}
+}
+
+// TestScrapeNodeDiesMidSoak covers the soak-harness failure mode: a
+// fleet member vanishes between scrapes. Later scrapes must keep
+// merging the survivors, report the dead node (with its error) instead
+// of silently shrinking the fleet, and keep counting it in Targets.
+func TestScrapeNodeDiesMidSoak(t *testing.T) {
+	regs := make([]*telemetry.Registry, 3)
+	srvs := make([]*httptest.Server, 3)
+	targets := make([]string, 3)
+	for i := range regs {
+		regs[i] = telemetry.NewRegistry()
+		regs[i].Counter("broker.publishes").Add(10)
+		srvs[i] = metricsServer(t, regs[i])
+		targets[i] = srvs[i].URL
+	}
+	s, err := New(targets, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := s.ScrapeOnce(context.Background())
+	if snap.UpCount != 3 || snap.Merged.Counters["broker.publishes"] != 30 {
+		t.Fatalf("pre-death scrape: up=%d merged=%d, want 3/30", snap.UpCount, snap.Merged.Counters["broker.publishes"])
+	}
+
+	// Node 1 dies mid-soak; the survivors keep publishing.
+	srvs[1].Close()
+	regs[0].Counter("broker.publishes").Add(5)
+	regs[2].Counter("broker.publishes").Add(5)
+
+	snap = s.ScrapeOnce(context.Background())
+	if snap.Targets != 3 {
+		t.Errorf("Targets = %d, want 3 (dead nodes still belong to the fleet)", snap.Targets)
+	}
+	if snap.UpCount != 2 {
+		t.Errorf("UpCount = %d, want 2", snap.UpCount)
+	}
+	if got := snap.Merged.Counters["broker.publishes"]; got != 30 {
+		t.Errorf("merged publishes = %d, want 30 (two survivors at 15 each)", got)
+	}
+	var deadReported bool
+	for _, n := range snap.Nodes {
+		if !n.Up {
+			deadReported = true
+			if n.Error == "" {
+				t.Error("dead node should carry its scrape error")
+			}
+		}
+	}
+	if !deadReported {
+		t.Error("dead node missing from per-node breakdown")
+	}
+}
+
+// TestSLOBurnRateFiniteZeroWindow pins the burn-rate math when a
+// scrape window saw no SLO events at all (an idle soak, or every
+// survivor between two scrapes of a dead-quiet fleet): the miss rate
+// and burn rate must both be exactly 0 — never NaN or Inf from the
+// 0/0 — so the soak harness can always compare them against gates.
+func TestSLOBurnRateFiniteZeroWindow(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter(DefaultSLOBase + ".hit").Add(90)
+	reg.Counter(DefaultSLOBase + ".miss").Add(10)
+	s, err := New([]string{metricsServer(t, reg).URL}, Options{SLOTarget: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ScrapeOnce(context.Background())
+	s.ScrapeOnce(context.Background()) // identical totals: zero-event window
+
+	rep := s.SLO()
+	if rep.Window.Hits != 0 || rep.Window.Misses != 0 {
+		t.Fatalf("window deltas = %+v, want 0/0", rep.Window)
+	}
+	for name, v := range map[string]float64{
+		"miss rate": rep.Window.MissRate,
+		"burn rate": rep.Window.BurnRate,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s = %v, want finite", name, v)
+		}
+		if v != 0 {
+			t.Errorf("%s = %v, want 0 with zero events", name, v)
+		}
+	}
+}
+
+// TestCloseWithoutStart pins that a scraper used only via ScrapeOnce
+// (no background loop — pubsubload's post-run scrape) closes without
+// hanging on the never-started loop's done channel.
+func TestCloseWithoutStart(t *testing.T) {
+	s, err := New([]string{"127.0.0.1:1"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on a scraper that was never started")
 	}
 }
 
